@@ -1,0 +1,75 @@
+//===- bench/BenchCommon.h - Shared experiment definitions -----*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared configuration for the table/figure reproduction binaries: the
+/// paper's sixteen system rows (section 4.5) with their "Optimistic
+/// Latency" values, and the simulation settings of section 4.3 (30 runs
+/// per block, 100 bootstrap sample means, 95% CIs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_BENCH_BENCHCOMMON_H
+#define BSCHED_BENCH_BENCHCOMMON_H
+
+#include "pipeline/Experiment.h"
+#include "sim/MemorySystem.h"
+#include "workload/PerfectClub.h"
+
+#include <memory>
+#include <vector>
+
+namespace bsched::bench {
+
+/// One Table 2 row: a memory system plus the optimistic latencies the
+/// traditional scheduler is evaluated with (hit time, and — for systems
+/// with caches — the effective access time).
+struct SystemRow {
+  std::unique_ptr<MemorySystem> Memory;
+  std::vector<double> OptimisticLatencies;
+  const char *Group; ///< Section label in the paper's tables.
+};
+
+/// The sixteen system rows of Table 2, in the paper's order.
+inline std::vector<SystemRow> paperSystems() {
+  std::vector<SystemRow> Rows;
+  const char *CacheGroup = "Data cache; bus-based interconnection";
+  const char *NetGroup = "No cache; network interconnection";
+  const char *MixedGroup = "Mixed";
+  Rows.push_back(
+      {std::make_unique<CacheSystem>(0.80, 2, 5), {2, 2.6}, CacheGroup});
+  Rows.push_back(
+      {std::make_unique<CacheSystem>(0.80, 2, 10), {2, 3.6}, CacheGroup});
+  Rows.push_back(
+      {std::make_unique<CacheSystem>(0.95, 2, 5), {2, 2.15}, CacheGroup});
+  Rows.push_back(
+      {std::make_unique<CacheSystem>(0.95, 2, 10), {2, 2.4}, CacheGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(2, 2), {2}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(3, 2), {3}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(5, 2), {5}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(2, 5), {2}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(3, 5), {3}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(5, 5), {5}, NetGroup});
+  Rows.push_back({std::make_unique<NetworkSystem>(30, 5), {30}, NetGroup});
+  Rows.push_back(
+      {std::make_unique<MixedSystem>(0.80, 2, 30, 5), {2, 7.6}, MixedGroup});
+  return Rows;
+}
+
+/// The paper's simulation parameters (section 4.3).
+inline SimulationConfig paperSimulation(
+    ProcessorModel Processor = ProcessorModel::unlimited()) {
+  SimulationConfig Config;
+  Config.Processor = Processor;
+  Config.NumRuns = 30;
+  Config.NumResamples = 100;
+  return Config;
+}
+
+} // namespace bsched::bench
+
+#endif // BSCHED_BENCH_BENCHCOMMON_H

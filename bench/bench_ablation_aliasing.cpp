@@ -1,0 +1,87 @@
+//===- bench/bench_ablation_aliasing.cpp - Aliasing-transform ablation ----==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Reproduces the effect of the paper's section 4.2 parallelism-exposing
+// transformation: under the conservative f2c/C translation every array
+// shares one alias class and loads cannot move above stores, crushing the
+// load-level parallelism that balanced scheduling feeds on. We compile
+// the workload both ways and compare improvements and measured LLP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "dag/DagBuilder.h"
+#include "dag/DagUtils.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bsched;
+using namespace bsched::bench;
+
+namespace {
+
+/// Mean loads-per-serial-step over a function's blocks (a crude LLP
+/// proxy): number of loads divided by the longest load path.
+double meanLoadParallelism(const Function &F) {
+  double Sum = 0.0;
+  unsigned Blocks = 0;
+  for (const BasicBlock &BB : F) {
+    DepDag Dag = buildDag(BB);
+    std::vector<unsigned> All(Dag.size());
+    for (unsigned I = 0; I != Dag.size(); ++I)
+      All[I] = I;
+    unsigned Loads = static_cast<unsigned>(Dag.loadNodes().size());
+    if (Loads == 0)
+      continue;
+    Sum += static_cast<double>(Loads) /
+           std::max(1u, longestLoadPath(Dag, All));
+    ++Blocks;
+  }
+  return Blocks == 0 ? 0.0 : Sum / Blocks;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: Fortran aliasing rules vs. the conservative "
+              "f2c/C translation\n(section 4.2's parallelism-exposing "
+              "transformation)\n\n");
+
+  NetworkSystem Memory(3, 5);
+  SimulationConfig Sim = paperSimulation();
+
+  Table T;
+  T.setHeader({"Program", "LLP fortran", "LLP c", "Imp% fortran",
+               "Imp% c"});
+  double SumF = 0, SumC = 0;
+  for (Benchmark B : allBenchmarks()) {
+    WorkloadOptions Fortran, Conservative;
+    Fortran.FortranAliasing = true;
+    Conservative.FortranAliasing = false;
+    Function FF = buildBenchmark(B, Fortran);
+    Function FC = buildBenchmark(B, Conservative);
+
+    SchedulerComparison CmpF = compareSchedulers(FF, Memory, 3, Sim);
+    SchedulerComparison CmpC = compareSchedulers(FC, Memory, 3, Sim);
+    T.addRow({benchmarkName(B), formatDouble(meanLoadParallelism(FF), 2),
+              formatDouble(meanLoadParallelism(FC), 2),
+              formatPercent(CmpF.Improvement.MeanPercent),
+              formatPercent(CmpC.Improvement.MeanPercent)});
+    SumF += CmpF.Improvement.MeanPercent;
+    SumC += CmpC.Improvement.MeanPercent;
+  }
+  T.addSeparator();
+  T.addRow({"Mean", "", "", formatPercent(SumF / 8),
+            formatPercent(SumC / 8)});
+  T.print(stdout);
+
+  std::printf("\nPaper's claim: without the transformation, false "
+              "store->load dependences\nfrom the Fortran-to-C translation "
+              "severely restrict the scheduler's\nability to exploit load "
+              "level parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- bench/bench_perf_scaling.cpp - Algorithm scaling benchmarks --------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Google-benchmark microbenchmarks backing the paper's section 3
+// complexity analysis: list scheduling is O(n^2); balanced weighting is
+// O(n^2 a(n)) with the union-find trick — "nearly as efficient". We sweep
+// block sizes and report per-size timings for the DAG builder, both
+// weighters and the list scheduler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DagBuilder.h"
+#include "ir/IrBuilder.h"
+#include "sched/BalancedWeighter.h"
+#include "sched/ListScheduler.h"
+#include "sched/TraditionalWeighter.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bsched;
+
+namespace {
+
+/// A synthetic block of the given size with a realistic mix: chained
+/// cursor loads, FP arithmetic over live values, occasional stores.
+BasicBlock makeBlock(unsigned Size) {
+  static Function F("bench"); // Shared register/alias namespace is fine.
+  BasicBlock &BB = F.addBlock("b" + std::to_string(Size));
+  IrBuilder B(F, BB);
+  Rng R(Size * 977 + 13);
+
+  Reg Cursor = B.emitLoadImm(4096);
+  std::vector<Reg> Fps{B.emitFLoadImm(1.0)};
+  auto PickFp = [&] { return Fps[R.nextBounded(Fps.size())]; };
+  while (BB.size() < Size) {
+    switch (R.nextBounded(6)) {
+    case 0:
+      Fps.push_back(B.emitFLoad(Cursor, 0, 0));
+      break;
+    case 1:
+      B.emitAdvance(Cursor, 8);
+      break;
+    case 2:
+      B.emitStore(PickFp(), Cursor, 8, 1);
+      break;
+    default:
+      Fps.push_back(B.emitBinary(Opcode::FMul, PickFp(), PickFp()));
+      break;
+    }
+    if (Fps.size() > 24)
+      Fps.erase(Fps.begin(), Fps.begin() + 12);
+  }
+  return BB;
+}
+
+void BM_DagBuild(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    DepDag Dag = buildDag(BB);
+    benchmark::DoNotOptimize(Dag.numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_TraditionalWeights(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<unsigned>(State.range(0)));
+  DepDag Dag = buildDag(BB);
+  TraditionalWeighter W(2.0);
+  for (auto _ : State) {
+    W.assignWeights(Dag);
+    benchmark::DoNotOptimize(Dag.weight(0));
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_BalancedWeightsExact(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<unsigned>(State.range(0)));
+  DepDag Dag = buildDag(BB);
+  BalancedWeighter W(LatencyModel(), ChancesMethod::ExactLongestPath);
+  for (auto _ : State) {
+    W.assignWeights(Dag);
+    benchmark::DoNotOptimize(Dag.weight(0));
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_BalancedWeightsUnionFind(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<unsigned>(State.range(0)));
+  DepDag Dag = buildDag(BB);
+  BalancedWeighter W(LatencyModel(), ChancesMethod::UnionFindLevels);
+  for (auto _ : State) {
+    W.assignWeights(Dag);
+    benchmark::DoNotOptimize(Dag.weight(0));
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_ListScheduler(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<unsigned>(State.range(0)));
+  DepDag Dag = buildDag(BB);
+  BalancedWeighter().assignWeights(Dag);
+  for (auto _ : State) {
+    Schedule Sched = scheduleDag(Dag);
+    benchmark::DoNotOptimize(Sched.Order.data());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_DagBuild)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+BENCHMARK(BM_TraditionalWeights)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+BENCHMARK(BM_BalancedWeightsExact)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+BENCHMARK(BM_BalancedWeightsUnionFind)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+BENCHMARK(BM_ListScheduler)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+//===- bench/bench_table5_n30.cpp - Table 5 reproduction ------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Reproduces Table 5: the N(30,5) stress case — a mean latency far above
+// the workload's load-level parallelism — analysed per benchmark for all
+// three processor models: improvement, interlock shares, and dynamic
+// instruction counts (the spill-code effect).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bsched;
+using namespace bsched::bench;
+
+int main() {
+  std::printf("Table 5: analysis of the N(30,5) results (the effect of "
+              "spill code and\nunhideable latency)\n\n");
+
+  NetworkSystem Memory(30, 5);
+  const ProcessorModel Processors[] = {ProcessorModel::unlimited(),
+                                       ProcessorModel::maxOutstanding(8),
+                                       ProcessorModel::maxLength(8)};
+
+  Table T;
+  T.setHeader({"Program", "TIns", "BIns", "UNL Imp%", "UNL TI%", "UNL BI%",
+               "MAX8 Imp%", "MAX8 TI%", "MAX8 BI%", "LEN8 Imp%", "LEN8 TI%",
+               "LEN8 BI%"});
+
+  for (Benchmark B : allBenchmarks()) {
+    Function F = buildBenchmark(B);
+    std::vector<std::string> Cells = {benchmarkName(B)};
+    bool CountsEmitted = false;
+    for (const ProcessorModel &P : Processors) {
+      SchedulerComparison Cmp = compareSchedulers(
+          F, Memory, /*OptimisticLatency=*/30, paperSimulation(P));
+      if (!CountsEmitted) {
+        Cells.insert(Cells.end(),
+                     {formatDouble(
+                          Cmp.TraditionalSim.DynamicInstructions / 1000.0,
+                          0),
+                      formatDouble(
+                          Cmp.CandidateSim.DynamicInstructions / 1000.0,
+                          0)});
+        CountsEmitted = true;
+      }
+      Cells.push_back(formatPercent(Cmp.Improvement.MeanPercent));
+      Cells.push_back(formatPercent(Cmp.TraditionalSim.interlockPercent()));
+      Cells.push_back(formatPercent(Cmp.CandidateSim.interlockPercent()));
+    }
+    T.addRow(std::move(Cells));
+  }
+  T.print(stdout);
+
+  std::printf(
+      "\nPaper's shape: with a 30-cycle mean latency, interlocks dominate "
+      "both\nschedulers' runtimes, improvements hover around zero (some "
+      "negative),\nand whichever scheduler executes more spill "
+      "instructions loses. Our\ntraditional scheduler clusters loads more "
+      "cheaply than GCC's could, so\nits wins here are larger than the "
+      "paper's — see EXPERIMENTS.md.\n");
+  return 0;
+}

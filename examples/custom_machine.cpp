@@ -1,0 +1,100 @@
+//===- examples/custom_machine.cpp - Exploring machine designs ------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// A design-space exploration example: because balanced scheduling is
+// machine-independent ("schedules for the code instead of the machine"),
+// a single compiled binary can be evaluated against many machine designs.
+// We compile the MDG stand-in once per policy, then sweep processor
+// limits and memory systems — including a user-defined bimodal memory
+// model — without recompiling.
+//
+// Run: build/examples/custom_machine
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/PerfectClub.h"
+
+#include <cstdio>
+
+using namespace bsched;
+
+namespace {
+
+/// A custom memory system: a local/remote NUMA machine where 70% of
+/// requests hit local memory (3 cycles) and 30% go remote with a noisy
+/// network (N(12,4)). Implementing MemorySystem is all it takes to plug a
+/// new design into the harness.
+class NumaSystem final : public MemorySystem {
+public:
+  unsigned sampleLatency(Rng &R) const override {
+    if (R.nextBernoulli(0.7))
+      return 3;
+    return Remote.sampleLatency(R);
+  }
+  double optimisticLatency() const override { return 3.0; }
+  double effectiveLatency() const override {
+    return 0.7 * 3.0 + 0.3 * Remote.effectiveLatency();
+  }
+  std::string name() const override { return "NUMA(3|N(12,4))"; }
+
+private:
+  NetworkSystem Remote{12, 4};
+};
+
+} // namespace
+
+int main() {
+  Function F = buildBenchmark(Benchmark::MDG);
+
+  // Compile once per policy; the binaries are machine-independent.
+  PipelineConfig TradConfig;
+  TradConfig.Policy = SchedulerPolicy::Traditional;
+  TradConfig.OptimisticLatency = 3.0;
+  CompiledFunction Trad = compilePipeline(F, TradConfig);
+
+  PipelineConfig BalConfig;
+  BalConfig.Policy = SchedulerPolicy::Balanced;
+  CompiledFunction Bal = compilePipeline(F, BalConfig);
+
+  std::printf("MDG compiled once per policy (traditional fixed at the "
+              "3-cycle local\nlatency), evaluated across machines without "
+              "recompiling:\n\n");
+
+  NumaSystem Numa;
+  CacheSystem Cache(0.9, 2, 12);
+  NetworkSystem Net(6, 3);
+  const MemorySystem *Memories[] = {&Numa, &Cache, &Net};
+
+  const ProcessorModel Processors[] = {
+      ProcessorModel::unlimited(), ProcessorModel::maxOutstanding(8),
+      ProcessorModel::maxOutstanding(4), ProcessorModel::maxLength(8),
+      ProcessorModel::maxLength(4)};
+
+  Table T;
+  T.setHeader({"Memory", "Processor", "Trad cycles", "Bal cycles", "Imp%"});
+  for (const MemorySystem *Memory : Memories) {
+    for (const ProcessorModel &P : Processors) {
+      SimulationConfig Sim;
+      Sim.Processor = P;
+      ProgramSimResult TradSim = simulateProgram(Trad, *Memory, Sim);
+      ProgramSimResult BalSim = simulateProgram(Bal, *Memory, Sim);
+      ImprovementEstimate Imp = pairedImprovement(
+          TradSim.BootstrapRuntimes, BalSim.BootstrapRuntimes);
+      T.addRow({Memory->name(), P.name(),
+                formatDouble(TradSim.MeanRuntime / 1000.0, 0) + "k",
+                formatDouble(BalSim.MeanRuntime / 1000.0, 0) + "k",
+                formatPercent(Imp.MeanPercent)});
+    }
+    T.addSeparator();
+  }
+  T.print(stdout);
+  std::printf("\nThe same balanced binary adapts to every design point — "
+              "the paper's\ncentral argument for program-based rather than "
+              "machine-based weights.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- examples/kernel_compiler.cpp - Source-to-simulation pipeline -------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// The complete stack in one program: a Fortran-ish source program is
+// compiled by the kernel-language frontend (the stand-in for the paper's
+// Fortran -> f2c -> GCC front half), pushed through the two-pass
+// scheduling pipeline under both policies, and evaluated on uncertain-
+// latency memory systems — source code in, Table-2-style numbers out.
+//
+// Run: build/examples/kernel_compiler
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/KernelLang.h"
+#include "ir/IrPrinter.h"
+#include "pipeline/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bsched;
+
+namespace {
+
+// A miniature scientific program: a smoothing pass, a dot-product
+// reduction, and a damped update — the block shapes the Perfect Club is
+// made of.
+const char *Source = R"(
+kernel smooth(u, v) freq 2000 {
+  for i = 0 to 32 unroll 4 {
+    v[i] = 0.25*u[i-1] + 0.5*u[i] + 0.25*u[i+1];
+  }
+}
+
+kernel dot(x, y) freq 1200 {
+  s = 0.0;
+  for i = 0 to 24 unroll 6 {
+    s = s + x[i] * y[i];
+  }
+  result[0] = s;
+}
+
+kernel relax(w, r) freq 800 {
+  omega = 1.8;
+  for i = 0 to 16 unroll 4 {
+    w[i] = w[i] + omega * (r[i] - w[i]);
+  }
+}
+)";
+
+} // namespace
+
+int main() {
+  KernelLangResult Compiled = compileKernelLang(Source);
+  if (!Compiled.ok()) {
+    for (const ParseDiag &D : Compiled.Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return 1;
+  }
+
+  const Function &Program = *Compiled.Program;
+  std::printf("Compiled %u kernels, %u instructions, %u arrays.\n\n",
+              Program.numBlocks(), Program.totalInstructions(),
+              static_cast<unsigned>(Compiled.Arrays.size()));
+  std::printf("Lowered IR of kernel 'dot':\n%s\n",
+              printBlock(Program.block(1)).c_str());
+
+  struct SystemSpec {
+    std::unique_ptr<MemorySystem> Memory;
+    double OptLat;
+  };
+  std::vector<SystemSpec> Systems;
+  Systems.push_back({std::make_unique<CacheSystem>(0.8, 2, 10), 2});
+  Systems.push_back({std::make_unique<NetworkSystem>(2, 5), 2});
+  Systems.push_back({std::make_unique<NetworkSystem>(3, 5), 3});
+  Systems.push_back({std::make_unique<MixedSystem>(0.8, 2, 30, 5), 2});
+
+  SimulationConfig Sim;
+  Table T("Balanced vs traditional on the compiled program");
+  T.setHeader({"System", "Trad runtime", "Bal runtime", "Imp%", "95% CI"});
+  for (SystemSpec &S : Systems) {
+    SchedulerComparison Cmp =
+        compareSchedulers(Program, *S.Memory, S.OptLat, Sim);
+    T.addRow({S.Memory->name(),
+              formatDouble(Cmp.TraditionalSim.MeanRuntime / 1000.0, 1) + "k",
+              formatDouble(Cmp.CandidateSim.MeanRuntime / 1000.0, 1) + "k",
+              formatPercent(Cmp.Improvement.MeanPercent),
+              "[" + formatPercent(Cmp.Improvement.Ci95.Lo) + ", " +
+                  formatPercent(Cmp.Improvement.Ci95.Hi) + "]"});
+  }
+  T.print(stdout);
+  std::printf("\nEverything above — parsing, lowering with load reuse, "
+              "dependence\nanalysis, weights, scheduling, register "
+              "allocation, simulation and\nbootstrap statistics — runs "
+              "from the single source string at the top.\n");
+  return 0;
+}

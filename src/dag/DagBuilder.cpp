@@ -1,0 +1,134 @@
+//===- dag/DagBuilder.cpp - Dependence analysis ----------------------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DagBuilder.h"
+
+#include <unordered_map>
+
+using namespace bsched;
+
+namespace {
+
+/// Per-register def/use tracking for RAW/WAR/WAW edges.
+struct RegState {
+  int LastDef = -1;                   ///< Node index of the reaching def.
+  std::vector<unsigned> UsesSinceDef; ///< Uses since that def.
+  unsigned Version = 0;               ///< Bumped at each def (disambig).
+};
+
+/// A memory access fact remembered for ordering decisions.
+struct MemAccess {
+  unsigned Node;
+  uint32_t BaseRaw;     ///< Raw bits of the base register.
+  unsigned BaseVersion; ///< Version of the base value at the access.
+  int64_t Offset;
+  bool KnownBase;       ///< True if base value identity is tracked.
+};
+
+/// True when the accesses provably touch different words: identical base
+/// register *value* (same register, same version) but different offsets.
+bool provablyDisjoint(const MemAccess &A, const MemAccess &B) {
+  return A.KnownBase && B.KnownBase && A.BaseRaw == B.BaseRaw &&
+         A.BaseVersion == B.BaseVersion && A.Offset != B.Offset;
+}
+
+/// True when the accesses provably touch the *same* word.
+bool mustAlias(const MemAccess &A, const MemAccess &B) {
+  return A.KnownBase && B.KnownBase && A.BaseRaw == B.BaseRaw &&
+         A.BaseVersion == B.BaseVersion && A.Offset == B.Offset;
+}
+
+} // namespace
+
+DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
+  DepDag Dag(BB);
+  unsigned N = Dag.size();
+
+  std::unordered_map<uint32_t, RegState> Regs;
+
+  // Per alias class: live memory accesses that later operations may need to
+  // order against. Pruning is *must-alias only* (or everything, for a store
+  // whose address is untracked and therefore orders with every later access
+  // in the class): anything pruned is transitively protected by its edge to
+  // the pruning store.
+  struct ClassState {
+    std::vector<MemAccess> Stores;
+    std::vector<MemAccess> Loads;
+  };
+  std::unordered_map<AliasClassId, ClassState> Classes;
+
+  for (unsigned I = 0; I != N; ++I) {
+    const Instruction &Instr = Dag.instruction(I);
+
+    // -- Register dependences -------------------------------------------
+    for (Reg Src : Instr.sources()) {
+      RegState &State = Regs[Src.rawBits()];
+      if (State.LastDef >= 0)
+        Dag.addEdge(static_cast<unsigned>(State.LastDef), I, DepKind::Data);
+      State.UsesSinceDef.push_back(I);
+    }
+    if (Instr.hasDest()) {
+      RegState &State = Regs[Instr.dest().rawBits()];
+      for (unsigned Use : State.UsesSinceDef)
+        if (Use != I)
+          Dag.addEdge(Use, I, DepKind::Anti);
+      if (State.LastDef >= 0 && !Dag.hasEdge(State.LastDef, I))
+        Dag.addEdge(static_cast<unsigned>(State.LastDef), I,
+                    DepKind::Output);
+      State.LastDef = static_cast<int>(I);
+      State.UsesSinceDef.clear();
+      ++State.Version;
+    }
+
+    // -- Memory dependences ---------------------------------------------
+    if (!Instr.isMemory())
+      continue;
+
+    Reg Base = Instr.addressBase();
+    const RegState &BaseState = Regs[Base.rawBits()];
+    MemAccess Access{I, Base.rawBits(), BaseState.Version, Instr.imm(),
+                     Options.DisambiguateSameBase};
+    ClassState &Class = Classes[Instr.aliasClass()];
+
+    if (Instr.isLoad()) {
+      // RAW: order after any store that may write this word.
+      for (const MemAccess &St : Class.Stores)
+        if (!provablyDisjoint(St, Access))
+          Dag.addEdge(St.Node, I, DepKind::Memory);
+      Class.Loads.push_back(Access);
+      continue;
+    }
+
+    // A store: WAW with prior stores, WAR with prior loads.
+    for (const MemAccess &St : Class.Stores)
+      if (!provablyDisjoint(St, Access))
+        Dag.addEdge(St.Node, I, DepKind::Memory);
+    for (const MemAccess &Ld : Class.Loads)
+      if (!provablyDisjoint(Ld, Access))
+        Dag.addEdge(Ld.Node, I, DepKind::Memory);
+
+    if (!Access.KnownBase) {
+      // Untracked address: this store ordered with every live access and
+      // will order with every later access in the class, so it is a full
+      // barrier — prior accesses are transitively protected.
+      Class.Stores.clear();
+      Class.Loads.clear();
+    } else {
+      // Must-alias pruning: an access at exactly this word is protected by
+      // its edge to this store; any later access aliasing it also aliases
+      // this store and will be ordered after it.
+      auto SameWord = [&](const MemAccess &Other) {
+        return mustAlias(Other, Access);
+      };
+      std::erase_if(Class.Stores, SameWord);
+      std::erase_if(Class.Loads, SameWord);
+    }
+    Class.Stores.push_back(Access);
+  }
+
+  return Dag;
+}

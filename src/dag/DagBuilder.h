@@ -1,0 +1,43 @@
+//===- dag/DagBuilder.h - Dependence analysis ------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the code DAG for a basic block: register RAW/WAR/WAW dependences
+/// plus memory-ordering dependences within alias classes.
+///
+/// Memory disambiguation mirrors the paper's section 4.2 setup:
+///  - Operations in *different* alias classes never alias (the Fortran
+///    dummy-argument independence the paper's source transformation
+///    recovers). Putting all arrays in one class reproduces the
+///    conservative f2c/C behaviour.
+///  - Within a class, two accesses through the *same base register value*
+///    at different constant offsets are provably disjoint (the classic
+///    base+offset disambiguation a compiler performs); everything else is
+///    conservatively ordered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_DAG_DAGBUILDER_H
+#define BSCHED_DAG_DAGBUILDER_H
+
+#include "dag/DepDag.h"
+
+namespace bsched {
+
+/// Options controlling dependence precision.
+struct DagBuildOptions {
+  /// If true, same-class accesses with the same base register value but
+  /// different constant offsets are treated as independent.
+  bool DisambiguateSameBase = true;
+};
+
+/// Builds the dependence DAG for \p BB (excluding a trailing terminator).
+DepDag buildDag(const BasicBlock &BB, const DagBuildOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_DAG_DAGBUILDER_H

@@ -1,0 +1,117 @@
+//===- dag/DagUtils.cpp - DAG analyses -------------------------------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DagUtils.h"
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace bsched;
+
+std::vector<std::vector<unsigned>>
+bsched::connectedComponents(const DepDag &Dag, const BitVector &Subset) {
+  UnionFind UF(Dag.size());
+  Subset.forEachSetBit([&](unsigned Node) {
+    for (const DepEdge &E : Dag.succs(Node))
+      if (Subset.test(E.Other))
+        UF.unite(Node, E.Other);
+  });
+
+  std::unordered_map<unsigned, unsigned> RootToComponent;
+  std::vector<std::vector<unsigned>> Components;
+  Subset.forEachSetBit([&](unsigned Node) {
+    unsigned Root = UF.find(Node);
+    auto [It, Inserted] = RootToComponent.try_emplace(
+        Root, static_cast<unsigned>(Components.size()));
+    if (Inserted)
+      Components.emplace_back();
+    Components[It->second].push_back(Node);
+  });
+  return Components;
+}
+
+namespace {
+
+/// Longest path DP over the induced sub-DAG, counting the nodes selected
+/// by \p Counts. Nodes in Component are ascending, and edges always point
+/// to higher indices, so a single forward pass is a topological sweep.
+template <typename CountFnT>
+unsigned longestCountedPath(const DepDag &Dag,
+                            const std::vector<unsigned> &Component,
+                            CountFnT Counts) {
+  BitVector InComponent(Dag.size());
+  for (unsigned Node : Component)
+    InComponent.set(Node);
+
+  std::unordered_map<unsigned, unsigned> BestTo; // Node -> max count there.
+  unsigned Best = 0;
+  for (unsigned Node : Component) {
+    unsigned Here = BestTo[Node] + (Counts(Node) ? 1 : 0);
+    BestTo[Node] = Here;
+    Best = std::max(Best, Here);
+    for (const DepEdge &E : Dag.succs(Node))
+      if (InComponent.test(E.Other))
+        BestTo[E.Other] = std::max(BestTo[E.Other], Here);
+  }
+  return Best;
+}
+
+} // namespace
+
+unsigned bsched::longestLoadPath(const DepDag &Dag,
+                                 const std::vector<unsigned> &Component) {
+  return longestCountedPath(Dag, Component,
+                            [&](unsigned Node) { return Dag.isLoad(Node); });
+}
+
+unsigned bsched::longestLoadPath(const DepDag &Dag,
+                                 const std::vector<unsigned> &Component,
+                                 const std::vector<char> &CountedLoads) {
+  return longestCountedPath(Dag, Component, [&](unsigned Node) {
+    return CountedLoads[Node] != 0;
+  });
+}
+
+std::vector<unsigned> bsched::levelsFromLeaves(const DepDag &Dag) {
+  unsigned N = Dag.size();
+  std::vector<unsigned> Levels(N, 1);
+  for (unsigned I = N; I-- > 0;)
+    for (const DepEdge &E : Dag.succs(I))
+      Levels[I] = std::max(Levels[I], Levels[E.Other] + 1);
+  return Levels;
+}
+
+std::vector<unsigned>
+bsched::levelsFromLeavesWithin(const DepDag &Dag, const BitVector &Subset) {
+  std::vector<unsigned> Levels(Dag.size(), 0);
+  for (unsigned I = Dag.size(); I-- > 0;) {
+    if (!Subset.test(I))
+      continue;
+    Levels[I] = 1;
+    for (const DepEdge &E : Dag.succs(I))
+      if (Subset.test(E.Other))
+        Levels[I] = std::max(Levels[I], Levels[E.Other] + 1);
+  }
+  return Levels;
+}
+
+double bsched::criticalPathLength(const DepDag &Dag) {
+  unsigned N = Dag.size();
+  std::vector<double> Best(N, 0.0);
+  double Overall = 0.0;
+  for (unsigned I = N; I-- > 0;) {
+    double Here = std::max(Dag.weight(I), 1.0);
+    double BestSucc = 0.0;
+    for (const DepEdge &E : Dag.succs(I))
+      BestSucc = std::max(BestSucc, Best[E.Other]);
+    Best[I] = Here + BestSucc;
+    Overall = std::max(Overall, Best[I]);
+  }
+  return Overall;
+}

@@ -1,0 +1,64 @@
+//===- dag/DagUtils.h - DAG analyses ---------------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared DAG analyses: connected components of an induced subgraph,
+/// longest load path within a component (the paper's "Chances"), critical
+/// path length, and node levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_DAG_DAGUTILS_H
+#define BSCHED_DAG_DAGUTILS_H
+
+#include "dag/DepDag.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace bsched {
+
+/// Partitions the nodes selected by \p Subset into weakly connected
+/// components (edge direction ignored), considering only edges whose both
+/// endpoints are in the subset. Each component is an ascending node list.
+std::vector<std::vector<unsigned>>
+connectedComponents(const DepDag &Dag, const BitVector &Subset);
+
+/// Returns the maximum number of load nodes on any directed path that stays
+/// inside \p Component (a subset of \p Dag's nodes). This is the paper's
+/// "Chances" for one connected component of G_ind: loads in series can each
+/// hide a share of an independent instruction, so the count of serial loads
+/// divides the contribution. Returns 0 when the component has no loads.
+unsigned longestLoadPath(const DepDag &Dag,
+                         const std::vector<unsigned> &Component);
+
+/// Variant of longestLoadPath counting only the nodes marked in
+/// \p CountedLoads (used by the known-latency extension, which excludes
+/// deterministic loads from the Chances divisor).
+unsigned longestLoadPath(const DepDag &Dag,
+                         const std::vector<unsigned> &Component,
+                         const std::vector<char> &CountedLoads);
+
+/// Level of each node measured from the DAG leaves: leaves are level 1;
+/// an inner node is 1 + max level of its successors. Used by the paper's
+/// union-find approximation of longestLoadPath.
+std::vector<unsigned> levelsFromLeaves(const DepDag &Dag);
+
+/// Same as levelsFromLeaves but restricted to the induced subgraph on
+/// \p Subset: only edges with both endpoints in the subset count, and
+/// nodes outside the subset get level 0. This is the per-G_ind labelling
+/// of the paper's section 3 union-find construction.
+std::vector<unsigned> levelsFromLeavesWithin(const DepDag &Dag,
+                                             const BitVector &Subset);
+
+/// Weighted critical-path length through the DAG, where each node
+/// contributes its scheduling weight (minimum 1 issue slot).
+double criticalPathLength(const DepDag &Dag);
+
+} // namespace bsched
+
+#endif // BSCHED_DAG_DAGUTILS_H

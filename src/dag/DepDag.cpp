@@ -1,0 +1,84 @@
+//===- dag/DepDag.cpp - The code DAG --------------------------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DepDag.h"
+
+using namespace bsched;
+
+const char *bsched::depKindName(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::Data:
+    return "data";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  case DepKind::Memory:
+    return "memory";
+  }
+  return "unknown";
+}
+
+DepDag::DepDag(const BasicBlock &BB) {
+  unsigned N = BB.schedulableSize();
+  Nodes.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Nodes.emplace_back(BB[I]);
+}
+
+void DepDag::addEdge(unsigned From, unsigned To, DepKind Kind) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge index out of range");
+  assert(From < To && "edges must point forward in program order");
+  if (hasEdge(From, To))
+    return;
+  Nodes[From].Succs.push_back({To, Kind});
+  Nodes[To].Preds.push_back({From, Kind});
+  ++EdgeCount;
+}
+
+bool DepDag::hasEdge(unsigned From, unsigned To) const {
+  // Scan the shorter adjacency list.
+  const std::vector<DepEdge> &FromSuccs = Nodes[From].Succs;
+  const std::vector<DepEdge> &ToPreds = Nodes[To].Preds;
+  if (FromSuccs.size() <= ToPreds.size()) {
+    for (const DepEdge &E : FromSuccs)
+      if (E.Other == To)
+        return true;
+    return false;
+  }
+  for (const DepEdge &E : ToPreds)
+    if (E.Other == From)
+      return true;
+  return false;
+}
+
+std::vector<unsigned> DepDag::loadNodes() const {
+  std::vector<unsigned> Loads;
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    if (isLoad(I))
+      Loads.push_back(I);
+  return Loads;
+}
+
+std::string DepDag::toDot(const std::string &Title) const {
+  std::string Out = "digraph \"" + Title + "\" {\n";
+  for (unsigned I = 0, E = size(); I != E; ++I) {
+    Out += "  n" + std::to_string(I) + " [label=\"" + std::to_string(I) +
+           ": " + instruction(I).str() + "\\nw=" +
+           std::to_string(weight(I)) + "\"";
+    if (isLoad(I))
+      Out += ", shape=box";
+    Out += "];\n";
+  }
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    for (const DepEdge &Edge : succs(I))
+      Out += "  n" + std::to_string(I) + " -> n" +
+             std::to_string(Edge.Other) + " [label=\"" +
+             depKindName(Edge.Kind) + "\"];\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,131 @@
+//===- dag/DepDag.h - The code DAG -----------------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "code DAG" of the paper (section 2): nodes are the schedulable
+/// instructions of one basic block, edges are dependences between them, and
+/// each node carries a weight — the number of machine cycles that should
+/// pass before a consumer of its result is initiated. Weights on loads are
+/// what the traditional and balanced schedulers disagree about.
+///
+/// Nodes are indexed by the instruction's original position in the block,
+/// and all edges point from lower to higher indices, so node order is
+/// already a topological order (asserted by the builder).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_DAG_DEPDAG_H
+#define BSCHED_DAG_DEPDAG_H
+
+#include "ir/BasicBlock.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// Why one instruction must precede another.
+enum class DepKind : uint8_t {
+  Data,   ///< True dependence: producer's register read by consumer.
+  Anti,   ///< WAR on a register.
+  Output, ///< WAW on a register.
+  Memory, ///< Ordering between possibly-aliasing memory operations.
+};
+
+/// Returns "data"/"anti"/"output"/"memory".
+const char *depKindName(DepKind Kind);
+
+/// One directed dependence edge.
+struct DepEdge {
+  unsigned Other; ///< Neighbour node index (meaning depends on edge list).
+  DepKind Kind;
+};
+
+/// A dependence DAG over the schedulable instructions of one basic block.
+///
+/// The DAG holds copies of the instructions so it stays valid if the block
+/// is subsequently rewritten with a new schedule.
+class DepDag {
+public:
+  /// Builds an empty DAG over the schedulable prefix of \p BB (excludes a
+  /// trailing terminator). Use DagBuilder to add dependence edges.
+  explicit DepDag(const BasicBlock &BB);
+
+  /// Number of nodes (schedulable instructions).
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+
+  /// The instruction at node \p Index (in original program order).
+  const Instruction &instruction(unsigned Index) const {
+    assert(Index < Nodes.size() && "node index out of range");
+    return Nodes[Index].Instr;
+  }
+
+  /// Adds a dependence edge \p From -> \p To. Parallel edges between the
+  /// same node pair are deduplicated (the first kind wins; any kind implies
+  /// the same ordering constraint).
+  void addEdge(unsigned From, unsigned To, DepKind Kind);
+
+  /// Direct successors of node \p Index.
+  const std::vector<DepEdge> &succs(unsigned Index) const {
+    assert(Index < Nodes.size() && "node index out of range");
+    return Nodes[Index].Succs;
+  }
+
+  /// Direct predecessors of node \p Index.
+  const std::vector<DepEdge> &preds(unsigned Index) const {
+    assert(Index < Nodes.size() && "node index out of range");
+    return Nodes[Index].Preds;
+  }
+
+  /// True if there is a direct edge \p From -> \p To.
+  bool hasEdge(unsigned From, unsigned To) const;
+
+  /// Scheduling weight of node \p Index: cycles that should separate this
+  /// instruction from a consumer of its result. Non-loads default to their
+  /// operation latency (1 in the paper's machine model); load weights are
+  /// assigned by a Weighter.
+  double weight(unsigned Index) const {
+    assert(Index < Nodes.size() && "node index out of range");
+    return Nodes[Index].Weight;
+  }
+
+  /// Sets the scheduling weight of node \p Index.
+  void setWeight(unsigned Index, double W) {
+    assert(Index < Nodes.size() && "node index out of range");
+    assert(W >= 0.0 && "negative scheduling weight");
+    Nodes[Index].Weight = W;
+  }
+
+  /// True if the node is a load (the uncertain-latency instructions).
+  bool isLoad(unsigned Index) const { return instruction(Index).isLoad(); }
+
+  /// Indices of all load nodes, ascending.
+  std::vector<unsigned> loadNodes() const;
+
+  /// Total number of edges.
+  unsigned numEdges() const { return EdgeCount; }
+
+  /// Renders the DAG in Graphviz DOT syntax (debug aid).
+  std::string toDot(const std::string &Title = "dag") const;
+
+private:
+  struct Node {
+    explicit Node(Instruction I) : Instr(std::move(I)) {}
+    Instruction Instr;
+    std::vector<DepEdge> Succs;
+    std::vector<DepEdge> Preds;
+    double Weight = 1.0;
+  };
+
+  std::vector<Node> Nodes;
+  unsigned EdgeCount = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_DAG_DEPDAG_H

@@ -1,0 +1,41 @@
+//===- dag/Reachability.cpp - Transitive closure ---------------------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/Reachability.h"
+
+using namespace bsched;
+
+TransitiveClosure::TransitiveClosure(const DepDag &Dag) {
+  unsigned N = Dag.size();
+  Succ.assign(N, BitVector(N));
+  Pred.assign(N, BitVector(N));
+
+  // Edges always point from lower to higher node index (program order is a
+  // topological order), so one reverse sweep computes Succ* and one forward
+  // sweep computes Pred*.
+  for (unsigned I = N; I-- > 0;) {
+    for (const DepEdge &E : Dag.succs(I)) {
+      Succ[I].set(E.Other);
+      Succ[I] |= Succ[E.Other];
+    }
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    for (const DepEdge &E : Dag.preds(I)) {
+      Pred[I].set(E.Other);
+      Pred[I] |= Pred[E.Other];
+    }
+  }
+}
+
+BitVector TransitiveClosure::independentOf(unsigned Node) const {
+  BitVector Result(static_cast<unsigned>(Succ.size()));
+  Result.setAll();
+  Result.reset(Node);
+  Result.andNot(Succ[Node]);
+  Result.andNot(Pred[Node]);
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- dag/Reachability.h - Transitive closure -----------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transitive closure over a code DAG. The balanced-scheduling algorithm
+/// needs, for every instruction i, the sets Pred*(i) and Succ*(i)
+/// (section 3, step 3: G_ind = G - (Pred(i) u Succ(i))); computing all rows
+/// once as bit vectors makes that subtraction a few word operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_DAG_REACHABILITY_H
+#define BSCHED_DAG_REACHABILITY_H
+
+#include "dag/DepDag.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace bsched {
+
+/// Dense transitive closure of a DepDag.
+class TransitiveClosure {
+public:
+  /// Computes Pred*/Succ* rows for every node of \p Dag. O(n^2 / 64) words.
+  explicit TransitiveClosure(const DepDag &Dag);
+
+  /// All strict transitive successors of \p Node.
+  const BitVector &succsOf(unsigned Node) const { return Succ[Node]; }
+
+  /// All strict transitive predecessors of \p Node.
+  const BitVector &predsOf(unsigned Node) const { return Pred[Node]; }
+
+  /// True if \p From reaches \p To through one or more edges.
+  bool reaches(unsigned From, unsigned To) const {
+    return Succ[From].test(To);
+  }
+
+  /// The set of nodes *independent* of \p Node: everything except the node
+  /// itself, its transitive predecessors, and its transitive successors.
+  /// This is the node set of the paper's G_ind.
+  BitVector independentOf(unsigned Node) const;
+
+private:
+  std::vector<BitVector> Succ;
+  std::vector<BitVector> Pred;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_DAG_REACHABILITY_H

@@ -1,0 +1,96 @@
+//===- frontend/KernelLang.h - A Fortran-ish kernel language ---*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny Fortran-flavoured kernel language and its compiler to bsched IR,
+/// standing in for the paper's Fortran -> f2c -> GCC front half. Example:
+///
+/// \code
+///   kernel smooth(a, b) freq 1000 {
+///     s = 0.0;
+///     for i = 0 to 16 unroll 4 {
+///       b[i] = 0.25*a[i-1] + 0.5*a[i] + 0.25*a[i+1];
+///       s = s + b[i];
+///     }
+///     norm[0] = s;
+///   }
+/// \endcode
+///
+/// Semantics and lowering:
+///  - Every identifier used with subscripts is a double array with its own
+///    alias class (Fortran dummy-argument independence; one shared class
+///    in conservative mode). Plain identifiers are double scalars held in
+///    registers.
+///  - Each kernel lowers to one basic block. A loop contributes `unroll`
+///    iterations of straight-line code to the block and multiplies the
+///    block's execution frequency by tripcount/unroll — the paper's
+///    manually-unrolled-loop-body modeling.
+///  - Array subscripts must be affine in the loop variable (i, i+k, i-k)
+///    or constant outside loops. Arrays are walked with in-place
+///    pointer-bump addressing, and loaded elements are reused through a
+///    block-local value cache (the sliding-window reuse an optimizing
+///    compiler performs), invalidated by stores to the same element or by
+///    may-alias stores.
+///  - Scalars assigned anywhere in a kernel are stored to a per-kernel
+///    "__result" array at block end, making every computation observable
+///    to the reference interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_FRONTEND_KERNELLANG_H
+#define BSCHED_FRONTEND_KERNELLANG_H
+
+#include "ir/Function.h"
+#include "parser/Parser.h" // ParseDiag
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsched {
+
+/// Frontend options.
+struct KernelLangOptions {
+  /// Fortran aliasing (per-array classes) vs the conservative f2c/C
+  /// translation (one class).
+  bool FortranAliasing = true;
+};
+
+/// Where one source array lives in the lowered program, so harnesses can
+/// seed and inspect its memory.
+struct ArrayBinding {
+  std::string Name;
+  int64_t BaseAddress = 0;
+  AliasClassId Alias = NoAliasClass;
+};
+
+/// The outcome of compiling a kernel-language program.
+struct KernelLangResult {
+  /// One function containing one block per kernel; empty on error.
+  std::optional<Function> Program;
+  std::vector<ParseDiag> Diags;
+  std::vector<ArrayBinding> Arrays;
+
+  bool ok() const { return Program.has_value() && Diags.empty(); }
+
+  /// Looks up the binding of array \p Name (nullptr if absent).
+  const ArrayBinding *findArray(const std::string &Name) const {
+    for (const ArrayBinding &A : Arrays)
+      if (A.Name == Name)
+        return &A;
+    return nullptr;
+  }
+};
+
+/// Compiles kernel-language source to bsched IR.
+KernelLangResult compileKernelLang(std::string_view Source,
+                                   const KernelLangOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_FRONTEND_KERNELLANG_H

@@ -1,0 +1,121 @@
+//===- ir/Function.h - Functions and alias-class tables --------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function: a named list of basic blocks, a virtual-register factory,
+/// and the table of named alias classes used by its memory operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_IR_FUNCTION_H
+#define BSCHED_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Reg.h"
+
+#include <cassert>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// A compilation unit for the pipeline: blocks + register/alias name spaces.
+class Function {
+public:
+  Function() = default;
+
+  /// Creates an empty function named \p Name.
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Creates (and returns a reference to) a new trailing block. Block
+  /// references stay valid as more blocks are added (deque storage).
+  BasicBlock &addBlock(std::string BlockName, double Freq = 1.0) {
+    Blocks.emplace_back(std::move(BlockName), Freq);
+    return Blocks.back();
+  }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  BasicBlock &block(unsigned Index) {
+    assert(Index < Blocks.size() && "block index out of range");
+    return Blocks[Index];
+  }
+  const BasicBlock &block(unsigned Index) const {
+    assert(Index < Blocks.size() && "block index out of range");
+    return Blocks[Index];
+  }
+
+  std::deque<BasicBlock> &blocks() { return Blocks; }
+  const std::deque<BasicBlock> &blocks() const { return Blocks; }
+
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+  auto begin() { return Blocks.begin(); }
+  auto end() { return Blocks.end(); }
+
+  /// Returns a fresh virtual register in class \p RC.
+  Reg makeVirtualReg(RegClass RC) {
+    unsigned &Counter = RC == RegClass::Fp ? NextFpVirtual : NextIntVirtual;
+    return Reg::makeVirtual(RC, Counter++);
+  }
+
+  /// Number of virtual registers allocated so far in class \p RC. Also used
+  /// by the parser to keep explicit register numbers from colliding with
+  /// later \c makeVirtualReg results.
+  unsigned numVirtualRegs(RegClass RC) const {
+    return RC == RegClass::Fp ? NextFpVirtual : NextIntVirtual;
+  }
+
+  /// Bumps the virtual counter of \p RC so it exceeds \p Id.
+  void reserveVirtualReg(RegClass RC, unsigned Id) {
+    unsigned &Counter = RC == RegClass::Fp ? NextFpVirtual : NextIntVirtual;
+    if (Id >= Counter)
+      Counter = Id + 1;
+  }
+
+  /// Interns \p AliasName, returning its stable alias-class id.
+  AliasClassId getOrCreateAliasClass(const std::string &AliasName) {
+    for (unsigned I = 0; I != AliasNames.size(); ++I)
+      if (AliasNames[I] == AliasName)
+        return static_cast<AliasClassId>(I);
+    AliasNames.push_back(AliasName);
+    return static_cast<AliasClassId>(AliasNames.size() - 1);
+  }
+
+  /// Returns the name of alias class \p Id (numeric string if unnamed).
+  std::string aliasClassName(AliasClassId Id) const {
+    if (Id >= 0 && static_cast<size_t>(Id) < AliasNames.size())
+      return AliasNames[Id];
+    return std::to_string(Id);
+  }
+
+  unsigned numAliasClasses() const {
+    return static_cast<unsigned>(AliasNames.size());
+  }
+
+  /// Total instruction count over all blocks.
+  unsigned totalInstructions() const {
+    unsigned N = 0;
+    for (const BasicBlock &BB : Blocks)
+      N += BB.size();
+    return N;
+  }
+
+private:
+  std::string Name;
+  std::deque<BasicBlock> Blocks;
+  std::vector<std::string> AliasNames;
+  unsigned NextIntVirtual = 0;
+  unsigned NextFpVirtual = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_IR_FUNCTION_H

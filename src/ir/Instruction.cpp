@@ -1,0 +1,73 @@
+//===- ir/Instruction.cpp - IR instructions ------------------------------===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include <cstdio>
+
+using namespace bsched;
+
+void Instruction::assertWellFormed() const {
+#ifndef NDEBUG
+  assert(hasDest() == Dst.isValid() && "dest presence mismatch");
+  if (Dst.isValid())
+    assert((Dst.regClass() == RegClass::Fp) == opcodeDestIsFp(Op) &&
+           "dest register class mismatch");
+  for (unsigned I = 0, E = opcodeNumSrcs(Op); I != E; ++I) {
+    assert(Srcs[I].isValid() && "missing source operand");
+    assert((Srcs[I].regClass() == RegClass::Fp) == opcodeSrcIsFp(Op, I) &&
+           "source register class mismatch");
+  }
+  assert((Alias != NoAliasClass) == isMemoryOpcode(Op) &&
+         "alias class must be set exactly on memory operations");
+#endif
+}
+
+std::string Instruction::str() const {
+  std::string S;
+  if (hasDest()) {
+    S += Dst.str();
+    S += " = ";
+  }
+  S += opcodeName(Op);
+
+  auto AppendOperand = [&](const std::string &Text, bool &First) {
+    S += First ? " " : ", ";
+    S += Text;
+    First = false;
+  };
+
+  bool First = true;
+  if (isMemory()) {
+    // load syntax:  %d = load [%base + off] !class
+    // store syntax: store %val, [%base + off] !class
+    if (isStore())
+      AppendOperand(storedValue().str(), First);
+    std::string Addr = "[" + addressBase().str();
+    if (Imm >= 0)
+      Addr += " + " + std::to_string(Imm);
+    else
+      Addr += " - " + std::to_string(-Imm);
+    Addr += "]";
+    AppendOperand(Addr, First);
+    S += " !" + std::to_string(Alias);
+    if (KnownLat >= 0)
+      S += " @" + std::to_string(KnownLat);
+    return S;
+  }
+
+  for (Reg Src : sources())
+    AppendOperand(Src.str(), First);
+  if (opcodeHasImm(Op))
+    AppendOperand(std::to_string(Imm), First);
+  if (opcodeHasFpImm(Op)) {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%g", FpImm);
+    AppendOperand(Buf, First);
+  }
+  return S;
+}

@@ -1,0 +1,213 @@
+//===- ir/Instruction.h - IR instructions ----------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single three-address instruction: opcode, destination register, up to
+/// three source registers, an optional immediate, and — for memory
+/// operations — an alias class used by the dependence-DAG builder.
+///
+/// Alias classes model the paper's section 4.2 treatment of memory
+/// disambiguation: two memory operations in *different* alias classes are
+/// guaranteed independent (the Fortran dummy-argument rule); operations in
+/// the *same* class are conservatively ordered. Compiling with every array
+/// in one class reproduces the conservative f2c/C behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_IR_INSTRUCTION_H
+#define BSCHED_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Reg.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace bsched {
+
+/// Alias class for memory operations; ops with different classes never
+/// alias. \c NoAliasClass marks non-memory instructions.
+using AliasClassId = int32_t;
+constexpr AliasClassId NoAliasClass = -1;
+
+/// A single IR instruction (a value type; blocks own vectors of these).
+class Instruction {
+public:
+  /// Builds an instruction from its full operand list. Prefer the named
+  /// factories below; this constructor checks shape against the opcode.
+  Instruction(Opcode Op, Reg Dst, std::array<Reg, 3> Srcs, int64_t Imm = 0,
+              double FpImm = 0.0, AliasClassId Alias = NoAliasClass)
+      : Op(Op), Dst(Dst), Srcs(Srcs), Imm(Imm), FpImm(FpImm), Alias(Alias) {
+    assertWellFormed();
+  }
+
+  /// dst = src1 <op> src2 for two-source ALU/FP opcodes.
+  static Instruction makeBinary(Opcode Op, Reg Dst, Reg Src1, Reg Src2) {
+    assert(opcodeNumSrcs(Op) == 2 && opcodeHasDest(Op) && !isMemoryOpcode(Op));
+    return Instruction(Op, Dst, {Src1, Src2, Reg()});
+  }
+
+  /// dst = src1 <op> imm (AddI/MulI/ShlI).
+  static Instruction makeBinaryImm(Opcode Op, Reg Dst, Reg Src1, int64_t Imm) {
+    assert(opcodeNumSrcs(Op) == 1 && opcodeHasImm(Op) && !isMemoryOpcode(Op));
+    return Instruction(Op, Dst, {Src1, Reg(), Reg()}, Imm);
+  }
+
+  /// dst = src1 for one-source opcodes (Move/FMove/FNeg/CvtIF/CvtFI).
+  static Instruction makeUnary(Opcode Op, Reg Dst, Reg Src1) {
+    assert(opcodeNumSrcs(Op) == 1 && !opcodeHasImm(Op));
+    return Instruction(Op, Dst, {Src1, Reg(), Reg()});
+  }
+
+  /// dst = imm.
+  static Instruction makeLoadImm(Reg Dst, int64_t Imm) {
+    return Instruction(Opcode::LoadImm, Dst, {Reg(), Reg(), Reg()}, Imm);
+  }
+
+  /// fp dst = fpimm.
+  static Instruction makeFLoadImm(Reg Dst, double FpImm) {
+    return Instruction(Opcode::FLoadImm, Dst, {Reg(), Reg(), Reg()}, 0,
+                       FpImm);
+  }
+
+  /// fp dst = src1 * src2 + src3.
+  static Instruction makeFMadd(Reg Dst, Reg Src1, Reg Src2, Reg Src3) {
+    return Instruction(Opcode::FMadd, Dst, {Src1, Src2, Src3});
+  }
+
+  /// dst = mem[base + offset] in \p Alias (Load or FLoad by \p Op).
+  static Instruction makeLoad(Opcode Op, Reg Dst, Reg Base, int64_t Offset,
+                              AliasClassId Alias) {
+    assert(isLoadOpcode(Op) && "makeLoad requires a load opcode");
+    return Instruction(Op, Dst, {Base, Reg(), Reg()}, Offset, 0.0, Alias);
+  }
+
+  /// mem[base + offset] = value in \p Alias (Store or FStore by \p Op).
+  static Instruction makeStore(Opcode Op, Reg Value, Reg Base, int64_t Offset,
+                               AliasClassId Alias) {
+    assert(isStoreOpcode(Op) && "makeStore requires a store opcode");
+    return Instruction(Op, Reg(), {Value, Base, Reg()}, Offset, 0.0, Alias);
+  }
+
+  /// Unconditional jump to block \p Target.
+  static Instruction makeJump(int64_t Target) {
+    return Instruction(Opcode::Jump, Reg(), {Reg(), Reg(), Reg()}, Target);
+  }
+
+  /// Conditional branch (BranchZero/BranchNotZero) on \p Cond to \p Target.
+  static Instruction makeBranch(Opcode Op, Reg Cond, int64_t Target) {
+    assert((Op == Opcode::BranchZero || Op == Opcode::BranchNotZero) &&
+           "makeBranch requires a conditional branch opcode");
+    return Instruction(Op, Reg(), {Cond, Reg(), Reg()}, Target);
+  }
+
+  /// Function return.
+  static Instruction makeRet() {
+    return Instruction(Opcode::Ret, Reg(), {Reg(), Reg(), Reg()});
+  }
+
+  /// A no-op (used internally for the scheduler's virtual no-ops).
+  static Instruction makeNop() {
+    return Instruction(Opcode::Nop, Reg(), {Reg(), Reg(), Reg()});
+  }
+
+  Opcode opcode() const { return Op; }
+
+  /// Returns true if this instruction defines a register.
+  bool hasDest() const { return opcodeHasDest(Op); }
+
+  /// Returns the defined register (invalid if none).
+  Reg dest() const { return Dst; }
+
+  /// Returns the source registers actually read (size 0-3).
+  std::span<const Reg> sources() const {
+    return std::span<const Reg>(Srcs.data(), opcodeNumSrcs(Op));
+  }
+
+  /// Returns source \p Index (must be < number of sources).
+  Reg source(unsigned Index) const {
+    assert(Index < opcodeNumSrcs(Op) && "source index out of range");
+    return Srcs[Index];
+  }
+
+  /// Rewrites source \p Index (register-allocator use).
+  void setSource(unsigned Index, Reg R) {
+    assert(Index < opcodeNumSrcs(Op) && "source index out of range");
+    Srcs[Index] = R;
+  }
+
+  /// Rewrites the destination register (register-allocator use).
+  void setDest(Reg R) {
+    assert(hasDest() && "setting dest of a dest-less instruction");
+    Dst = R;
+  }
+
+  int64_t imm() const { return Imm; }
+  double fpImm() const { return FpImm; }
+
+  /// Rewrites the immediate (branch-target fixups, spill-slot offsets).
+  void setImm(int64_t NewImm) { Imm = NewImm; }
+
+  /// Alias class for memory ops; \c NoAliasClass otherwise.
+  AliasClassId aliasClass() const { return Alias; }
+
+  bool isLoad() const { return isLoadOpcode(Op); }
+
+  /// True if this load's latency is statically known (section 6
+  /// extension: e.g. the second access to a cache line is a known hit).
+  bool hasKnownLatency() const { return KnownLat >= 0; }
+
+  /// The statically known latency in cycles (only if hasKnownLatency).
+  unsigned knownLatency() const {
+    assert(hasKnownLatency() && "latency is not known");
+    return static_cast<unsigned>(KnownLat);
+  }
+
+  /// Marks this load's latency as statically known.
+  void setKnownLatency(unsigned Cycles) {
+    assert(isLoad() && "known latency applies to loads only");
+    assert(Cycles >= 1 && "latency below one cycle");
+    KnownLat = static_cast<int32_t>(Cycles);
+  }
+
+  bool isStore() const { return isStoreOpcode(Op); }
+  bool isMemory() const { return isMemoryOpcode(Op); }
+  bool isTerminator() const { return isTerminatorOpcode(Op); }
+
+  /// For stores, the register holding the value being written.
+  Reg storedValue() const {
+    assert(isStore() && "storedValue on a non-store");
+    return Srcs[0];
+  }
+
+  /// For memory ops, the register holding the base address.
+  Reg addressBase() const {
+    assert(isMemory() && "addressBase on a non-memory instruction");
+    return isStore() ? Srcs[1] : Srcs[0];
+  }
+
+  /// Renders a human-readable form ("%f1 = fadd %f0, %f0").
+  std::string str() const;
+
+private:
+  void assertWellFormed() const;
+
+  Opcode Op;
+  Reg Dst;
+  std::array<Reg, 3> Srcs;
+  int64_t Imm;
+  double FpImm;
+  AliasClassId Alias;
+  int32_t KnownLat = -1;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_IR_INSTRUCTION_H

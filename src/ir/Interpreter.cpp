@@ -1,0 +1,223 @@
+//===- ir/Interpreter.cpp - Reference IR executor --------------------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace bsched;
+
+namespace {
+
+/// SplitMix64 finalizer: deterministic "uninitialized" values.
+uint64_t mixHash(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Default value of a never-written register: a stable function of its
+/// identity, bounded so address arithmetic stays in range.
+int64_t defaultIntValue(Reg R) {
+  return static_cast<int64_t>(mixHash(R.rawBits()) % 4096);
+}
+
+double defaultFpValue(Reg R) {
+  return static_cast<double>(mixHash(R.rawBits() ^ 0xF00DULL) % 100000) *
+         1e-3;
+}
+
+uint64_t rawOfDouble(double D) {
+  uint64_t Raw;
+  std::memcpy(&Raw, &D, sizeof(Raw));
+  return Raw;
+}
+
+double doubleOfRaw(uint64_t Raw) {
+  double D;
+  std::memcpy(&D, &Raw, sizeof(D));
+  return D;
+}
+
+/// Truncating double-to-int conversion with defined out-of-range behaviour.
+int64_t safeFpToInt(double D) {
+  if (!std::isfinite(D) || D >= 9.2e18 || D <= -9.2e18)
+    return 0;
+  return static_cast<int64_t>(D);
+}
+
+} // namespace
+
+void Interpreter::setIntReg(Reg R, int64_t Value) {
+  assert(R.isValid() && R.regClass() == RegClass::Int);
+  IntRegs[R.rawBits()] = Value;
+}
+
+void Interpreter::setFpReg(Reg R, double Value) {
+  assert(R.isValid() && R.regClass() == RegClass::Fp);
+  FpRegs[R.rawBits()] = Value;
+}
+
+int64_t Interpreter::getIntReg(Reg R) const {
+  assert(R.isValid() && R.regClass() == RegClass::Int);
+  auto It = IntRegs.find(R.rawBits());
+  return It != IntRegs.end() ? It->second : defaultIntValue(R);
+}
+
+double Interpreter::getFpReg(Reg R) const {
+  assert(R.isValid() && R.regClass() == RegClass::Fp);
+  auto It = FpRegs.find(R.rawBits());
+  return It != FpRegs.end() ? It->second : defaultFpValue(R);
+}
+
+uint64_t Interpreter::loadRaw(AliasClassId Alias, int64_t Addr) const {
+  auto It = Memory.find({Alias, Addr});
+  if (It != Memory.end())
+    return It->second;
+  // Deterministic content for never-written cells.
+  return mixHash(static_cast<uint64_t>(Alias) * 0x51ED2701ULL +
+                 static_cast<uint64_t>(Addr));
+}
+
+void Interpreter::storeRaw(AliasClassId Alias, int64_t Addr, uint64_t Raw) {
+  Memory[{Alias, Addr}] = Raw;
+}
+
+void Interpreter::run(const BasicBlock &BB) {
+  for (const Instruction &I : BB) {
+    if (I.isTerminator())
+      break;
+    ++ExecutedCount;
+
+    auto SrcI = [&](unsigned Index) { return getIntReg(I.source(Index)); };
+    auto SrcF = [&](unsigned Index) { return getFpReg(I.source(Index)); };
+    auto DefI = [&](int64_t V) { setIntReg(I.dest(), V); };
+    auto DefF = [&](double V) { setFpReg(I.dest(), V); };
+
+    switch (I.opcode()) {
+    case Opcode::Add:
+      DefI(SrcI(0) + SrcI(1));
+      break;
+    case Opcode::Sub:
+      DefI(SrcI(0) - SrcI(1));
+      break;
+    case Opcode::Mul:
+      DefI(SrcI(0) * SrcI(1));
+      break;
+    case Opcode::Div:
+      DefI(SrcI(1) == 0 ? 0 : SrcI(0) / SrcI(1));
+      break;
+    case Opcode::Rem:
+      DefI(SrcI(1) == 0 ? 0 : SrcI(0) % SrcI(1));
+      break;
+    case Opcode::And:
+      DefI(SrcI(0) & SrcI(1));
+      break;
+    case Opcode::Or:
+      DefI(SrcI(0) | SrcI(1));
+      break;
+    case Opcode::Xor:
+      DefI(SrcI(0) ^ SrcI(1));
+      break;
+    case Opcode::Shl:
+      DefI(SrcI(0) << (SrcI(1) & 63));
+      break;
+    case Opcode::Shr:
+      DefI(static_cast<int64_t>(static_cast<uint64_t>(SrcI(0)) >>
+                                (SrcI(1) & 63)));
+      break;
+    case Opcode::Slt:
+      DefI(SrcI(0) < SrcI(1) ? 1 : 0);
+      break;
+    case Opcode::AddI:
+      DefI(SrcI(0) + I.imm());
+      break;
+    case Opcode::MulI:
+      DefI(SrcI(0) * I.imm());
+      break;
+    case Opcode::ShlI:
+      DefI(SrcI(0) << (I.imm() & 63));
+      break;
+    case Opcode::LoadImm:
+      DefI(I.imm());
+      break;
+    case Opcode::Move:
+      DefI(SrcI(0));
+      break;
+    case Opcode::FAdd:
+      DefF(SrcF(0) + SrcF(1));
+      break;
+    case Opcode::FSub:
+      DefF(SrcF(0) - SrcF(1));
+      break;
+    case Opcode::FMul:
+      DefF(SrcF(0) * SrcF(1));
+      break;
+    case Opcode::FDiv:
+      DefF(SrcF(1) == 0.0 ? 0.0 : SrcF(0) / SrcF(1));
+      break;
+    case Opcode::FNeg:
+      DefF(-SrcF(0));
+      break;
+    case Opcode::FMove:
+      DefF(SrcF(0));
+      break;
+    case Opcode::FLoadImm:
+      DefF(I.fpImm());
+      break;
+    case Opcode::FMadd:
+      DefF(SrcF(0) * SrcF(1) + SrcF(2));
+      break;
+    case Opcode::CvtIF:
+      DefF(static_cast<double>(SrcI(0)));
+      break;
+    case Opcode::CvtFI:
+      DefI(safeFpToInt(SrcF(0)));
+      break;
+    case Opcode::FSlt:
+      DefI(SrcF(0) < SrcF(1) ? 1 : 0);
+      break;
+    case Opcode::Load:
+      DefI(static_cast<int64_t>(
+          loadRaw(I.aliasClass(), SrcI(0) + I.imm())));
+      break;
+    case Opcode::FLoad:
+      DefF(doubleOfRaw(loadRaw(I.aliasClass(), SrcI(0) + I.imm())));
+      break;
+    case Opcode::Store:
+      storeRaw(I.aliasClass(), getIntReg(I.source(1)) + I.imm(),
+               static_cast<uint64_t>(SrcI(0)));
+      break;
+    case Opcode::FStore:
+      storeRaw(I.aliasClass(), getIntReg(I.source(1)) + I.imm(),
+               rawOfDouble(SrcF(0)));
+      break;
+    case Opcode::Nop:
+      break;
+    case Opcode::Jump:
+    case Opcode::BranchZero:
+    case Opcode::BranchNotZero:
+    case Opcode::Ret:
+      // Unreachable: the terminator check above breaks out first.
+      break;
+    }
+  }
+}
+
+Interpreter::MemoryImage Interpreter::memoryImage() const { return Memory; }
+
+Interpreter::MemoryImage
+Interpreter::memoryImageExcluding(AliasClassId Excluded) const {
+  MemoryImage Image;
+  for (const auto &[Key, Value] : Memory)
+    if (Key.first != Excluded)
+      Image.emplace(Key, Value);
+  return Image;
+}

@@ -1,0 +1,147 @@
+//===- ir/IrBuilder.h - Fluent IR construction -----------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience builder that appends instructions to a basic block,
+/// allocating fresh virtual registers for results. Used by the synthetic
+/// workload generators, the examples, and most tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_IR_IRBUILDER_H
+#define BSCHED_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace bsched {
+
+/// Appends instructions to one block of one function.
+///
+/// Every emit* method returns the destination register of the emitted
+/// instruction (or an invalid Reg for stores/terminators) so expressions
+/// compose naturally:
+/// \code
+///   IrBuilder B(F, BB);
+///   Reg A = B.emitLoad(Base, 0, X);
+///   Reg C = B.emitBinary(Opcode::FMul, A, A);
+///   B.emitStore(C, Base, 8, Y);
+/// \endcode
+class IrBuilder {
+public:
+  /// Binds the builder to block \p BB of function \p F. The block reference
+  /// must stay valid while the builder is used (do not grow F.blocks()).
+  IrBuilder(Function &F, BasicBlock &BB) : F(F), BB(BB) {}
+
+  /// Switches the builder to another block of the same function.
+  void setBlock(BasicBlock &NewBB) { BBPtr = &NewBB; }
+
+  Function &function() { return F; }
+  BasicBlock &blockRef() { return *BBPtr; }
+
+  /// dst = a <op> b; allocates dst in the class the opcode defines.
+  Reg emitBinary(Opcode Op, Reg A, Reg B) {
+    Reg Dst = freshDest(Op);
+    blockRef().append(Instruction::makeBinary(Op, Dst, A, B));
+    return Dst;
+  }
+
+  /// dst = a <op> imm (AddI/MulI/ShlI).
+  Reg emitBinaryImm(Opcode Op, Reg A, int64_t Imm) {
+    Reg Dst = freshDest(Op);
+    blockRef().append(Instruction::makeBinaryImm(Op, Dst, A, Imm));
+    return Dst;
+  }
+
+  /// Cursor = Cursor + Step, redefining \p Cursor in place — the
+  /// pointer-bump addressing idiom of RISC codegen. The in-place
+  /// redefinition creates the anti-dependence that puts consecutive
+  /// iterations' loads in series (the paper's "loads in series" case).
+  void emitAdvance(Reg Cursor, int64_t Step) {
+    assert(Cursor.regClass() == RegClass::Int && "cursor must be integer");
+    blockRef().append(
+        Instruction::makeBinaryImm(Opcode::AddI, Cursor, Cursor, Step));
+  }
+
+  /// dst = a for one-source ops (Move/FMove/FNeg/CvtIF/CvtFI).
+  Reg emitUnary(Opcode Op, Reg A) {
+    Reg Dst = freshDest(Op);
+    blockRef().append(Instruction::makeUnary(Op, Dst, A));
+    return Dst;
+  }
+
+  /// dst = imm.
+  Reg emitLoadImm(int64_t Imm) {
+    Reg Dst = F.makeVirtualReg(RegClass::Int);
+    blockRef().append(Instruction::makeLoadImm(Dst, Imm));
+    return Dst;
+  }
+
+  /// fp dst = fpimm.
+  Reg emitFLoadImm(double FpImm) {
+    Reg Dst = F.makeVirtualReg(RegClass::Fp);
+    blockRef().append(Instruction::makeFLoadImm(Dst, FpImm));
+    return Dst;
+  }
+
+  /// fp dst = a * b + c.
+  Reg emitFMadd(Reg A, Reg B, Reg C) {
+    Reg Dst = F.makeVirtualReg(RegClass::Fp);
+    blockRef().append(Instruction::makeFMadd(Dst, A, B, C));
+    return Dst;
+  }
+
+  /// int dst = mem[base + offset] in \p Alias.
+  Reg emitLoad(Reg Base, int64_t Offset, AliasClassId Alias) {
+    Reg Dst = F.makeVirtualReg(RegClass::Int);
+    blockRef().append(
+        Instruction::makeLoad(Opcode::Load, Dst, Base, Offset, Alias));
+    return Dst;
+  }
+
+  /// fp dst = mem[base + offset] in \p Alias.
+  Reg emitFLoad(Reg Base, int64_t Offset, AliasClassId Alias) {
+    Reg Dst = F.makeVirtualReg(RegClass::Fp);
+    blockRef().append(
+        Instruction::makeLoad(Opcode::FLoad, Dst, Base, Offset, Alias));
+    return Dst;
+  }
+
+  /// mem[base + offset] = value (Store or FStore by value's class).
+  void emitStore(Reg Value, Reg Base, int64_t Offset, AliasClassId Alias) {
+    Opcode Op =
+        Value.regClass() == RegClass::Fp ? Opcode::FStore : Opcode::Store;
+    blockRef().append(
+        Instruction::makeStore(Op, Value, Base, Offset, Alias));
+  }
+
+  /// Appends an unconditional jump to block index \p Target.
+  void emitJump(int64_t Target) {
+    blockRef().append(Instruction::makeJump(Target));
+  }
+
+  /// Appends a conditional branch on \p Cond to block index \p Target.
+  void emitBranch(Opcode Op, Reg Cond, int64_t Target) {
+    blockRef().append(Instruction::makeBranch(Op, Cond, Target));
+  }
+
+  /// Appends a return.
+  void emitRet() { blockRef().append(Instruction::makeRet()); }
+
+private:
+  Reg freshDest(Opcode Op) {
+    return F.makeVirtualReg(opcodeDestIsFp(Op) ? RegClass::Fp
+                                               : RegClass::Int);
+  }
+
+  Function &F;
+  BasicBlock &BB;
+  BasicBlock *BBPtr = &BB;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_IR_IRBUILDER_H

@@ -1,0 +1,32 @@
+//===- ir/IrPrinter.cpp - Textual IR output -------------------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace bsched;
+
+std::string bsched::printBlock(const BasicBlock &BB) {
+  std::string Out = "block " + BB.name() + " freq " +
+                    formatDouble(BB.frequency(), 6) + " {\n";
+  for (const Instruction &I : BB) {
+    Out += "  ";
+    Out += I.str();
+    Out += '\n';
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string bsched::printFunction(const Function &F) {
+  std::string Out = "func @" + F.name() + " {\n";
+  for (const BasicBlock &BB : F)
+    Out += printBlock(BB);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- ir/IrPrinter.h - Textual IR output ----------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and blocks in the textual .bsir format accepted by the
+/// parser, so IR round-trips: print(parse(T)) == print(parse(print(parse(T)))).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_IR_IRPRINTER_H
+#define BSCHED_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace bsched {
+
+/// Renders \p F in .bsir syntax.
+std::string printFunction(const Function &F);
+
+/// Renders one block (with its "block <name> freq <f> { ... }" wrapper).
+std::string printBlock(const BasicBlock &BB);
+
+} // namespace bsched
+
+#endif // BSCHED_IR_IRPRINTER_H

@@ -1,0 +1,55 @@
+//===- ir/IrVerifier.cpp - Structural IR checks ---------------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrVerifier.h"
+
+using namespace bsched;
+
+std::vector<std::string> bsched::verifyBlock(const BasicBlock &BB,
+                                             unsigned NumBlocks) {
+  std::vector<std::string> Errors;
+  auto Report = [&](unsigned Index, const std::string &Message) {
+    Errors.push_back("block '" + BB.name() + "', instruction " +
+                     std::to_string(Index) + ": " + Message);
+  };
+
+  for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+    const Instruction &Instr = BB[I];
+
+    if (Instr.isTerminator() && I + 1 != E)
+      Report(I, "terminator is not the last instruction");
+
+    if (Instr.hasDest() && !Instr.dest().isValid())
+      Report(I, "missing destination register");
+
+    for (Reg Src : Instr.sources())
+      if (!Src.isValid())
+        Report(I, "invalid source operand");
+
+    if (Instr.isMemory() && Instr.aliasClass() < 0)
+      Report(I, "memory operation without an alias class");
+
+    if (NumBlocks != 0 && Instr.isTerminator() &&
+        Instr.opcode() != Opcode::Ret) {
+      int64_t Target = Instr.imm();
+      if (Target < 0 || Target >= static_cast<int64_t>(NumBlocks))
+        Report(I, "branch target " + std::to_string(Target) +
+                      " out of range (function has " +
+                      std::to_string(NumBlocks) + " blocks)");
+    }
+  }
+  return Errors;
+}
+
+std::vector<std::string> bsched::verifyFunction(const Function &F) {
+  std::vector<std::string> Errors;
+  for (const BasicBlock &BB : F) {
+    std::vector<std::string> BlockErrors = verifyBlock(BB, F.numBlocks());
+    Errors.insert(Errors.end(), BlockErrors.begin(), BlockErrors.end());
+  }
+  return Errors;
+}

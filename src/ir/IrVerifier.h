@@ -1,0 +1,36 @@
+//===- ir/IrVerifier.h - Structural IR checks ------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for functions and blocks, run by the
+/// parser and available to pipeline clients. Errors are reported as plain
+/// strings (library code never throws).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_IR_IRVERIFIER_H
+#define BSCHED_IR_IRVERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// Returns all structural problems found in \p BB (empty when valid):
+/// terminators not in last position, invalid operands, branch targets out
+/// of range when \p NumBlocks is nonzero.
+std::vector<std::string> verifyBlock(const BasicBlock &BB,
+                                     unsigned NumBlocks = 0);
+
+/// Returns all structural problems found in \p F (empty when valid).
+std::vector<std::string> verifyFunction(const Function &F);
+
+} // namespace bsched
+
+#endif // BSCHED_IR_IRVERIFIER_H

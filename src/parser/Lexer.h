@@ -1,0 +1,93 @@
+//===- parser/Lexer.h - Tokenizer for the .bsir format ---------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written tokenizer for the textual IR. Comments run from '#' or
+/// "//" to end of line. Registers lex as single tokens ("%i3", "$f0").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_PARSER_LEXER_H
+#define BSCHED_PARSER_LEXER_H
+
+#include "ir/Reg.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bsched {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind : uint8_t {
+  Eof,
+  Error, ///< Lexically malformed input; Text holds a message.
+  Ident,
+  Int,      ///< Unsigned integer literal (sign handled by the parser).
+  Float,    ///< Floating literal ("1.5", "2e-3").
+  RegTok,   ///< "%i3", "$f0" — decoded into Token::RegValue.
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Equals,
+  Comma,
+  Plus,
+  Minus,
+  Bang,
+  At,
+  // Extra punctuation used by the kernel-language frontend only.
+  Star,
+  Slash,
+  Semi,
+  LParen,
+  RParen,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;    ///< Lexeme (or error message for Error).
+  uint64_t IntValue = 0;    ///< For Int.
+  double FloatValue = 0.0;  ///< For Float.
+  Reg RegValue;             ///< For RegTok.
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes a .bsir buffer. The buffer must outlive the lexer; tokens
+/// reference it via string_view.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Buffer) : Buffer(Buffer) {}
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  void advance();
+  void skipWhitespaceAndComments();
+  Token makeSimple(TokenKind Kind, unsigned Length);
+  Token lexIdent();
+  Token lexNumber();
+  Token lexRegister();
+  Token errorToken(const char *Message);
+
+  std::string_view Buffer;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_PARSER_LEXER_H

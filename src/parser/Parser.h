@@ -1,0 +1,68 @@
+//===- parser/Parser.h - Parser for the .bsir format -----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual IR. Grammar sketch:
+///
+/// \code
+///   file  := func*
+///   func  := "func" "@" ident "{" block* "}"
+///   block := "block" ident ["freq" number] "{" instr* "}"
+///   instr := [reg "="] mnemonic operands
+/// \endcode
+///
+/// Memory operands are written "[%base + 8] !class"; alias classes are
+/// named identifiers or raw numbers. Branch targets are "@blockname" or a
+/// raw block index (the printer emits indices, so output reparses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_PARSER_PARSER_H
+#define BSCHED_PARSER_PARSER_H
+
+#include "ir/Function.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsched {
+
+/// One parse diagnostic with its 1-based source position.
+struct ParseDiag {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// Renders "line L, col C: message".
+  std::string str() const {
+    return "line " + std::to_string(Line) + ", col " + std::to_string(Col) +
+           ": " + Message;
+  }
+};
+
+/// The outcome of parsing a buffer: functions plus any diagnostics.
+struct ParseResult {
+  std::vector<Function> Functions;
+  std::vector<ParseDiag> Diags;
+
+  /// Returns true when parsing produced no diagnostics.
+  bool ok() const { return Diags.empty(); }
+};
+
+/// Parses every function in \p Buffer.
+ParseResult parseIr(std::string_view Buffer);
+
+/// Parses a buffer expected to contain exactly one function. On failure
+/// returns std::nullopt and, if \p ErrorOut is non-null, a joined message.
+std::optional<Function> parseSingleFunction(std::string_view Buffer,
+                                            std::string *ErrorOut = nullptr);
+
+} // namespace bsched
+
+#endif // BSCHED_PARSER_PARSER_H

@@ -1,0 +1,86 @@
+//===- pipeline/Experiment.h - Simulation + statistics harness -*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness of section 4.3: every block is simulated 30
+/// times with fresh latency draws, bootstrapped to 100 sample means,
+/// scaled by its profiled frequency and summed into 100 whole-program
+/// runtimes; two schedulers are compared by pairing their 100 runtimes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_PIPELINE_EXPERIMENT_H
+#define BSCHED_PIPELINE_EXPERIMENT_H
+
+#include "pipeline/Pipeline.h"
+#include "sim/MemorySystem.h"
+#include "sim/Processor.h"
+#include "stats/Bootstrap.h"
+
+namespace bsched {
+
+/// Simulation and statistics knobs (the paper's values by default).
+struct SimulationConfig {
+  ProcessorModel Processor;
+  unsigned NumRuns = 30;       ///< Full simulations per block.
+  unsigned NumResamples = 100; ///< Bootstrap sample means per block.
+  uint64_t Seed = 0xB5C0FFEE;  ///< Root of all latency streams.
+  LatencyModel Ops;            ///< Non-load latencies for the simulator.
+};
+
+/// A simulated program: bootstrap runtimes plus component accounting.
+struct ProgramSimResult {
+  /// The 100 bootstrap whole-program runtimes.
+  std::vector<double> BootstrapRuntimes;
+
+  /// Mean of the bootstrap runtimes (the reported runtime).
+  double MeanRuntime = 0.0;
+
+  /// Frequency-weighted instruction count (constant across runs).
+  double DynamicInstructions = 0.0;
+
+  /// Frequency-weighted mean interlock cycles.
+  double MeanInterlockCycles = 0.0;
+
+  /// The paper's TI% / BI%: interlock cycles as a share of runtime.
+  double interlockPercent() const {
+    return MeanRuntime == 0.0 ? 0.0
+                              : 100.0 * MeanInterlockCycles / MeanRuntime;
+  }
+};
+
+/// Simulates \p Program (a compiled function) on \p Memory.
+ProgramSimResult simulateProgram(const CompiledFunction &Program,
+                                 const MemorySystem &Memory,
+                                 const SimulationConfig &Config);
+
+/// The full comparison the paper's tables are built from: one program,
+/// one memory system, one processor; traditional (at a given optimistic
+/// latency) versus a candidate policy.
+struct SchedulerComparison {
+  CompiledFunction TraditionalCompiled;
+  CompiledFunction CandidateCompiled;
+  ProgramSimResult TraditionalSim;
+  ProgramSimResult CandidateSim;
+  ImprovementEstimate Improvement; ///< Positive = candidate faster.
+};
+
+/// Compiles \p Program under the traditional policy (load weight
+/// \p OptimisticLatency) and under \p Candidate's policy, simulates both,
+/// and pairs the bootstrap runtimes. \p Base supplies every other pipeline
+/// knob (target registers, aliasing, op latencies).
+SchedulerComparison compareSchedulers(const Function &Program,
+                                      const MemorySystem &Memory,
+                                      double OptimisticLatency,
+                                      const SimulationConfig &SimConfig,
+                                      SchedulerPolicy Candidate =
+                                          SchedulerPolicy::Balanced,
+                                      PipelineConfig Base = {});
+
+} // namespace bsched
+
+#endif // BSCHED_PIPELINE_EXPERIMENT_H

@@ -1,0 +1,106 @@
+//===- pipeline/Pipeline.cpp - The two-pass compile pipeline ----------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "regalloc/RegisterRenaming.h"
+
+#include "sched/AverageWeighter.h"
+#include "sched/BalancedWeighter.h"
+#include "sched/TraditionalWeighter.h"
+
+#include <memory>
+
+using namespace bsched;
+
+std::string bsched::policyName(SchedulerPolicy Policy) {
+  switch (Policy) {
+  case SchedulerPolicy::Traditional:
+    return "traditional";
+  case SchedulerPolicy::Balanced:
+    return "balanced";
+  case SchedulerPolicy::BalancedUnionFind:
+    return "balanced-uf";
+  case SchedulerPolicy::AverageLlp:
+    return "average-llp";
+  case SchedulerPolicy::NoScheduling:
+    return "unscheduled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
+  switch (Config.Policy) {
+  case SchedulerPolicy::Traditional:
+    return std::make_unique<TraditionalWeighter>(Config.OptimisticLatency,
+                                                 Config.Ops);
+  case SchedulerPolicy::Balanced:
+    return std::make_unique<BalancedWeighter>(
+        Config.Ops, ChancesMethod::ExactLongestPath,
+        static_cast<double>(Config.SchedOptions.IssueWidth),
+        Config.HonorKnownLatency);
+  case SchedulerPolicy::BalancedUnionFind:
+    return std::make_unique<BalancedWeighter>(
+        Config.Ops, ChancesMethod::UnionFindLevels,
+        static_cast<double>(Config.SchedOptions.IssueWidth),
+        Config.HonorKnownLatency);
+  case SchedulerPolicy::AverageLlp:
+    return std::make_unique<AverageWeighter>(Config.Ops);
+  case SchedulerPolicy::NoScheduling:
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// One scheduling pass over \p BB in place.
+void scheduleBlock(BasicBlock &BB, const Weighter &W,
+                   const PipelineConfig &Config) {
+  DepDag Dag = buildDag(BB, Config.DagOptions);
+  W.assignWeights(Dag);
+  Schedule Sched = scheduleDag(Dag, Config.SchedOptions);
+  applySchedule(BB, Dag, Sched);
+}
+
+} // namespace
+
+CompiledFunction bsched::compilePipeline(const Function &Input,
+                                         const PipelineConfig &Config) {
+  CompiledFunction Result;
+  Result.Compiled = Input;
+  Function &F = Result.Compiled;
+
+  std::unique_ptr<Weighter> W = makeWeighter(Config);
+
+  for (BasicBlock &BB : F) {
+    // Pass 1: schedule over virtual registers.
+    if (W)
+      scheduleBlock(BB, *W, Config);
+
+    // Register allocation inserts spill code and renames to physical.
+    unsigned Spills = 0;
+    if (Config.RunRegAlloc) {
+      RegAllocResult Alloc = allocateRegisters(F, BB, Config.Target);
+      Spills = Alloc.spillInstructions();
+
+      if (Config.RenameAfterAllocation)
+        renameRegisters(BB, Config.Target);
+
+      // Pass 2: integrate the spill code into the schedule.
+      if (W && Config.SecondSchedulingPass)
+        scheduleBlock(BB, *W, Config);
+    }
+    Result.SpillPerBlock.push_back(Spills);
+
+    Result.StaticInstructions += BB.size();
+    Result.StaticSpills += Spills;
+    Result.DynamicInstructions += BB.frequency() * BB.size();
+    Result.DynamicSpills += BB.frequency() * Spills;
+  }
+  return Result;
+}

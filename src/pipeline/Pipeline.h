@@ -1,0 +1,117 @@
+//===- pipeline/Pipeline.h - The two-pass compile pipeline -----*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's compilation pipeline (section 4.1): per basic block,
+///
+///   schedule (virtual registers) -> register allocation (+ spill code)
+///   -> schedule again (physical registers, false dependences included)
+///
+/// parameterized by the load-weight policy under study. The second pass
+/// integrates spill code into the schedule, exactly as GCC's post-RA pass
+/// did, and benefits from the FIFO spill-register pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_PIPELINE_PIPELINE_H
+#define BSCHED_PIPELINE_PIPELINE_H
+
+#include "dag/DagBuilder.h"
+#include "ir/Function.h"
+#include "regalloc/LocalRegAlloc.h"
+#include "sched/LatencyModel.h"
+#include "sched/ListScheduler.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// Which load-weight policy drives both scheduling passes.
+enum class SchedulerPolicy {
+  Traditional,       ///< Fixed implementation-defined latency.
+  Balanced,          ///< Per-load load-level parallelism (the paper).
+  BalancedUnionFind, ///< Balanced with the union-find Chances estimate.
+  AverageLlp,        ///< Block-average LLP (the paper's rejected variant).
+  NoScheduling,      ///< Leave program order (ablation baseline).
+};
+
+/// "traditional", "balanced", ...
+std::string policyName(SchedulerPolicy Policy);
+
+/// Everything that parameterizes a compilation.
+struct PipelineConfig {
+  SchedulerPolicy Policy = SchedulerPolicy::Balanced;
+
+  /// Load weight used by the Traditional policy (the paper's "Optimistic
+  /// Latency" column: cache-hit time or system mean).
+  double OptimisticLatency = 2.0;
+
+  /// Non-load operation latencies (unit in the paper's machine model).
+  LatencyModel Ops;
+
+  /// Register files and spill pool.
+  TargetDescription Target;
+
+  /// Memory-dependence precision.
+  DagBuildOptions DagOptions;
+
+  /// List-scheduler knobs (issue width).
+  SchedulerOptions SchedOptions;
+
+  /// Run register allocation (and insert spill code).
+  bool RunRegAlloc = true;
+
+  /// Run the post-RA scheduling pass.
+  bool SecondSchedulingPass = true;
+
+  /// Honour statically known load latencies in the balanced weighter
+  /// (section 6 opt-out). Off = treat every load as uncertain.
+  bool HonorKnownLatency = true;
+
+  /// Apply software register renaming between allocation and the second
+  /// scheduling pass (the section 4.1 alternative to the FIFO spill
+  /// pool): renames defs to maximize register reuse distance, dissolving
+  /// WAR/WAW false dependences.
+  bool RenameAfterAllocation = false;
+};
+
+/// A compiled program plus the statistics the paper's tables report.
+struct CompiledFunction {
+  Function Compiled;
+
+  /// Static spill instructions per block (same indexing as blocks).
+  std::vector<unsigned> SpillPerBlock;
+
+  /// Total static instructions after compilation.
+  unsigned StaticInstructions = 0;
+
+  /// Total static spill instructions.
+  unsigned StaticSpills = 0;
+
+  /// Frequency-weighted dynamic instruction count (the paper's
+  /// TIns/BIns).
+  double DynamicInstructions = 0.0;
+
+  /// Frequency-weighted dynamic spill instructions.
+  double DynamicSpills = 0.0;
+
+  /// Percentage of executed instructions that are spill code (Table 4).
+  double spillPercent() const {
+    return DynamicInstructions == 0.0
+               ? 0.0
+               : 100.0 * DynamicSpills / DynamicInstructions;
+  }
+};
+
+/// Runs the full pipeline on a copy of \p Input.
+CompiledFunction compilePipeline(const Function &Input,
+                                 const PipelineConfig &Config);
+
+} // namespace bsched
+
+#endif // BSCHED_PIPELINE_PIPELINE_H

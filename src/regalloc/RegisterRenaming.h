@@ -1,0 +1,47 @@
+//===- regalloc/RegisterRenaming.h - Post-RA register renaming -*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section 4.1 sketches an alternative to the FIFO spill pool:
+/// "use software register renaming after register allocation to better
+/// integrate spill instructions." This pass implements that alternative:
+/// it walks a physical-register block and renames each definition to the
+/// least-recently-freed register of its class, maximizing the reuse
+/// distance of every register name and thereby dissolving the WAR/WAW
+/// false dependences that register reuse imposed on the second scheduling
+/// pass.
+///
+/// The pass is semantics-preserving by construction: every def gets a
+/// register that holds no live value, and all uses reached by the def are
+/// rewritten consistently. Values are treated as dead at block end, the
+/// same contract the local allocator uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_REGALLOC_REGISTERRENAMING_H
+#define BSCHED_REGALLOC_REGISTERRENAMING_H
+
+#include "ir/BasicBlock.h"
+#include "regalloc/TargetRegisters.h"
+
+namespace bsched {
+
+/// Statistics from one renaming pass.
+struct RenamingResult {
+  unsigned DefsRenamed = 0;  ///< Definitions moved to a new register.
+  unsigned DefsRetained = 0; ///< Definitions that kept their register.
+};
+
+/// Renames physical registers in \p BB (in place) to maximize register
+/// reuse distance. Every register of each class except the frame pointer
+/// participates. \p BB must be fully physical (post-allocation).
+RenamingResult renameRegisters(BasicBlock &BB,
+                               const TargetDescription &Target = {});
+
+} // namespace bsched
+
+#endif // BSCHED_REGALLOC_REGISTERRENAMING_H

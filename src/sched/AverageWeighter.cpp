@@ -1,0 +1,30 @@
+//===- sched/AverageWeighter.cpp - Averaged-LLP weights --------------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/AverageWeighter.h"
+
+using namespace bsched;
+
+void AverageWeighter::assignWeights(DepDag &Dag) const {
+  Balanced.assignWeights(Dag);
+
+  double Sum = 0.0;
+  unsigned NumLoads = 0;
+  for (unsigned I = 0, E = Dag.size(); I != E; ++I) {
+    if (!Dag.isLoad(I))
+      continue;
+    Sum += Dag.weight(I);
+    ++NumLoads;
+  }
+  if (NumLoads == 0)
+    return;
+
+  double Average = Sum / static_cast<double>(NumLoads);
+  for (unsigned I = 0, E = Dag.size(); I != E; ++I)
+    if (Dag.isLoad(I))
+      Dag.setWeight(I, Average);
+}

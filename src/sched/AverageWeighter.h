@@ -1,0 +1,40 @@
+//===- sched/AverageWeighter.h - Averaged-LLP weights ----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alternative policy the paper evaluates and rejects (section 3): one
+/// weight for all loads in a block, equal to the *average* load level
+/// parallelism. Because LLP varies within a block, this ignores above-
+/// average parallelism on some loads and invents nonexistent parallelism
+/// on others; the paper reports it schedules no better than the
+/// traditional approach. Reproduced here for the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SCHED_AVERAGEWEIGHTER_H
+#define BSCHED_SCHED_AVERAGEWEIGHTER_H
+
+#include "sched/BalancedWeighter.h"
+
+namespace bsched {
+
+/// Assigns every load the block-average of the balanced per-load weights.
+class AverageWeighter : public Weighter {
+public:
+  explicit AverageWeighter(LatencyModel Model = LatencyModel())
+      : Balanced(Model) {}
+
+  void assignWeights(DepDag &Dag) const override;
+  std::string name() const override { return "average-llp"; }
+
+private:
+  BalancedWeighter Balanced;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SCHED_AVERAGEWEIGHTER_H

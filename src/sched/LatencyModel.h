@@ -1,0 +1,72 @@
+//===- sched/LatencyModel.h - Operation latencies --------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-opcode operation latencies. The paper's machine model executes every
+/// non-load instruction in a single cycle (section 4.4 footnote); loads are
+/// the uncertain-latency exception and their weights come from a Weighter,
+/// not from this table. The section 6 extension experiments raise FP
+/// latencies to model asynchronous floating-point units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SCHED_LATENCYMODEL_H
+#define BSCHED_SCHED_LATENCYMODEL_H
+
+#include "ir/Instruction.h"
+
+#include <array>
+
+namespace bsched {
+
+/// Deterministic (non-load) operation latencies plus the paper's
+/// IssueSlots(i) measure.
+class LatencyModel {
+public:
+  /// All operations take one cycle — the paper's baseline machine.
+  LatencyModel() { Latency.fill(1.0); }
+
+  /// Latency of \p Op when it is a *producer*: cycles before a consumer of
+  /// its result should issue. Meaningless for loads (weighters own those).
+  double opLatency(Opcode Op) const {
+    return Latency[static_cast<unsigned>(Op)];
+  }
+
+  /// Overrides the latency of \p Op (section 6 extension: multi-cycle FP).
+  void setOpLatency(Opcode Op, double Cycles) {
+    assert(Cycles >= 1.0 && "operation latency below one cycle");
+    Latency[static_cast<unsigned>(Op)] = Cycles;
+  }
+
+  /// The paper's IssueSlots(i): issue slots instruction \p I occupies in
+  /// the execution pipeline, i.e. how much latency-hiding capacity it
+  /// offers a parallel load. On a pipelined machine every instruction
+  /// occupies exactly one issue slot — a 4-cycle FMul still frees the
+  /// issue pipeline after one cycle, so it hides one cycle of a load's
+  /// latency, not four. (Its own result latency is opLatency and shows up
+  /// in producer weights instead.)
+  double issueSlots(const Instruction &I) const {
+    (void)I;
+    return 1.0;
+  }
+
+  /// Convenience: a model with every FP arithmetic op at \p Cycles.
+  static LatencyModel withFpLatency(double Cycles) {
+    LatencyModel M;
+    for (Opcode Op : {Opcode::FAdd, Opcode::FSub, Opcode::FMul, Opcode::FDiv,
+                      Opcode::FMadd})
+      M.setOpLatency(Op, Cycles);
+    return M;
+  }
+
+private:
+  std::array<double, NumOpcodes> Latency;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SCHED_LATENCYMODEL_H

@@ -1,0 +1,45 @@
+//===- sched/Schedule.cpp - Scheduling results ------------------------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Schedule.h"
+
+using namespace bsched;
+
+bool bsched::isValidSchedule(const DepDag &Dag, const Schedule &Sched) {
+  unsigned N = Dag.size();
+  if (Sched.Order.size() != N)
+    return false;
+
+  std::vector<int> Position(N, -1);
+  for (unsigned Pos = 0; Pos != N; ++Pos) {
+    unsigned Node = Sched.Order[Pos];
+    if (Node >= N || Position[Node] != -1)
+      return false; // Out of range or duplicated.
+    Position[Node] = static_cast<int>(Pos);
+  }
+
+  for (unsigned From = 0; From != N; ++From)
+    for (const DepEdge &E : Dag.succs(From))
+      if (Position[From] >= Position[E.Other])
+        return false;
+  return true;
+}
+
+void bsched::applySchedule(BasicBlock &BB, const DepDag &Dag,
+                           const Schedule &Sched) {
+  assert(Sched.Order.size() == Dag.size() && "schedule/DAG size mismatch");
+  assert(Dag.size() == BB.schedulableSize() &&
+         "DAG was not built from this block");
+
+  std::vector<Instruction> NewInstrs;
+  NewInstrs.reserve(BB.size());
+  for (unsigned Node : Sched.Order)
+    NewInstrs.push_back(Dag.instruction(Node));
+  if (BB.hasTerminator())
+    NewInstrs.push_back(BB[BB.size() - 1]);
+  BB.setInstructions(std::move(NewInstrs));
+}

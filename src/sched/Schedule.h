@@ -1,0 +1,46 @@
+//===- sched/Schedule.h - Scheduling results -------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of the list scheduler: a new instruction order for a block,
+/// plus a validator that proves the order respects every DAG dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SCHED_SCHEDULE_H
+#define BSCHED_SCHED_SCHEDULE_H
+
+#include "dag/DepDag.h"
+
+#include <vector>
+
+namespace bsched {
+
+/// A schedule for one basic block.
+struct Schedule {
+  /// DAG node indices in final (top-down) program order.
+  std::vector<unsigned> Order;
+
+  /// Number of virtual no-ops the scheduler inserted to model latency gaps.
+  /// They are stripped before emission (the processors use hardware
+  /// interlocks), but the count is a useful diagnostic: it measures how
+  /// much latency the schedule could not cover with real instructions.
+  unsigned NumVirtualNops = 0;
+};
+
+/// Returns true if \p Sched is a valid schedule of \p Dag: a permutation of
+/// the nodes in which every dependence edge points forward.
+bool isValidSchedule(const DepDag &Dag, const Schedule &Sched);
+
+/// Rewrites \p BB with the scheduled instruction order, re-appending the
+/// original trailing terminator if the block had one. \p Dag must have been
+/// built from \p BB.
+void applySchedule(BasicBlock &BB, const DepDag &Dag, const Schedule &Sched);
+
+} // namespace bsched
+
+#endif // BSCHED_SCHED_SCHEDULE_H

@@ -1,0 +1,28 @@
+//===- sched/TraditionalWeighter.cpp - Fixed-latency weights ---------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/TraditionalWeighter.h"
+
+#include "support/StringUtils.h"
+
+using namespace bsched;
+
+void TraditionalWeighter::assignWeights(DepDag &Dag) const {
+  for (unsigned I = 0, E = Dag.size(); I != E; ++I) {
+    const Instruction &Instr = Dag.instruction(I);
+    if (Instr.isLoad())
+      Dag.setWeight(I, Instr.hasKnownLatency()
+                           ? static_cast<double>(Instr.knownLatency())
+                           : LoadLatency);
+    else
+      Dag.setWeight(I, Model.opLatency(Instr.opcode()));
+  }
+}
+
+std::string TraditionalWeighter::name() const {
+  return "traditional(" + formatDouble(LoadLatency, 2) + ")";
+}

@@ -1,0 +1,47 @@
+//===- sched/TraditionalWeighter.h - Fixed-latency weights -----*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traditional list scheduler's weight policy: every load gets one
+/// implementation-defined constant — typically the optimistic (cache-hit)
+/// latency, or the mean latency of the memory system (both variants appear
+/// in the paper's Table 2 as "Optimistic Latency").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SCHED_TRADITIONALWEIGHTER_H
+#define BSCHED_SCHED_TRADITIONALWEIGHTER_H
+
+#include "sched/LatencyModel.h"
+#include "sched/Weighter.h"
+
+namespace bsched {
+
+/// Assigns a single fixed weight to all loads.
+class TraditionalWeighter : public Weighter {
+public:
+  /// \p LoadLatency is the implementation-defined load weight; \p Model
+  /// provides non-load latencies.
+  explicit TraditionalWeighter(double LoadLatency,
+                               LatencyModel Model = LatencyModel())
+      : LoadLatency(LoadLatency), Model(Model) {
+    assert(LoadLatency >= 1.0 && "load latency below one cycle");
+  }
+
+  void assignWeights(DepDag &Dag) const override;
+  std::string name() const override;
+
+  double loadLatency() const { return LoadLatency; }
+
+private:
+  double LoadLatency;
+  LatencyModel Model;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SCHED_TRADITIONALWEIGHTER_H

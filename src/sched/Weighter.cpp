@@ -1,0 +1,13 @@
+//===- sched/Weighter.cpp - Load-weight assignment interface ---------------=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Weighter.h"
+
+using namespace bsched;
+
+// Out-of-line virtual destructor anchors the vtable.
+Weighter::~Weighter() = default;

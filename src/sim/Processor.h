@@ -1,0 +1,75 @@
+//===- sim/Processor.h - Processor models ----------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three processor models of the paper's section 4.4. All are
+/// single-issue, in-order machines with non-blocking loads and hardware
+/// interlocks; they differ in how much load-level parallelism they can
+/// exploit:
+///
+///  - UNLIMITED: any number of outstanding loads (dataflow-like upper
+///    bound).
+///  - MAX-8: at most 8 loads outstanding; issuing a ninth blocks until one
+///    completes (lockup-free cache with 8 MSHRs).
+///  - LEN-8: a load may be outstanding at most 8 cycles; after that the
+///    processor blocks until the data returns (Tera-style lookahead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SIM_PROCESSOR_H
+#define BSCHED_SIM_PROCESSOR_H
+
+#include <cassert>
+#include <string>
+
+namespace bsched {
+
+/// How a processor limits outstanding loads.
+enum class ProcessorKind {
+  Unlimited,      ///< No limit (the paper's UNLIMITED).
+  MaxOutstanding, ///< At most Limit loads in flight (MAX-n).
+  MaxLength,      ///< A load may be in flight at most Limit cycles (LEN-n).
+};
+
+/// A processor configuration.
+struct ProcessorModel {
+  ProcessorKind Kind = ProcessorKind::Unlimited;
+  unsigned Limit = 8;
+
+  /// Instructions issued per cycle (1 = the paper's machines; >1 models
+  /// the section 6 superscalar extension).
+  unsigned IssueWidth = 1;
+
+  static ProcessorModel unlimited() { return {}; }
+
+  static ProcessorModel maxOutstanding(unsigned N) {
+    assert(N >= 1 && "limit must be positive");
+    return {ProcessorKind::MaxOutstanding, N, 1};
+  }
+
+  static ProcessorModel maxLength(unsigned N) {
+    assert(N >= 1 && "limit must be positive");
+    return {ProcessorKind::MaxLength, N, 1};
+  }
+
+  /// "UNLIMITED", "MAX-8", "LEN-8" in the paper's notation.
+  std::string name() const {
+    switch (Kind) {
+    case ProcessorKind::Unlimited:
+      return "UNLIMITED";
+    case ProcessorKind::MaxOutstanding:
+      return "MAX-" + std::to_string(Limit);
+    case ProcessorKind::MaxLength:
+      return "LEN-" + std::to_string(Limit);
+    }
+    return "unknown";
+  }
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_PROCESSOR_H

@@ -1,0 +1,138 @@
+//===- support/BitVector.h - Dense bit vector ------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, fixed-universe bit vector. The balanced-scheduling weighter
+/// uses these for transitive-closure rows (Pred*/Succ* sets), where set
+/// algebra over whole words keeps the O(n^2) closure fast in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_BITVECTOR_H
+#define BSCHED_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+
+/// Dense bit vector over the universe [0, size).
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates \p Size bits, all clear.
+  explicit BitVector(unsigned Size) { resize(Size); }
+
+  /// Resizes to \p Size bits; newly added bits are clear.
+  void resize(unsigned Size) {
+    NumBits = Size;
+    Words.assign(numWords(Size), 0);
+  }
+
+  unsigned size() const { return NumBits; }
+
+  /// Sets bit \p Index.
+  void set(unsigned Index) {
+    assert(Index < NumBits && "bit index out of range");
+    Words[Index >> 6] |= uint64_t(1) << (Index & 63);
+  }
+
+  /// Clears bit \p Index.
+  void reset(unsigned Index) {
+    assert(Index < NumBits && "bit index out of range");
+    Words[Index >> 6] &= ~(uint64_t(1) << (Index & 63));
+  }
+
+  /// Returns bit \p Index.
+  bool test(unsigned Index) const {
+    assert(Index < NumBits && "bit index out of range");
+    return (Words[Index >> 6] >> (Index & 63)) & 1;
+  }
+
+  /// Clears every bit.
+  void clearAll() { Words.assign(Words.size(), 0); }
+
+  /// Sets every bit in the universe.
+  void setAll() {
+    Words.assign(Words.size(), ~uint64_t(0));
+    trimTail();
+  }
+
+  /// Returns the number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Returns true if any bit is set.
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  /// This |= Other (sizes must match).
+  BitVector &operator|=(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "bit vector size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+
+  /// This &= Other (sizes must match).
+  BitVector &operator&=(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "bit vector size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+
+  /// This &= ~Other (set subtraction; sizes must match).
+  void andNot(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "bit vector size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  /// Calls \p Fn(Index) for every set bit in ascending order.
+  template <typename FnT> void forEachSetBit(FnT Fn) const {
+    for (size_t WordIndex = 0; WordIndex != Words.size(); ++WordIndex) {
+      uint64_t W = Words[WordIndex];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(WordIndex * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const BitVector &A, const BitVector &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+private:
+  static size_t numWords(unsigned Bits) { return (Bits + 63) / 64; }
+
+  /// Clears bits beyond NumBits in the last word (after setAll).
+  void trimTail() {
+    unsigned Tail = NumBits & 63;
+    if (Tail != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << Tail) - 1;
+  }
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_BITVECTOR_H

@@ -1,0 +1,16 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace bsched;
+
+double Rng::sqrtOf(double X) { return std::sqrt(X); }
+
+double Rng::logOf(double X) { return std::log(X); }

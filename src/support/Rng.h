@@ -1,0 +1,138 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64)
+/// plus the distributions the simulator needs: uniform, Bernoulli, and
+/// Gaussian. Determinism across platforms matters because every experiment
+/// must be exactly reproducible from its seed; <random> distributions are
+/// not guaranteed to produce identical streams across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_RNG_H
+#define BSCHED_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace bsched {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+///
+/// Streams are fully determined by the 64-bit seed, independent of platform
+/// and standard library. \c split derives an independent child generator,
+/// which the experiment harness uses to give every (block, run) pair its own
+/// stream so results do not depend on simulation order.
+class Rng {
+public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-seeds in place, discarding all state.
+  void reseed(uint64_t Seed) {
+    // SplitMix64 expansion of the seed into the 256-bit xoshiro state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9E3779B97F4A7C15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+      Word = Z ^ (Z >> 31);
+    }
+    HasSpareGaussian = false;
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t nextUInt64() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound != 0 && "nextBounded requires a nonzero bound");
+    // Debiased modulo via rejection sampling (Lemire-style threshold).
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = nextUInt64();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform double in [0, 1) with 53 bits of precision.
+  double nextDouble() {
+    return static_cast<double>(nextUInt64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Returns a standard-normal sample (Marsaglia polar method; one spare
+  /// value is cached, so calls come in cheap pairs).
+  double nextGaussian() {
+    if (HasSpareGaussian) {
+      HasSpareGaussian = false;
+      return SpareGaussian;
+    }
+    double U, V, S;
+    do {
+      U = 2.0 * nextDouble() - 1.0;
+      V = 2.0 * nextDouble() - 1.0;
+      S = U * U + V * V;
+    } while (S >= 1.0 || S == 0.0);
+    double Mul = sqrtOf(-2.0 * logOf(S) / S);
+    SpareGaussian = V * Mul;
+    HasSpareGaussian = true;
+    return U * Mul;
+  }
+
+  /// Derives an independent child generator. The child stream is a pure
+  /// function of (parent seed history, Salt), so handing out streams by salt
+  /// keeps experiments order-independent.
+  Rng split(uint64_t Salt) {
+    return Rng(nextHash(State[0] ^ rotl(Salt, 32) ^ State[3]));
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  /// SplitMix64 finalizer used as a mixing hash for \c split.
+  static uint64_t nextHash(uint64_t Z) {
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  // Tiny wrappers keep <cmath> out of this header's public surface.
+  static double sqrtOf(double X);
+  static double logOf(double X);
+
+  uint64_t State[4] = {};
+  double SpareGaussian = 0.0;
+  bool HasSpareGaussian = false;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_RNG_H

@@ -1,0 +1,44 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting and splitting helpers shared by the IR printer, the
+/// parser, and the benchmark table writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_STRINGUTILS_H
+#define BSCHED_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsched {
+
+/// Returns \p S without leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, trimming each piece; empty pieces are kept so
+/// column positions are stable.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Formats \p Value with \p Decimals digits after the point ("3.14").
+std::string formatDouble(double Value, int Decimals);
+
+/// Formats \p Value as a mixed fraction over twelfths when it is (close to)
+/// a multiple of 1/12 — "2 5/12", "1/4" — otherwise falls back to a decimal.
+/// Used to print the Table 1 weight-contribution matrix the way the paper
+/// does.
+std::string formatTwelfths(double Value);
+
+/// Returns "Value%" with one decimal ("12.9"), matching the paper's tables.
+std::string formatPercent(double Value);
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,92 @@
+//===- support/Table.cpp - ASCII table writer ----------------------------===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace bsched;
+
+void Table::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void Table::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+std::string Table::toString() const {
+  // Compute per-column widths over the header and every row.
+  size_t NumCols = Header.size();
+  for (const Row &R : Rows)
+    NumCols = std::max(NumCols, R.Cells.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto FoldWidths = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  FoldWidths(Header);
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      FoldWidths(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  std::string Out;
+  auto EmitCell = [&](const std::string &Cell, size_t Width, bool Left) {
+    size_t Pad = Width > Cell.size() ? Width - Cell.size() : 0;
+    if (Left) {
+      Out += Cell;
+      Out.append(Pad, ' ');
+    } else {
+      Out.append(Pad, ' ');
+      Out += Cell;
+    }
+    Out += "  ";
+  };
+  auto EmitLine = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != NumCols; ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      EmitCell(Cell, Widths[I], /*Left=*/I == 0);
+    }
+    // Trim trailing spaces so output is diff-friendly.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+    Out.append(std::min(TotalWidth, Title.size()), '=');
+    Out += '\n';
+  }
+  if (!Header.empty()) {
+    EmitLine(Header);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    EmitLine(R.Cells);
+  }
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string S = toString();
+  std::fwrite(S.data(), 1, S.size(), Out);
+}

@@ -1,0 +1,73 @@
+//===- support/Table.h - ASCII table writer --------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table writer. The benchmark binaries use it
+/// to print reproductions of the paper's tables (Tables 1-5) in a shape that
+/// is directly comparable with the published numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_TABLE_H
+#define BSCHED_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// Column-aligned ASCII table with a header row and optional title.
+///
+/// Usage:
+/// \code
+///   Table T("Table 2: percent improvement (UNLIMITED)");
+///   T.setHeader({"System", "OptLat", "ADM", "Mean"});
+///   T.addRow({"L80(2,5)", "2", "5.8", "8.3"});
+///   T.print(stdout);
+/// \endcode
+class Table {
+public:
+  Table() = default;
+
+  /// Creates a table whose \p Title prints above the header.
+  explicit Table(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the column headers; defines the column count.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a data row. Rows shorter than the header are padded with empty
+  /// cells; longer rows extend the column count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table to \p Out with per-column alignment: the first column
+  /// is left-aligned (row labels), the rest right-aligned (numbers).
+  void print(std::FILE *Out) const;
+
+  /// Renders the table to a string (same format as \c print).
+  std::string toString() const;
+
+  /// Returns the number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_TABLE_H

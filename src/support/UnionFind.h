@@ -1,0 +1,92 @@
+//===- support/UnionFind.h - Disjoint-set union-find -----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set (union-find) structure with union by rank and path
+/// compression, giving the inverse-Ackermann amortized bounds the paper's
+/// complexity analysis (section 3) relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_UNIONFIND_H
+#define BSCHED_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+
+/// Disjoint-set union-find over the dense index range [0, size).
+///
+/// Elements start as singleton sets. \c unite merges two sets and returns
+/// the representative of the merged set, which callers can use to maintain
+/// per-set annotations (the balanced-scheduling union-find variant tracks
+/// min/max DAG levels per set this way).
+class UnionFind {
+public:
+  UnionFind() = default;
+
+  /// Creates \p Size singleton sets with indices 0..Size-1.
+  explicit UnionFind(unsigned Size) { reset(Size); }
+
+  /// Discards all sets and recreates \p Size singletons.
+  void reset(unsigned Size) {
+    Parent.resize(Size);
+    Rank.assign(Size, 0);
+    NumSets = Size;
+    for (unsigned I = 0; I != Size; ++I)
+      Parent[I] = I;
+  }
+
+  /// Returns the number of elements tracked.
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the number of disjoint sets currently present.
+  unsigned numSets() const { return NumSets; }
+
+  /// Returns the representative of the set containing \p X.
+  unsigned find(unsigned X) const {
+    assert(X < Parent.size() && "union-find index out of range");
+    // Path halving: every node on the walk points to its grandparent.
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets containing \p A and \p B; returns the representative of
+  /// the merged set. Merging an element with itself is a no-op.
+  unsigned unite(unsigned A, unsigned B) {
+    unsigned RootA = find(A);
+    unsigned RootB = find(B);
+    if (RootA == RootB)
+      return RootA;
+    --NumSets;
+    if (Rank[RootA] < Rank[RootB])
+      std::swap(RootA, RootB);
+    Parent[RootB] = RootA;
+    if (Rank[RootA] == Rank[RootB])
+      ++Rank[RootA];
+    return RootA;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(unsigned A, unsigned B) const { return find(A) == find(B); }
+
+private:
+  // find() performs path compression, which mutates Parent but not the
+  // logical partition; mutable keeps find() usable on const references.
+  mutable std::vector<unsigned> Parent;
+  std::vector<uint8_t> Rank;
+  unsigned NumSets = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_UNIONFIND_H

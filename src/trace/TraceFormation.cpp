@@ -1,0 +1,207 @@
+//===- trace/TraceFormation.cpp - Superblock formation ----------------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceFormation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace bsched;
+
+namespace {
+
+/// The unconditional successor of block \p Index (-1 if none): the target
+/// of a trailing `jump`, or the fallthrough block when there is no
+/// terminator. Conditional branches and `ret` have no unconditional
+/// successor.
+int unconditionalSuccessor(const Function &F, unsigned Index) {
+  const BasicBlock &BB = F.block(Index);
+  if (!BB.hasTerminator())
+    return Index + 1 < F.numBlocks() ? static_cast<int>(Index + 1) : -1;
+  const Instruction &Term = BB[BB.size() - 1];
+  if (Term.opcode() == Opcode::Jump)
+    return static_cast<int>(Term.imm());
+  return -1;
+}
+
+/// Number of CFG predecessors of every block: explicit branch/jump
+/// targets plus fallthrough edges; the entry block gets one external
+/// predecessor so it is never absorbed.
+std::vector<unsigned> predecessorCounts(const Function &F) {
+  std::vector<unsigned> Preds(F.numBlocks(), 0);
+  if (!Preds.empty())
+    Preds[0] = 1; // Function entry.
+  for (unsigned I = 0; I != F.numBlocks(); ++I) {
+    const BasicBlock &BB = F.block(I);
+    if (!BB.hasTerminator()) {
+      if (I + 1 < F.numBlocks())
+        ++Preds[I + 1];
+      continue;
+    }
+    const Instruction &Term = BB[BB.size() - 1];
+    switch (Term.opcode()) {
+    case Opcode::Jump:
+      ++Preds[Term.imm()];
+      break;
+    case Opcode::BranchZero:
+    case Opcode::BranchNotZero:
+      ++Preds[Term.imm()];
+      if (I + 1 < F.numBlocks())
+        ++Preds[I + 1]; // Not-taken fallthrough.
+      break;
+    case Opcode::Ret:
+      break;
+    default:
+      assert(false && "unknown terminator");
+    }
+  }
+  return Preds;
+}
+
+} // namespace
+
+TraceFormationResult bsched::formSuperblocks(const Function &F) {
+  TraceFormationResult Result;
+  std::vector<unsigned> Preds = predecessorCounts(F);
+
+  // Walk chains head-first, marking every block a head absorbs. A block
+  // joins a chain when it is the unconditional successor of the chain's
+  // tail and has no other predecessor. Stopping at the head guards
+  // against cycles (a back edge to the head stays a real branch).
+  std::vector<bool> Absorbed(F.numBlocks(), false);
+  for (unsigned Head = 0; Head != F.numBlocks(); ++Head) {
+    if (Absorbed[Head])
+      continue;
+    unsigned Current = Head;
+    for (;;) {
+      int Succ = unconditionalSuccessor(F, Current);
+      if (Succ < 0 || static_cast<unsigned>(Succ) == Current ||
+          static_cast<unsigned>(Succ) == Head ||
+          Absorbed[static_cast<unsigned>(Succ)] ||
+          Preds[static_cast<unsigned>(Succ)] != 1)
+        break;
+      Absorbed[static_cast<unsigned>(Succ)] = true;
+      Current = static_cast<unsigned>(Succ);
+    }
+  }
+
+  // Map chain heads to their new indices.
+  Function Formed(F.name());
+  std::unordered_map<unsigned, unsigned> NewIndex;
+  for (unsigned I = 0; I != F.numBlocks(); ++I) {
+    if (Absorbed[I])
+      continue;
+    NewIndex[I] = Formed.numBlocks();
+    Formed.addBlock(F.block(I).name(), F.block(I).frequency());
+  }
+
+  // Copy alias classes in order so ids are stable.
+  for (unsigned A = 0; A != F.numAliasClasses(); ++A)
+    Formed.getOrCreateAliasClass(
+        F.aliasClassName(static_cast<AliasClassId>(A)));
+
+  // Emit each chain.
+  for (unsigned Head = 0; Head != F.numBlocks(); ++Head) {
+    if (Absorbed[Head])
+      continue;
+    BasicBlock &Out = Formed.block(NewIndex[Head]);
+    unsigned Current = Head;
+    for (;;) {
+      const BasicBlock &BB = F.block(Current);
+      int Succ = unconditionalSuccessor(F, Current);
+      bool Continues = Succ >= 0 && static_cast<unsigned>(Succ) != Current &&
+                       Absorbed[Succ];
+      unsigned CopyEnd = BB.size();
+      if (Continues && BB.hasTerminator())
+        --CopyEnd; // Drop the internal jump.
+      for (unsigned I = 0; I != CopyEnd; ++I)
+        Out.append(BB[I]);
+      if (!Continues)
+        break;
+      Result.BlocksMerged += 1;
+      Current = static_cast<unsigned>(Succ);
+    }
+  }
+
+  // Remap branch targets. Only chain heads can be targets: an absorbed
+  // block's unique predecessor is inside its chain.
+  for (BasicBlock &BB : Formed) {
+    if (!BB.hasTerminator())
+      continue;
+    Instruction &Term = BB[BB.size() - 1];
+    if (Term.opcode() == Opcode::Jump ||
+        Term.opcode() == Opcode::BranchZero ||
+        Term.opcode() == Opcode::BranchNotZero) {
+      auto It = NewIndex.find(static_cast<unsigned>(Term.imm()));
+      assert(It != NewIndex.end() && "branch to an absorbed block");
+      Term.setImm(It->second);
+    }
+  }
+
+  // Preserve the virtual-register space.
+  Formed.reserveVirtualReg(RegClass::Int, F.numVirtualRegs(RegClass::Int));
+  Formed.reserveVirtualReg(RegClass::Fp, F.numVirtualRegs(RegClass::Fp));
+  Result.Formed = std::move(Formed);
+  return Result;
+}
+
+Function bsched::splitIntoChains(const Function &F,
+                                 unsigned MaxInstructions) {
+  assert(MaxInstructions >= 1 && "pieces must hold at least an instruction");
+  Function Split(F.name());
+  for (unsigned A = 0; A != F.numAliasClasses(); ++A)
+    Split.getOrCreateAliasClass(
+        F.aliasClassName(static_cast<AliasClassId>(A)));
+
+  // First pass: compute where each original block's pieces start, so
+  // branch targets can be remapped to the first piece.
+  std::vector<unsigned> FirstPiece(F.numBlocks(), 0);
+  unsigned Counter = 0;
+  for (unsigned I = 0; I != F.numBlocks(); ++I) {
+    FirstPiece[I] = Counter;
+    unsigned Schedulable = F.block(I).schedulableSize();
+    unsigned Pieces =
+        std::max(1u, (Schedulable + MaxInstructions - 1) / MaxInstructions);
+    Counter += Pieces;
+  }
+
+  for (unsigned I = 0; I != F.numBlocks(); ++I) {
+    const BasicBlock &BB = F.block(I);
+    unsigned Schedulable = BB.schedulableSize();
+    unsigned Pieces =
+        std::max(1u, (Schedulable + MaxInstructions - 1) / MaxInstructions);
+    for (unsigned P = 0; P != Pieces; ++P) {
+      BasicBlock &Out = Split.addBlock(
+          BB.name() + (Pieces > 1 ? "." + std::to_string(P) : ""),
+          BB.frequency());
+      unsigned Begin = P * MaxInstructions;
+      unsigned End = std::min(Schedulable, Begin + MaxInstructions);
+      for (unsigned K = Begin; K != End; ++K)
+        Out.append(BB[K]);
+      bool Last = P + 1 == Pieces;
+      if (!Last) {
+        Out.append(Instruction::makeJump(FirstPiece[I] + P + 1));
+      } else if (BB.hasTerminator()) {
+        Instruction Term = BB[BB.size() - 1];
+        if (Term.opcode() != Opcode::Ret)
+          Term.setImm(FirstPiece[static_cast<unsigned>(Term.imm())]);
+        Out.append(std::move(Term));
+      } else {
+        // Seal terminator-less blocks so their pieces do not fall through
+        // into the next original block's chain (workload blocks are
+        // independent kernels, not a fallthrough sequence).
+        Out.append(Instruction::makeRet());
+      }
+    }
+  }
+
+  Split.reserveVirtualReg(RegClass::Int, F.numVirtualRegs(RegClass::Int));
+  Split.reserveVirtualReg(RegClass::Fp, F.numVirtualRegs(RegClass::Fp));
+  return Split;
+}

@@ -1,0 +1,51 @@
+//===- trace/TraceFormation.h - Superblock formation -----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The section 6 "techniques that enlarge basic blocks" extension: a
+/// superblock former that collapses single-entry chains of blocks into one
+/// scheduling region, giving the balanced scheduler more load-level
+/// parallelism to measure and more instructions to hide latency with.
+///
+/// CFG conventions of the IR: a block ending in `jump T` transfers to
+/// block T; a conditional branch transfers to its target when taken and
+/// falls through to the next block otherwise; a block without a terminator
+/// falls through. `ret` ends the function.
+///
+/// Two blocks merge when control flows from A to B unconditionally
+/// (explicit `jump` or fallthrough) and A is B's *only* predecessor —
+/// the classic superblock single-entry condition, which needs no tail
+/// duplication. Merging concatenates the bodies (dropping the internal
+/// jump), keeps A's profile, and remaps every branch target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_TRACE_TRACEFORMATION_H
+#define BSCHED_TRACE_TRACEFORMATION_H
+
+#include "ir/Function.h"
+
+namespace bsched {
+
+/// Statistics from one formation pass.
+struct TraceFormationResult {
+  Function Formed;         ///< The function with chains collapsed.
+  unsigned BlocksMerged = 0; ///< Blocks absorbed into predecessors.
+};
+
+/// Collapses unconditional single-entry chains of \p F into superblocks.
+TraceFormationResult formSuperblocks(const Function &F);
+
+/// Testing/benchmark utility: the inverse transformation. Splits every
+/// block of \p F into pieces of at most \p MaxInstructions schedulable
+/// instructions, linked by explicit jumps — modelling a compiler whose
+/// regions stayed small (no unrolling, no superblocks).
+Function splitIntoChains(const Function &F, unsigned MaxInstructions);
+
+} // namespace bsched
+
+#endif // BSCHED_TRACE_TRACEFORMATION_H

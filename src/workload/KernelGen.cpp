@@ -1,0 +1,323 @@
+//===- workload/KernelGen.cpp - Kernel pattern generators -------------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Addressing style: the emitters bump cursor registers in place between
+// iterations (IrBuilder::emitAdvance), the way MIPS codegen strength-
+// reduces array indexing. The in-place bump chains consecutive iterations'
+// loads in series through anti/data dependences on the cursor — which is
+// precisely the structure the balanced scheduler's "Chances" divisor is
+// designed around. Flat constant-offset addressing would make every load
+// of a block mutually parallel, blow the balanced weights up to the block
+// size, and hoist every load to the top of the schedule (catastrophic
+// register pressure) — a pathology real compiled code does not exhibit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/KernelGen.h"
+
+#include <vector>
+
+using namespace bsched;
+
+void bsched::emitStencil1D(KernelContext &Ctx, const std::string &In,
+                           const std::string &Out, unsigned Taps,
+                           unsigned Iterations) {
+  IrBuilder &B = Ctx.builder();
+  Reg InCur = Ctx.arrayCursor(In);
+  Reg OutCur = Ctx.arrayCursor(Out);
+  AliasClassId InClass = Ctx.arrayClass(In);
+  AliasClassId OutClass = Ctx.arrayClass(Out);
+
+  // Load the initial window, then slide it: each iteration reuses
+  // Taps - 1 values and loads one new leading element, the way an
+  // optimizing compiler keeps stencil values in registers.
+  std::vector<Reg> Window;
+  for (unsigned T = 0; T != Taps; ++T)
+    Window.push_back(B.emitFLoad(InCur, 8 * T, InClass));
+
+  for (unsigned I = 0; I != Iterations; ++I) {
+    Reg Acc;
+    for (unsigned T = 0; T != Taps; ++T) {
+      Reg C = Ctx.fpConst(0.25 + 0.5 * T);
+      Acc = Acc.isValid() ? B.emitFMadd(C, Window[T], Acc)
+                          : B.emitBinary(Opcode::FMul, C, Window[T]);
+    }
+    B.emitStore(Acc, OutCur, 0, OutClass);
+    if (I + 1 != Iterations) {
+      B.emitAdvance(InCur, 8);
+      B.emitAdvance(OutCur, 8);
+      Window.erase(Window.begin());
+      Window.push_back(B.emitFLoad(InCur, 8 * (Taps - 1), InClass));
+    }
+  }
+}
+
+void bsched::emitStencil2D(KernelContext &Ctx, const std::string &In,
+                           const std::string &Out, unsigned Width,
+                           unsigned Iterations) {
+  IrBuilder &B = Ctx.builder();
+  Reg InCur = Ctx.arrayCursor(In);
+  Reg OutCur = Ctx.arrayCursor(Out);
+  AliasClassId InClass = Ctx.arrayClass(In);
+  AliasClassId OutClass = Ctx.arrayClass(Out);
+  Reg Center = Ctx.fpConst(0.5);
+  Reg Edge = Ctx.fpConst(0.125);
+  int64_t W8 = 8 * static_cast<int64_t>(Width);
+
+  // Cursor points at the interior point; neighbours at fixed offsets.
+  // Walking east along the row, the previous centre becomes the new west
+  // and the previous east the new centre, so each iteration loads only
+  // the new east plus the two vertical neighbours.
+  Reg West = B.emitFLoad(InCur, -8, InClass);
+  Reg C = B.emitFLoad(InCur, 0, InClass);
+  for (unsigned I = 0; I != Iterations; ++I) {
+    Reg East = B.emitFLoad(InCur, 8, InClass);
+    Reg North = B.emitFLoad(InCur, -W8, InClass);
+    Reg South = B.emitFLoad(InCur, W8, InClass);
+    Reg Sum = B.emitBinary(Opcode::FAdd, West, East);
+    Sum = B.emitBinary(Opcode::FAdd, Sum, North);
+    Sum = B.emitBinary(Opcode::FAdd, Sum, South);
+    Reg Res = B.emitBinary(Opcode::FMul, Edge, Sum);
+    Res = B.emitFMadd(Center, C, Res);
+    B.emitStore(Res, OutCur, 0, OutClass);
+    West = C;
+    C = East;
+    if (I + 1 != Iterations) {
+      B.emitAdvance(InCur, 8);
+      B.emitAdvance(OutCur, 8);
+    }
+  }
+}
+
+void bsched::emitDotProduct(KernelContext &Ctx, const std::string &X,
+                            const std::string &Y, const std::string &Out,
+                            unsigned Iterations) {
+  IrBuilder &B = Ctx.builder();
+  Reg XCur = Ctx.arrayCursor(X);
+  Reg YCur = Ctx.arrayCursor(Y);
+  AliasClassId XClass = Ctx.arrayClass(X);
+  AliasClassId YClass = Ctx.arrayClass(Y);
+
+  Reg Acc = Ctx.fpConst(0.0);
+  for (unsigned I = 0; I != Iterations; ++I) {
+    Reg Xi = B.emitFLoad(XCur, 0, XClass);
+    Reg Yi = B.emitFLoad(YCur, 0, YClass);
+    Acc = B.emitFMadd(Xi, Yi, Acc);
+    if (I + 1 != Iterations) {
+      B.emitAdvance(XCur, 8);
+      B.emitAdvance(YCur, 8);
+    }
+  }
+  B.emitStore(Acc, Ctx.arrayBase(Out), 0, Ctx.arrayClass(Out));
+}
+
+void bsched::emitInteraction(KernelContext &Ctx, const std::string &Pos,
+                             const std::string &Force, unsigned Pairs) {
+  IrBuilder &B = Ctx.builder();
+  Reg PosCur = Ctx.arrayCursor(Pos);
+  Reg ForceCur = Ctx.arrayCursor(Force);
+  AliasClassId PosClass = Ctx.arrayClass(Pos);
+  AliasClassId ForceClass = Ctx.arrayClass(Force);
+  Reg Scale = Ctx.fpConst(0.0625);
+
+  // The central particle is loaded once; the neighbour list is walked
+  // with a bumped cursor, and the central particle accumulates force.
+  Reg Cx = B.emitFLoad(PosCur, 0, PosClass);
+  Reg Cy = B.emitFLoad(PosCur, 8, PosClass);
+  Reg Cz = B.emitFLoad(PosCur, 16, PosClass);
+  B.emitAdvance(PosCur, 24);
+  Reg AccX = Ctx.fpConst(0.0);
+  Reg AccY = AccX, AccZ = AccX;
+
+  for (unsigned P = 0; P != Pairs; ++P) {
+    Reg Nx = B.emitFLoad(PosCur, 0, PosClass);
+    Reg Ny = B.emitFLoad(PosCur, 8, PosClass);
+    Reg Nz = B.emitFLoad(PosCur, 16, PosClass);
+
+    Reg Dx = B.emitBinary(Opcode::FSub, Cx, Nx);
+    Reg Dy = B.emitBinary(Opcode::FSub, Cy, Ny);
+    Reg Dz = B.emitBinary(Opcode::FSub, Cz, Nz);
+    Reg R2 = B.emitBinary(Opcode::FMul, Dx, Dx);
+    R2 = B.emitFMadd(Dy, Dy, R2);
+    R2 = B.emitFMadd(Dz, Dz, R2);
+    Reg Fmag = B.emitBinary(Opcode::FMul, Scale, R2);
+    Reg Fx = B.emitBinary(Opcode::FMul, Fmag, Dx);
+    Reg Fy = B.emitBinary(Opcode::FMul, Fmag, Dy);
+    Reg Fz = B.emitBinary(Opcode::FMul, Fmag, Dz);
+    AccX = B.emitBinary(Opcode::FAdd, AccX, Fx);
+    AccY = B.emitBinary(Opcode::FAdd, AccY, Fy);
+    AccZ = B.emitBinary(Opcode::FAdd, AccZ, Fz);
+    B.emitStore(Fx, ForceCur, 0, ForceClass);
+    B.emitStore(Fy, ForceCur, 8, ForceClass);
+    B.emitStore(Fz, ForceCur, 16, ForceClass);
+    B.emitAdvance(PosCur, 24);
+    B.emitAdvance(ForceCur, 24);
+  }
+  B.emitStore(AccX, ForceCur, 0, ForceClass);
+  B.emitStore(AccY, ForceCur, 8, ForceClass);
+  B.emitStore(AccZ, ForceCur, 16, ForceClass);
+}
+
+void bsched::emitGatherChase(KernelContext &Ctx, const std::string &Index,
+                             const std::string &Data, const std::string &Out,
+                             unsigned Iterations) {
+  IrBuilder &B = Ctx.builder();
+  Reg IdxCur = Ctx.arrayCursor(Index);
+  Reg DataBase = Ctx.arrayBase(Data);
+  AliasClassId IdxClass = Ctx.arrayClass(Index);
+  AliasClassId DataClass = Ctx.arrayClass(Data);
+
+  Reg Acc = Ctx.fpConst(0.0);
+  for (unsigned I = 0; I != Iterations; ++I) {
+    Reg Addr = B.emitLoad(IdxCur, 0, IdxClass);
+    // The data address depends on the loaded index: loads in series.
+    Reg Scaled = B.emitBinaryImm(Opcode::ShlI, Addr, 3);
+    Reg Eff = B.emitBinary(Opcode::Add, DataBase, Scaled);
+    Reg V = B.emitFLoad(Eff, 0, DataClass);
+    Acc = B.emitBinary(Opcode::FAdd, Acc, V);
+    if (I + 1 != Iterations)
+      B.emitAdvance(IdxCur, 8);
+  }
+  B.emitStore(Acc, Ctx.arrayBase(Out), 0, Ctx.arrayClass(Out));
+}
+
+void bsched::emitExprTree(KernelContext &Ctx, const std::string &In,
+                          const std::string &Out, unsigned Leaves) {
+  IrBuilder &B = Ctx.builder();
+  Reg InCur = Ctx.arrayCursor(In);
+  AliasClassId InClass = Ctx.arrayClass(In);
+
+  // Two leaves per cursor position, then bump: leaf loads form chains of
+  // length Leaves/2 while the reduction tree keeps ~Leaves/2 values live
+  // (the register-pressure personality).
+  std::vector<Reg> Level;
+  Level.reserve(Leaves);
+  for (unsigned L = 0; L != Leaves; ++L) {
+    Level.push_back(B.emitFLoad(InCur, 8 * (L % 2), InClass));
+    if (L % 2 == 1 && L + 1 != Leaves)
+      B.emitAdvance(InCur, 16);
+  }
+
+  bool Multiply = true;
+  while (Level.size() > 1) {
+    std::vector<Reg> Next;
+    Next.reserve((Level.size() + 1) / 2);
+    for (size_t I = 0; I + 1 < Level.size(); I += 2)
+      Next.push_back(B.emitBinary(Multiply ? Opcode::FMul : Opcode::FAdd,
+                                  Level[I], Level[I + 1]));
+    if (Level.size() % 2)
+      Next.push_back(Level.back());
+    Level = std::move(Next);
+    Multiply = !Multiply;
+  }
+  B.emitStore(Level.front(), Ctx.arrayBase(Out), 0, Ctx.arrayClass(Out));
+}
+
+void bsched::emitRecurrence(KernelContext &Ctx, const std::string &Coefs,
+                            const std::string &Out, unsigned Steps) {
+  IrBuilder &B = Ctx.builder();
+  Reg CoefCur = Ctx.arrayCursor(Coefs);
+  AliasClassId CoefClass = Ctx.arrayClass(Coefs);
+  Reg A = Ctx.fpConst(0.9375);
+
+  Reg X = Ctx.fpConst(1.0);
+  for (unsigned S = 0; S != Steps; ++S) {
+    Reg Bi = B.emitFLoad(CoefCur, 0, CoefClass);
+    X = B.emitFMadd(A, X, Bi); // x = a*x + b[s]: serial chain.
+    if (S + 1 != Steps)
+      B.emitAdvance(CoefCur, 8);
+  }
+  B.emitStore(X, Ctx.arrayBase(Out), 0, Ctx.arrayClass(Out));
+}
+
+void bsched::emitComplexMatMul3(KernelContext &Ctx, const std::string &A,
+                                const std::string &BName,
+                                const std::string &Out) {
+  IrBuilder &B = Ctx.builder();
+  Reg ACur = Ctx.arrayCursor(A);
+  Reg BCur = Ctx.arrayCursor(BName);
+  Reg OutCur = Ctx.arrayCursor(Out);
+  AliasClassId AClass = Ctx.arrayClass(A);
+  AliasClassId BClass = Ctx.arrayClass(BName);
+  AliasClassId OutClass = Ctx.arrayClass(Out);
+
+  // Row-blocked walk, the shape a compiler produces for the unrolled
+  // Fortran kernel: row i of A stays in registers (6 values) while the
+  // columns of B are walked element by element. Together with the complex
+  // temporaries and the two running sums, ~14 FP values are live in the
+  // inner portion — intrinsic register pressure that no schedule avoids
+  // (the paper's QCD2 spills heavily under both schedulers).
+  for (unsigned I = 0; I != 3; ++I) {
+    Reg ARe[3], AIm[3];
+    for (unsigned K = 0; K != 3; ++K) {
+      ARe[K] = B.emitFLoad(ACur, 0, AClass);
+      AIm[K] = B.emitFLoad(ACur, 8, AClass);
+      if (K != 2)
+        B.emitAdvance(ACur, 16);
+    }
+    for (unsigned J = 0; J != 3; ++J) {
+      Reg SumRe, SumIm;
+      for (unsigned K = 0; K != 3; ++K) {
+        // Column walk: row stride is 3 complex elements (48 bytes).
+        Reg BRe = B.emitFLoad(BCur, 0, BClass);
+        Reg BIm = B.emitFLoad(BCur, 8, BClass);
+        if (K != 2)
+          B.emitAdvance(BCur, 48);
+        // (ar + i*ai) * (br + i*bi).
+        Reg Rr = B.emitBinary(Opcode::FMul, ARe[K], BRe);
+        Reg Ii = B.emitBinary(Opcode::FMul, AIm[K], BIm);
+        Reg TermRe = B.emitBinary(Opcode::FSub, Rr, Ii);
+        Reg Ri = B.emitBinary(Opcode::FMul, ARe[K], BIm);
+        Reg Ir = B.emitBinary(Opcode::FMul, AIm[K], BRe);
+        Reg TermIm = B.emitBinary(Opcode::FAdd, Ri, Ir);
+        SumRe = SumRe.isValid() ? B.emitBinary(Opcode::FAdd, SumRe, TermRe)
+                                : TermRe;
+        SumIm = SumIm.isValid() ? B.emitBinary(Opcode::FAdd, SumIm, TermIm)
+                                : TermIm;
+      }
+      B.emitStore(SumRe, OutCur, 0, OutClass);
+      B.emitStore(SumIm, OutCur, 8, OutClass);
+      if (I != 2 || J != 2)
+        B.emitAdvance(OutCur, 16);
+      // Rewind to the top of the next column (or back to column 0 when
+      // the row of A changes).
+      B.emitAdvance(BCur, J != 2 ? -96 + 16 : -96 - 32);
+    }
+    if (I != 2)
+      B.emitAdvance(ACur, 16);
+  }
+}
+
+void bsched::emitScalarSoup(KernelContext &Ctx, const std::string &Mem,
+                            unsigned Count, unsigned ChainLen) {
+  IrBuilder &B = Ctx.builder();
+  Reg Cur = Ctx.arrayCursor(Mem);
+  AliasClassId Class = Ctx.arrayClass(Mem);
+  Rng &R = Ctx.rng();
+
+  std::vector<Reg> Chains;
+  for (unsigned C = 0; C != Count; ++C) {
+    Chains.push_back(B.emitFLoad(Cur, 0, Class));
+    B.emitAdvance(Cur, 8);
+  }
+
+  for (unsigned Step = 0; Step != ChainLen; ++Step) {
+    for (unsigned C = 0; C != Count; ++C) {
+      // Occasionally refresh a chain from memory; otherwise keep updating
+      // it against a sibling chain (long-lived scalars).
+      if (R.nextBounded(4) == 0) {
+        Reg V = B.emitFLoad(Cur, 0, Class);
+        B.emitAdvance(Cur, 8);
+        Chains[C] = B.emitBinary(Opcode::FAdd, Chains[C], V);
+      } else {
+        Reg Sibling = Chains[R.nextBounded(Chains.size())];
+        Chains[C] = B.emitFMadd(Ctx.fpConst(0.5), Sibling, Chains[C]);
+      }
+    }
+  }
+  Reg OutBase = Ctx.arrayBase(Mem);
+  for (unsigned C = 0; C != Count; ++C)
+    B.emitStore(Chains[C], OutBase, 8 * (64 + C), Class);
+}

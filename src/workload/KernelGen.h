@@ -1,0 +1,165 @@
+//===- workload/KernelGen.h - Kernel pattern generators --------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized generators for the basic-block shapes that dominate
+/// scientific Fortran codes: stencils, dot products / reductions, indexed
+/// gathers, dense expression trees, and linear recurrences. The Perfect
+/// Club stand-ins (PerfectClub.h) are built by composing these patterns
+/// with per-benchmark sizes and frequencies.
+///
+/// Every pattern writes straight-line code through an IrBuilder; loops are
+/// modeled the way the paper's experiments saw them — as manually unrolled
+/// bodies (section 4.1: GCC's unroller conflicted with their profiling, so
+/// unrolling was done by hand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_WORKLOAD_KERNELGEN_H
+#define BSCHED_WORKLOAD_KERNELGEN_H
+
+#include "ir/IrBuilder.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <string>
+
+namespace bsched {
+
+/// Shared state for emitting one block of kernel code.
+///
+/// Alias-class handling implements the paper's section 4.2 dichotomy:
+/// with \p FortranAliasing every named array is its own class (the
+/// Fortran dummy-argument independence their source transformation
+/// recovers); without it, all arrays share one class, reproducing the
+/// conservative f2c/C translation where loads cannot move above stores.
+class KernelContext {
+public:
+  KernelContext(Function &F, BasicBlock &BB, bool FortranAliasing,
+                uint64_t Seed)
+      : F(F), Builder(F, BB), FortranAliasing(FortranAliasing), R(Seed) {}
+
+  IrBuilder &builder() { return Builder; }
+  Function &function() { return F; }
+  Rng &rng() { return R; }
+
+  /// Alias class of array \p Name (one shared class in C mode).
+  AliasClassId arrayClass(const std::string &Name) {
+    return F.getOrCreateAliasClass(FortranAliasing ? Name
+                                                   : std::string("mem"));
+  }
+
+  /// Base-address register of array \p Name (stable per name, disjoint
+  /// address ranges so the reference interpreter sees distinct memory).
+  /// Unlike arrayCursor, the same register is returned on every call; it
+  /// must never be bumped in place.
+  Reg arrayBase(const std::string &Name) {
+    auto It = Bases.find(Name);
+    if (It != Bases.end())
+      return It->second;
+    Reg Base = arrayCursor(Name);
+    Bases.emplace(Name, Base);
+    return Base;
+  }
+
+  /// A fresh *cursor* register holding array \p Name's base address. Each
+  /// call materializes a new register with the same address, so patterns
+  /// can bump it in place (IrBuilder::emitAdvance) without disturbing
+  /// other users of the array.
+  Reg arrayCursor(const std::string &Name) {
+    auto It = BaseAddresses.find(Name);
+    int64_t Addr;
+    if (It != BaseAddresses.end()) {
+      Addr = It->second;
+    } else {
+      Addr = NextBaseAddress;
+      NextBaseAddress += 1 << 20;
+      BaseAddresses.emplace(Name, Addr);
+    }
+    return Builder.emitLoadImm(Addr);
+  }
+
+  /// A floating constant register (coefficients), cached by value.
+  Reg fpConst(double Value) {
+    auto It = FpConsts.find(Value);
+    if (It != FpConsts.end())
+      return It->second;
+    Reg C = Builder.emitFLoadImm(Value);
+    FpConsts.emplace(Value, C);
+    return C;
+  }
+
+private:
+  Function &F;
+  IrBuilder Builder;
+  bool FortranAliasing;
+  Rng R;
+  std::map<std::string, Reg> Bases;
+  std::map<std::string, int64_t> BaseAddresses;
+  std::map<double, Reg> FpConsts;
+  int64_t NextBaseAddress = 1 << 20;
+};
+
+/// 1-D stencil: out[i] = sum_t coeff_t * in[i + t] for \p Iterations
+/// unrolled iterations and \p Taps taps. Loads across iterations are
+/// mutually independent (distinct offsets off one base): abundant
+/// load-level parallelism.
+void emitStencil1D(KernelContext &Ctx, const std::string &In,
+                   const std::string &Out, unsigned Taps,
+                   unsigned Iterations);
+
+/// 5-point 2-D stencil over a row-major grid of width \p Width:
+/// out[i] = c0*in[i] + c1*(in[i-1] + in[i+1] + in[i-W] + in[i+W]).
+void emitStencil2D(KernelContext &Ctx, const std::string &In,
+                   const std::string &Out, unsigned Width,
+                   unsigned Iterations);
+
+/// Dot product: acc += x[i] * y[i], a single serial accumulator chain fed
+/// by parallel loads. Returns after storing the accumulator to \p Out.
+void emitDotProduct(KernelContext &Ctx, const std::string &X,
+                    const std::string &Y, const std::string &Out,
+                    unsigned Iterations);
+
+/// Distance/interaction kernel (molecular-dynamics flavour): for each of
+/// \p Pairs particle pairs, load two 3-vectors, compute the squared
+/// distance and accumulate a force contribution. Loads are abundant and
+/// parallel; arithmetic per load is moderate.
+void emitInteraction(KernelContext &Ctx, const std::string &Pos,
+                     const std::string &Force, unsigned Pairs);
+
+/// Indexed gather chase: addr = idx[i]; v = data[addr]; acc += v. The
+/// second load's address depends on the first: loads in series, little
+/// load-level parallelism.
+void emitGatherChase(KernelContext &Ctx, const std::string &Index,
+                     const std::string &Data, const std::string &Out,
+                     unsigned Iterations);
+
+/// Dense expression tree: loads \p Leaves values and reduces them with a
+/// balanced multiply/add tree. Wide trees keep many values live at once:
+/// high register pressure (the QCD2/BDNA personality).
+void emitExprTree(KernelContext &Ctx, const std::string &In,
+                  const std::string &Out, unsigned Leaves);
+
+/// First-order linear recurrence x = a*x + b[i]: a serial FP chain with
+/// one load per step. Very little instruction-level parallelism.
+void emitRecurrence(KernelContext &Ctx, const std::string &Coefs,
+                    const std::string &Out, unsigned Steps);
+
+/// 3x3 complex matrix multiply (one SU(3) link product, the QCD2 inner
+/// kernel): 36 loads feeding ~150 arithmetic ops with wide live ranges.
+void emitComplexMatMul3(KernelContext &Ctx, const std::string &A,
+                        const std::string &B, const std::string &Out);
+
+/// Scalar update soup: \p Count independent scalar chains of length
+/// \p ChainLen mixing loads and arithmetic — models control-code blocks
+/// (the TRACK personality) where a handful of scalars stay live.
+void emitScalarSoup(KernelContext &Ctx, const std::string &Mem,
+                    unsigned Count, unsigned ChainLen);
+
+} // namespace bsched
+
+#endif // BSCHED_WORKLOAD_KERNELGEN_H

@@ -1,0 +1,52 @@
+//===- workload/LineReuse.cpp - Static cache-line reuse marking -------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/LineReuse.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+using namespace bsched;
+
+unsigned bsched::markKnownLineHits(BasicBlock &BB, unsigned LineBytes,
+                                   unsigned HitLatency) {
+  assert(LineBytes != 0 && (LineBytes & (LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  assert(HitLatency >= 1 && "hit latency below one cycle");
+
+  // Version counter per register, bumped at each definition, so a base
+  // register identifies a *value* exactly as in the DAG builder.
+  std::unordered_map<uint32_t, unsigned> RegVersion;
+  // Lines known resident: (base raw, base version, line index).
+  std::set<std::tuple<uint32_t, unsigned, int64_t>> TouchedLines;
+
+  auto LineOf = [&](int64_t Offset) -> int64_t {
+    // Floor division so negative offsets land in the right line.
+    int64_t Line = Offset / static_cast<int64_t>(LineBytes);
+    if (Offset < 0 && Offset % static_cast<int64_t>(LineBytes) != 0)
+      --Line;
+    return Line;
+  };
+
+  unsigned Marked = 0;
+  for (Instruction &I : BB) {
+    if (I.isMemory()) {
+      Reg Base = I.addressBase();
+      unsigned Version = RegVersion[Base.rawBits()];
+      auto Key = std::make_tuple(Base.rawBits(), Version, LineOf(I.imm()));
+      if (I.isLoad() && !I.hasKnownLatency() && TouchedLines.count(Key)) {
+        I.setKnownLatency(HitLatency);
+        ++Marked;
+      }
+      TouchedLines.insert(Key);
+    }
+    if (I.hasDest())
+      ++RegVersion[I.dest().rawBits()];
+  }
+  return Marked;
+}

@@ -1,0 +1,38 @@
+//===- workload/LineReuse.h - Static cache-line reuse marking --*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-side half of the section 6 known-latency extension: a
+/// static analysis that finds loads guaranteed to hit the cache because an
+/// earlier access in the same block already touched their line ("the
+/// second access to a cache line"). Such loads get a known latency and the
+/// balanced weighter stops budgeting parallelism for them.
+///
+/// The analysis is sound in the same sense as the DAG builder's
+/// disambiguation: two accesses are known to share a line only when they
+/// go through the same base register *value* (same register, no
+/// intervening redefinition) with offsets in the same aligned line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_WORKLOAD_LINEREUSE_H
+#define BSCHED_WORKLOAD_LINEREUSE_H
+
+#include "ir/BasicBlock.h"
+
+namespace bsched {
+
+/// Marks every load in \p BB whose cache line was provably touched by an
+/// earlier access in the block as a known \p HitLatency-cycle hit.
+/// \p LineBytes must be a power of two; bases are assumed line-aligned
+/// (our workload arrays are). Returns the number of loads marked.
+unsigned markKnownLineHits(BasicBlock &BB, unsigned LineBytes,
+                           unsigned HitLatency);
+
+} // namespace bsched
+
+#endif // BSCHED_WORKLOAD_LINEREUSE_H

@@ -1,0 +1,258 @@
+//===- workload/PerfectClub.cpp - Synthetic Perfect Club stand-ins ----------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/PerfectClub.h"
+
+#include "workload/KernelGen.h"
+
+#include <algorithm>
+
+using namespace bsched;
+
+std::vector<Benchmark> bsched::allBenchmarks() {
+  return {Benchmark::ADM,    Benchmark::ARC2D, Benchmark::BDNA,
+          Benchmark::FLO52Q, Benchmark::MDG,   Benchmark::MG3D,
+          Benchmark::QCD2,   Benchmark::TRACK};
+}
+
+std::string bsched::benchmarkName(Benchmark B) {
+  switch (B) {
+  case Benchmark::ADM:
+    return "ADM";
+  case Benchmark::ARC2D:
+    return "ARC2D";
+  case Benchmark::BDNA:
+    return "BDNA";
+  case Benchmark::FLO52Q:
+    return "FLO52Q";
+  case Benchmark::MDG:
+    return "MDG";
+  case Benchmark::MG3D:
+    return "MG3D";
+  case Benchmark::QCD2:
+    return "QCD2";
+  case Benchmark::TRACK:
+    return "TRACK";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Creates a block and a kernel context bound to it.
+struct BlockEmitter {
+  BlockEmitter(Function &F, const WorkloadOptions &Options,
+               const std::string &Name, double Freq, uint64_t Seed)
+      : Ctx(F, F.addBlock(Name, Freq), Options.FortranAliasing, Seed) {}
+  KernelContext Ctx;
+};
+
+Function buildAdm(const WorkloadOptions &O) {
+  Function F("ADM");
+  unsigned U = O.UnrollFactor;
+  {
+    BlockEmitter E(F, O, "advect", 2000, 0xAD01);
+    emitStencil2D(E.Ctx, "wind", "conc", 16, std::max(2u, U - 1));
+  }
+  {
+    BlockEmitter E(F, O, "diffuse", 1500, 0xAD02);
+    // Two fused smoothing stages: the second stage reloads what the first
+    // stored, chaining its loads behind the stores through memory.
+    emitStencil1D(E.Ctx, "conc", "dconc", 3, std::max(2u, U - 1));
+    emitStencil1D(E.Ctx, "dconc", "conc2", 2, std::max(2u, U - 1));
+  }
+  {
+    BlockEmitter E(F, O, "vertdif", 900, 0xAD03);
+    emitDotProduct(E.Ctx, "kh", "grad", "flux", U + 2);
+    emitRecurrence(E.Ctx, "sink", "depos", 3);
+  }
+  {
+    BlockEmitter E(F, O, "setup", 10, 0xAD04);
+    emitScalarSoup(E.Ctx, "params", 4, 3);
+  }
+  return F;
+}
+
+Function buildArc2d(const WorkloadOptions &O) {
+  Function F("ARC2D");
+  unsigned U = O.UnrollFactor;
+  {
+    BlockEmitter E(F, O, "xsweep", 3000, 0xA201);
+    emitStencil2D(E.Ctx, "q", "rx", 24, U + 1);
+  }
+  {
+    BlockEmitter E(F, O, "ysweep", 3000, 0xA202);
+    emitStencil2D(E.Ctx, "rx", "ry", 24, U + 1);
+  }
+  {
+    BlockEmitter E(F, O, "rhs", 1200, 0xA203);
+    emitStencil1D(E.Ctx, "press", "resid", 5, U);
+  }
+  {
+    BlockEmitter E(F, O, "tridiag", 1600, 0xA204);
+    // The implicit solve: forward/backward recurrences with a little
+    // independent work alongside.
+    emitRecurrence(E.Ctx, "lower", "piv", 2 * U);
+    emitStencil1D(E.Ctx, "diag", "scr", 2, 2);
+  }
+  return F;
+}
+
+Function buildBdna(const WorkloadOptions &O) {
+  Function F("BDNA");
+  unsigned U = O.UnrollFactor;
+  {
+    BlockEmitter E(F, O, "nonbond", 2500, 0xBD01);
+    emitInteraction(E.Ctx, "xyz", "fxyz", U + 1);
+    emitScalarSoup(E.Ctx, "vdw", 12, 2);
+  }
+  {
+    BlockEmitter E(F, O, "elec", 1400, 0xBD02);
+    emitScalarSoup(E.Ctx, "chg", 14, 3);
+    emitExprTree(E.Ctx, "dist", "eel", 12);
+  }
+  {
+    BlockEmitter E(F, O, "corr", 500, 0xBD03);
+    emitRecurrence(E.Ctx, "hist", "acf", U + 2);
+    emitScalarSoup(E.Ctx, "stats", 5, 2);
+  }
+  return F;
+}
+
+Function buildFlo52q(const WorkloadOptions &O) {
+  Function F("FLO52Q");
+  unsigned U = O.UnrollFactor;
+  {
+    BlockEmitter E(F, O, "euler", 2500, 0xF501);
+    emitStencil2D(E.Ctx, "w", "fw", 12, std::max(2u, U - 2));
+  }
+  {
+    // Fused smooth + flux-add: the second stage's loads chain behind the
+    // first stage's stores through memory (RAW on the dw array), so loads
+    // cannot be hoisted into one cluster.
+    BlockEmitter E(F, O, "smooth", 2000, 0xF502);
+    emitStencil1D(E.Ctx, "fw", "dw", 3, std::max(2u, U - 1));
+    emitStencil1D(E.Ctx, "dw", "w2", 2, std::max(2u, U - 1));
+  }
+  {
+    BlockEmitter E(F, O, "resid", 300, 0xF504);
+    emitDotProduct(E.Ctx, "dw", "dw2", "rms", U);
+  }
+  return F;
+}
+
+Function buildMdg(const WorkloadOptions &O) {
+  Function F("MDG");
+  unsigned U = O.UnrollFactor;
+  {
+    // The dominant water-water interaction kernel: a torrent of mutually
+    // independent loads (the paper's best-behaved program).
+    BlockEmitter E(F, O, "interf", 5000, 0x3D01);
+    emitInteraction(E.Ctx, "pos", "force", U + 2);
+  }
+  {
+    BlockEmitter E(F, O, "poteng", 800, 0x3D02);
+    emitDotProduct(E.Ctx, "rij", "qq", "epot", U + 2);
+  }
+  {
+    BlockEmitter E(F, O, "predic", 250, 0x3D03);
+    emitRecurrence(E.Ctx, "deriv", "pred", U);
+  }
+  return F;
+}
+
+Function buildMg3d(const WorkloadOptions &O) {
+  Function F("MG3D");
+  unsigned U = O.UnrollFactor;
+  {
+    // Depth extrapolation: very large blocks.
+    BlockEmitter E(F, O, "migrate", 4000, 0x3601);
+    emitStencil1D(E.Ctx, "wave", "wave2", 7, 2 * U);
+  }
+  {
+    BlockEmitter E(F, O, "extrap", 3000, 0x3602);
+    emitStencil2D(E.Ctx, "slice", "slice2", 32, U + 2);
+  }
+  {
+    BlockEmitter E(F, O, "tracegather", 1000, 0x3603);
+    emitGatherChase(E.Ctx, "traceidx", "traces", "stack", U + 1);
+  }
+  {
+    BlockEmitter E(F, O, "velmod", 400, 0x3604);
+    emitExprTree(E.Ctx, "vel", "slow", 16);
+  }
+  return F;
+}
+
+Function buildQcd2(const WorkloadOptions &O) {
+  Function F("QCD2");
+  unsigned U = O.UnrollFactor;
+  {
+    // SU(3) link update: complex 3x3 matrix products. The widest live
+    // ranges in the suite -> the paper's highest spill percentages.
+    BlockEmitter E(F, O, "su3mul", 4000, 0x9C01);
+    emitComplexMatMul3(E.Ctx, "u", "v", "w");
+  }
+  {
+    BlockEmitter E(F, O, "staple", 1000, 0x9C02);
+    emitScalarSoup(E.Ctx, "links", 13, 3);
+    emitExprTree(E.Ctx, "plq", "staple", 12);
+  }
+  {
+    BlockEmitter E(F, O, "observ", 300, 0x9C03);
+    emitDotProduct(E.Ctx, "wline", "wline2", "plaq", U);
+  }
+  return F;
+}
+
+Function buildTrack(const WorkloadOptions &O) {
+  Function F("TRACK");
+  unsigned U = O.UnrollFactor;
+  {
+    // Small scalar blocks with serial chains: little load-level
+    // parallelism anywhere (the paper's weakest improvements).
+    BlockEmitter E(F, O, "smooth", 800, 0x7201);
+    emitRecurrence(E.Ctx, "meas", "est", U + 2);
+  }
+  {
+    BlockEmitter E(F, O, "predict", 600, 0x7202);
+    emitScalarSoup(E.Ctx, "state", 6, 3);
+  }
+  {
+    BlockEmitter E(F, O, "assoc", 400, 0x7203);
+    emitGatherChase(E.Ctx, "hits", "targets", "score", 3);
+  }
+  {
+    BlockEmitter E(F, O, "covar", 200, 0x7204);
+    emitDotProduct(E.Ctx, "gain", "innov", "cov", 3);
+  }
+  return F;
+}
+
+} // namespace
+
+Function bsched::buildBenchmark(Benchmark B, const WorkloadOptions &Options) {
+  switch (B) {
+  case Benchmark::ADM:
+    return buildAdm(Options);
+  case Benchmark::ARC2D:
+    return buildArc2d(Options);
+  case Benchmark::BDNA:
+    return buildBdna(Options);
+  case Benchmark::FLO52Q:
+    return buildFlo52q(Options);
+  case Benchmark::MDG:
+    return buildMdg(Options);
+  case Benchmark::MG3D:
+    return buildMg3d(Options);
+  case Benchmark::QCD2:
+    return buildQcd2(Options);
+  case Benchmark::TRACK:
+    return buildTrack(Options);
+  }
+  return Function("unknown");
+}

@@ -1,0 +1,75 @@
+//===- workload/PerfectClub.h - Synthetic Perfect Club stand-ins -*- C++ -*-=//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic stand-ins for the eight Perfect Club programs
+/// the paper evaluates (ADM, ARC2D, BDNA, FLO52Q, MDG, MG3D, QCD2, TRACK).
+/// We do not have the Fortran sources, a Fortran front end, or f2c; the
+/// experiments consume only *basic blocks with execution frequencies*, so
+/// each stand-in composes kernel patterns (workload/KernelGen.h) whose
+/// mix reflects what is known about the original program:
+///
+///   ADM    - pseudospectral air pollution: stencils + reductions.
+///   ARC2D  - implicit 2-D fluid dynamics: sweeps of 2-D stencils plus
+///            tridiagonal recurrences.
+///   BDNA   - molecular dynamics of DNA: interaction kernels and wide
+///            force-term expression trees (high register pressure).
+///   FLO52Q - transonic flow / multigrid: small stencils, low pressure.
+///   MDG    - molecular dynamics of water: a dominant pairwise
+///            interaction kernel with abundant load-level parallelism
+///            (the paper's best case).
+///   MG3D   - depth-migration seismic code: very large blocks, stencils
+///            plus indexed gathers.
+///   QCD2   - lattice gauge theory: SU(3) complex 3x3 matrix products,
+///            the highest register pressure in the suite.
+///   TRACK  - missile tracking: small scalar blocks with little
+///            parallelism (the paper's weakest case).
+///
+/// Block shapes are fixed (seeded) so experiments are exactly
+/// reproducible; per-benchmark sizes scale with the unroll factor the
+/// same way the paper's manual unrolling did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_WORKLOAD_PERFECTCLUB_H
+#define BSCHED_WORKLOAD_PERFECTCLUB_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// The eight programs of the paper's workload (section 4.2).
+enum class Benchmark { ADM, ARC2D, BDNA, FLO52Q, MDG, MG3D, QCD2, TRACK };
+
+/// All benchmarks in the paper's table order.
+std::vector<Benchmark> allBenchmarks();
+
+/// "ADM", "ARC2D", ...
+std::string benchmarkName(Benchmark B);
+
+/// Workload construction knobs.
+struct WorkloadOptions {
+  /// Manual unroll factor applied to the inner kernels (the paper unrolled
+  /// by hand; 4 is our default working point).
+  unsigned UnrollFactor = 4;
+
+  /// True = Fortran dummy-argument aliasing rules (each array its own
+  /// alias class, the paper's section 4.2 transformation); false = the
+  /// conservative f2c/C translation (one shared class).
+  bool FortranAliasing = true;
+};
+
+/// Builds the stand-in for \p B. Deterministic: equal options produce
+/// identical functions.
+Function buildBenchmark(Benchmark B, const WorkloadOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_WORKLOAD_PERFECTCLUB_H

@@ -1,0 +1,147 @@
+//===- tests/IntegrationTest.cpp - Cross-module sweep tests ---------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Parameterized sweeps over the full configuration space: every policy on
+// every benchmark through the complete pipeline, checked for structural
+// validity, determinism and semantics preservation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+#include "pipeline/Experiment.h"
+#include "trace/TraceFormation.h"
+#include "workload/PerfectClub.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+using SweepParam = std::tuple<Benchmark, SchedulerPolicy>;
+
+std::string sweepName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  std::string Name = benchmarkName(std::get<0>(Info.param)) + "_" +
+                     policyName(std::get<1>(Info.param));
+  // gtest parameter names must be alphanumeric.
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweepTest, CompilesValidDeterministicCode) {
+  auto [B, Policy] = GetParam();
+  Function F = buildBenchmark(B);
+  PipelineConfig Config;
+  Config.Policy = Policy;
+  Config.OptimisticLatency = 3.0;
+
+  CompiledFunction First = compilePipeline(F, Config);
+  CompiledFunction Second = compilePipeline(F, Config);
+  EXPECT_TRUE(verifyFunction(First.Compiled).empty());
+  EXPECT_EQ(printFunction(First.Compiled), printFunction(Second.Compiled));
+  EXPECT_EQ(First.StaticSpills, Second.StaticSpills);
+}
+
+TEST_P(PipelineSweepTest, PreservesBlockSemantics) {
+  auto [B, Policy] = GetParam();
+  Function F = buildBenchmark(B);
+  PipelineConfig Config;
+  Config.Policy = Policy;
+  CompiledFunction C = compilePipeline(F, Config);
+
+  AliasClassId Spill = C.Compiled.getOrCreateAliasClass(SpillAliasClassName);
+  for (unsigned Block = 0; Block != F.numBlocks(); ++Block) {
+    Interpreter Before, After;
+    Before.run(F.block(Block));
+    After.run(C.Compiled.block(Block));
+    ASSERT_EQ(Before.memoryImage(), After.memoryImageExcluding(Spill))
+        << benchmarkName(B) << " block " << Block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, PipelineSweepTest,
+    ::testing::Combine(::testing::ValuesIn(allBenchmarks()),
+                       ::testing::Values(SchedulerPolicy::Traditional,
+                                         SchedulerPolicy::Balanced,
+                                         SchedulerPolicy::BalancedUnionFind,
+                                         SchedulerPolicy::AverageLlp)),
+    sweepName);
+
+//===----------------------------------------------------------------------===
+// Processor-model sweep: every model simulates every compiled benchmark.
+//===----------------------------------------------------------------------===
+
+class ProcessorSweepTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(ProcessorSweepTest, RestrictedModelsNeverBeatUnlimited) {
+  Function F = buildBenchmark(GetParam());
+  CompiledFunction C = compilePipeline(F, {});
+  NetworkSystem Memory(3, 5);
+
+  SimulationConfig Sim;
+  Sim.NumRuns = 10;
+  Sim.NumResamples = 40;
+
+  Sim.Processor = ProcessorModel::unlimited();
+  double Unl = simulateProgram(C, Memory, Sim).MeanRuntime;
+  for (ProcessorModel P :
+       {ProcessorModel::maxOutstanding(8), ProcessorModel::maxOutstanding(2),
+        ProcessorModel::maxLength(8), ProcessorModel::maxLength(4)}) {
+    Sim.Processor = P;
+    double Restricted = simulateProgram(C, Memory, Sim).MeanRuntime;
+    // Limits can only add stalls (same latency streams by seed).
+    EXPECT_GE(Restricted, Unl * 0.999) << P.name();
+  }
+}
+
+TEST_P(ProcessorSweepTest, TighterLimitsCostMore) {
+  Function F = buildBenchmark(GetParam());
+  CompiledFunction C = compilePipeline(F, {});
+  NetworkSystem Memory(5, 5);
+  SimulationConfig Sim;
+  Sim.NumRuns = 10;
+  Sim.NumResamples = 40;
+
+  Sim.Processor = ProcessorModel::maxLength(16);
+  double Loose = simulateProgram(C, Memory, Sim).MeanRuntime;
+  Sim.Processor = ProcessorModel::maxLength(2);
+  double Tight = simulateProgram(C, Memory, Sim).MeanRuntime;
+  EXPECT_GE(Tight, Loose);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProcessorSweepTest,
+                         ::testing::ValuesIn(allBenchmarks()),
+                         [](const auto &Info) {
+                           return benchmarkName(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===
+// Superblock formation composes with the pipeline.
+//===----------------------------------------------------------------------===
+
+TEST(TracePipelineTest, FormedRegionsScheduleAndSimulate) {
+  Function F = buildBenchmark(Benchmark::FLO52Q);
+  Function Split = splitIntoChains(F, 8);
+  TraceFormationResult Formed = formSuperblocks(Split);
+  ASSERT_TRUE(verifyFunction(Formed.Formed).empty());
+
+  CompiledFunction C = compilePipeline(Formed.Formed, {});
+  EXPECT_TRUE(verifyFunction(C.Compiled).empty());
+  NetworkSystem Memory(3, 5);
+  SimulationConfig Sim;
+  Sim.NumRuns = 8;
+  Sim.NumResamples = 30;
+  ProgramSimResult Res = simulateProgram(C, Memory, Sim);
+  EXPECT_GT(Res.MeanRuntime, 0.0);
+}

@@ -1,0 +1,151 @@
+//===- tests/KnownLatencyTest.cpp - Known-latency extension tests ---------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DagBuilder.h"
+#include "ir/IrBuilder.h"
+#include "ir/IrPrinter.h"
+#include "parser/Parser.h"
+#include "sched/BalancedWeighter.h"
+#include "sim/Simulator.h"
+#include "workload/LineReuse.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+Reg vi(unsigned Id) { return Reg::makeVirtual(RegClass::Int, Id); }
+Reg vf(unsigned Id) { return Reg::makeVirtual(RegClass::Fp, Id); }
+} // namespace
+
+TEST(KnownLatencyTest, InstructionAttribute) {
+  Instruction I = Instruction::makeLoad(Opcode::FLoad, vf(0), vi(0), 8, 0);
+  EXPECT_FALSE(I.hasKnownLatency());
+  I.setKnownLatency(2);
+  EXPECT_TRUE(I.hasKnownLatency());
+  EXPECT_EQ(I.knownLatency(), 2u);
+  EXPECT_EQ(I.str(), "%f0 = fload [%i0 + 8] !0 @2");
+}
+
+TEST(KnownLatencyTest, ParserRoundTrip) {
+  const char *Src = "func @f { block b {\n"
+                    "%i0 = li 0\n"
+                    "%f0 = fload [%i0 + 0] !a\n"
+                    "%f1 = fload [%i0 + 8] !a @2\n"
+                    "ret } }";
+  std::string Error;
+  std::optional<Function> F = parseSingleFunction(Src, &Error);
+  ASSERT_TRUE(F.has_value()) << Error;
+  EXPECT_FALSE((*F).block(0)[1].hasKnownLatency());
+  ASSERT_TRUE((*F).block(0)[2].hasKnownLatency());
+  EXPECT_EQ((*F).block(0)[2].knownLatency(), 2u);
+
+  // Printed form reparses identically.
+  std::string Printed = printFunction(*F);
+  std::optional<Function> F2 = parseSingleFunction(Printed, &Error);
+  ASSERT_TRUE(F2.has_value()) << Error << "\n" << Printed;
+  EXPECT_EQ(printFunction(*F2), Printed);
+}
+
+TEST(KnownLatencyTest, ParserRejectsZeroLatency) {
+  ParseResult R = parseIr("func @f { block b {\n%i0 = li 0\n"
+                          "%f0 = fload [%i0 + 0] !a @0\nret } }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(KnownLatencyTest, SimulatorUsesKnownLatency) {
+  // A known 2-cycle load under a 50-cycle memory system stalls only 1.
+  BasicBlock BB("b");
+  Instruction Load = Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0);
+  Load.setKnownLatency(2);
+  BB.append(std::move(Load));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(2), vi(1), 1));
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(50), R);
+  EXPECT_EQ(Res.Cycles, 3u);
+  EXPECT_EQ(Res.InterlockCycles, 1u);
+}
+
+TEST(KnownLatencyTest, BalancedWeighterHonorsKnownLoads) {
+  // Two independent loads plus fillers: the known one keeps its fixed
+  // weight; the uncertain one absorbs all the parallelism.
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg Base = B.emitLoadImm(0);                   // 0
+  Reg U = B.emitFLoad(Base, 0, 0);               // 1: uncertain
+  Reg K = B.emitFLoad(Base, 8, 0);               // 2: known
+  BB[2].setKnownLatency(2);
+  B.emitBinary(Opcode::FAdd, U, K);              // 3: consumer
+  B.emitFLoadImm(1.0);                           // 4: filler
+  B.emitFLoadImm(2.0);                           // 5: filler
+
+  DepDag Honor = buildDag(BB);
+  BalancedWeighter(LatencyModel(), ChancesMethod::ExactLongestPath, 1.0,
+                   /*HonorKnownLatency=*/true)
+      .assignWeights(Honor);
+  EXPECT_DOUBLE_EQ(Honor.weight(2), 2.0); // Fixed at the known latency.
+  // The uncertain load alone soaks up the independent instructions.
+  EXPECT_GT(Honor.weight(1), 2.5);
+
+  DepDag Naive = buildDag(BB);
+  BalancedWeighter(LatencyModel(), ChancesMethod::ExactLongestPath, 1.0,
+                   /*HonorKnownLatency=*/false)
+      .assignWeights(Naive);
+  // Without the opt-out the known load is treated like any other.
+  EXPECT_GT(Naive.weight(2), 2.0);
+}
+
+TEST(LineReuseTest, MarksSecondAccessToSameLine) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg Base = B.emitLoadImm(0);
+  B.emitFLoad(Base, 0, 0);  // Line 0: first touch.
+  B.emitFLoad(Base, 8, 0);  // Line 0 again: known hit.
+  B.emitFLoad(Base, 32, 0); // Line 1: first touch.
+  B.emitFLoad(Base, 40, 0); // Line 1 again: known hit.
+  EXPECT_EQ(markKnownLineHits(BB, 32, 2), 2u);
+  EXPECT_FALSE(BB[1].hasKnownLatency());
+  EXPECT_TRUE(BB[2].hasKnownLatency());
+  EXPECT_FALSE(BB[3].hasKnownLatency());
+  EXPECT_TRUE(BB[4].hasKnownLatency());
+}
+
+TEST(LineReuseTest, BaseRedefinitionResetsKnowledge) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg Cur = B.emitLoadImm(0);
+  B.emitFLoad(Cur, 0, 0);
+  B.emitAdvance(Cur, 8);    // Same register, new value.
+  B.emitFLoad(Cur, 0, 0);   // Could be a different line: not marked.
+  EXPECT_EQ(markKnownLineHits(BB, 32, 2), 0u);
+}
+
+TEST(LineReuseTest, StoreEstablishesResidency) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg Base = B.emitLoadImm(0);
+  Reg V = B.emitFLoadImm(1.0);
+  B.emitStore(V, Base, 0, 0); // Brings the line in.
+  B.emitFLoad(Base, 8, 0);    // Same line: known hit.
+  EXPECT_EQ(markKnownLineHits(BB, 32, 2), 1u);
+}
+
+TEST(LineReuseTest, NegativeOffsetsFloorCorrectly) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg Base = B.emitLoadImm(64);
+  B.emitFLoad(Base, -8, 0);  // Line -1.
+  B.emitFLoad(Base, -16, 0); // Line -1 again: known hit.
+  B.emitFLoad(Base, 0, 0);   // Line 0: first touch.
+  EXPECT_EQ(markKnownLineHits(BB, 32, 2), 1u);
+}

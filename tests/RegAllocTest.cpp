@@ -1,0 +1,332 @@
+//===- tests/RegAllocTest.cpp - Unit tests for register allocation --------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/IrBuilder.h"
+#include "ir/IrVerifier.h"
+#include "regalloc/LocalRegAlloc.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace bsched;
+
+namespace {
+
+/// True if every register operand in \p BB is physical.
+bool fullyPhysical(const BasicBlock &BB) {
+  for (const Instruction &I : BB) {
+    if (I.hasDest() && !I.dest().isPhysical())
+      return false;
+    for (Reg Src : I.sources())
+      if (!Src.isPhysical())
+        return false;
+  }
+  return true;
+}
+
+/// Runs \p Original and its allocated rewrite, seeding allocated live-ins
+/// from the original's register values, and compares program-visible
+/// memory (everything except the spill area).
+void expectSemanticsPreserved(Function &F, const BasicBlock &Original,
+                              const BasicBlock &Allocated,
+                              const RegAllocResult &Alloc) {
+  Interpreter Before;
+  Before.run(Original);
+
+  Interpreter After;
+  for (const auto &[VregRaw, Phys] : Alloc.LiveInAssignment) {
+    // Reconstruct the Reg from its raw bits via a fresh interpreter read.
+    // Live-ins were never written in `Before`, so their values are the
+    // deterministic defaults of the *virtual* registers.
+    Reg Vreg = Phys.regClass() == RegClass::Fp
+                   ? Reg::makeVirtual(RegClass::Fp, VregRaw & 0xFFFFFF)
+                   : Reg::makeVirtual(RegClass::Int, VregRaw & 0xFFFFFF);
+    ASSERT_EQ(Vreg.rawBits(), VregRaw);
+    if (Phys.regClass() == RegClass::Fp)
+      After.setFpReg(Phys, Before.getFpReg(Vreg));
+    else
+      After.setIntReg(Phys, Before.getIntReg(Vreg));
+  }
+  After.run(Allocated);
+
+  AliasClassId Spill = F.getOrCreateAliasClass(SpillAliasClassName);
+  EXPECT_EQ(Before.memoryImage(), After.memoryImageExcluding(Spill));
+}
+
+/// Convenience: tiny register files to force spilling.
+TargetDescription tinyTarget() {
+  TargetDescription T;
+  T.NumIntRegs = 9; // 4 general + 4 pool + FP.
+  T.NumFpRegs = 8;  // 4 general + 4 pool.
+  T.SpillPoolSize = 4;
+  return T;
+}
+
+} // namespace
+
+TEST(RegAllocTest, SimpleBlockNoSpills) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg A = B.emitLoadImm(1);
+  Reg C = B.emitLoadImm(2);
+  Reg D = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(D, A, 0, F.getOrCreateAliasClass("m"));
+  B.emitRet();
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB);
+  EXPECT_EQ(Alloc.spillInstructions(), 0u);
+  EXPECT_TRUE(fullyPhysical(BB));
+  EXPECT_TRUE(verifyBlock(BB).empty());
+  EXPECT_EQ(BB.size(), Original.size());
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+TEST(RegAllocTest, HighPressureForcesSpills) {
+  // Define 12 long-lived values with 4 general registers: must spill.
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  std::vector<Reg> Vals;
+  for (int I = 0; I != 12; ++I)
+    Vals.push_back(B.emitLoadImm(I * 10));
+  // Consume them all afterwards so every value stays live across the defs.
+  Reg Sum = Vals[0];
+  for (int I = 1; I != 12; ++I)
+    Sum = B.emitBinary(Opcode::Add, Sum, Vals[I]);
+  Reg Base = B.emitLoadImm(0);
+  B.emitStore(Sum, Base, 0, F.getOrCreateAliasClass("m"));
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB, tinyTarget());
+  EXPECT_GT(Alloc.SpillStores, 0u);
+  EXPECT_GT(Alloc.SpillLoads, 0u);
+  EXPECT_TRUE(fullyPhysical(BB));
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+TEST(RegAllocTest, SpillCodeUsesDedicatedClassAndFramePointer) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  std::vector<Reg> Vals;
+  for (int I = 0; I != 10; ++I)
+    Vals.push_back(B.emitLoadImm(I));
+  Reg Sum = Vals[0];
+  for (int I = 1; I != 10; ++I)
+    Sum = B.emitBinary(Opcode::Add, Sum, Vals[I]);
+  B.emitStore(Sum, Vals[0], 0, F.getOrCreateAliasClass("m"));
+
+  TargetDescription Target = tinyTarget();
+  RegAllocResult Alloc = allocateRegisters(F, BB, Target);
+  ASSERT_GT(Alloc.spillInstructions(), 0u);
+
+  AliasClassId Spill = F.getOrCreateAliasClass(SpillAliasClassName);
+  unsigned Seen = 0;
+  for (const Instruction &I : BB) {
+    if (!I.isMemory() || I.aliasClass() != Spill)
+      continue;
+    ++Seen;
+    EXPECT_EQ(I.addressBase(), Target.framePointer());
+  }
+  EXPECT_EQ(Seen, Alloc.spillInstructions());
+}
+
+TEST(RegAllocTest, LiveInsGetStableAssignments) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  Reg In0 = F.makeVirtualReg(RegClass::Int);
+  Reg In1 = F.makeVirtualReg(RegClass::Int);
+  IrBuilder B(F, BB);
+  Reg Sum = B.emitBinary(Opcode::Add, In0, In1);
+  B.emitStore(Sum, In0, 0, F.getOrCreateAliasClass("m"));
+
+  RegAllocResult Alloc = allocateRegisters(F, BB);
+  EXPECT_EQ(Alloc.LiveInAssignment.size(), 2u);
+  EXPECT_TRUE(Alloc.LiveInAssignment.count(In0.rawBits()));
+  EXPECT_TRUE(Alloc.LiveInAssignment.count(In1.rawBits()));
+}
+
+TEST(RegAllocTest, FifoPoolRotatesReloadRegisters) {
+  // Force many reloads and check that consecutive reloads use different
+  // pool registers under FIFO, but the same register when FIFO is off.
+  auto BuildAndCollect = [](bool Fifo) {
+    Function F("f");
+    BasicBlock &BB = F.addBlock("b");
+    IrBuilder B(F, BB);
+    std::vector<Reg> Vals;
+    for (int I = 0; I != 10; ++I)
+      Vals.push_back(B.emitLoadImm(I));
+    // Use them in definition order: the early ones were evicted.
+    Reg Acc = B.emitLoadImm(100);
+    for (int I = 0; I != 10; ++I)
+      Acc = B.emitBinary(Opcode::Add, Acc, Vals[I]);
+    B.emitStore(Acc, Vals[9], 0, F.getOrCreateAliasClass("m"));
+
+    TargetDescription Target;
+    Target.NumIntRegs = 9;
+    Target.NumFpRegs = 8;
+    Target.SpillPoolSize = 3;
+    Target.FifoSpillPool = Fifo;
+    allocateRegisters(F, BB, Target);
+
+    AliasClassId Spill = F.getOrCreateAliasClass(SpillAliasClassName);
+    std::vector<unsigned> ReloadRegs;
+    for (const Instruction &I : BB)
+      if (I.isLoad() && I.aliasClass() == Spill)
+        ReloadRegs.push_back(I.dest().id());
+    return ReloadRegs;
+  };
+
+  std::vector<unsigned> Fifo = BuildAndCollect(true);
+  std::vector<unsigned> Fixed = BuildAndCollect(false);
+  ASSERT_GE(Fifo.size(), 3u);
+  ASSERT_GE(Fixed.size(), 3u);
+
+  // FIFO: consecutive reloads rotate.
+  EXPECT_NE(Fifo[0], Fifo[1]);
+  EXPECT_NE(Fifo[1], Fifo[2]);
+  // Fixed: every reload hammers the same lowest pool register.
+  std::unordered_set<unsigned> FixedSet(Fixed.begin(), Fixed.end());
+  EXPECT_EQ(FixedSet.size(), 1u);
+}
+
+TEST(RegAllocTest, RedefinitionReusesRegister) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  Reg V = F.makeVirtualReg(RegClass::Int);
+  BB.append(Instruction::makeLoadImm(V, 1));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, V, V, 1));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, V, V, 1));
+  Reg Base = F.makeVirtualReg(RegClass::Int);
+  BB.append(Instruction::makeLoadImm(Base, 0));
+  BB.append(Instruction::makeStore(Opcode::Store, V, Base, 0,
+                                   F.getOrCreateAliasClass("m")));
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB);
+  EXPECT_EQ(Alloc.spillInstructions(), 0u);
+  // All three defs of V land in the same physical register.
+  EXPECT_EQ(BB[0].dest(), BB[1].dest());
+  EXPECT_EQ(BB[1].dest(), BB[2].dest());
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+TEST(RegAllocTest, MixedClassesAllocateIndependently) {
+  Function F("f");
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg I0 = B.emitLoadImm(3);
+  Reg F0 = B.emitFLoadImm(1.5);
+  Reg F1 = B.emitBinary(Opcode::FAdd, F0, F0);
+  Reg I1 = B.emitBinaryImm(Opcode::AddI, I0, 5);
+  B.emitStore(F1, I1, 0, F.getOrCreateAliasClass("a"));
+  B.emitStore(I1, I1, 8, F.getOrCreateAliasClass("a"));
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB);
+  EXPECT_TRUE(fullyPhysical(BB));
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+TEST(RegAllocTest, TerminatorOperandAllocated) {
+  Function F("f");
+  F.addBlock("exit").append(Instruction::makeRet());
+  BasicBlock &BB = F.addBlock("b");
+  IrBuilder B(F, BB);
+  Reg C = B.emitLoadImm(1);
+  B.emitBranch(Opcode::BranchNotZero, C, 0);
+
+  allocateRegisters(F, BB);
+  EXPECT_TRUE(fullyPhysical(BB));
+  EXPECT_TRUE(BB.hasTerminator());
+}
+
+//===----------------------------------------------------------------------===
+// Property tests: random programs survive allocation under tiny targets
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Random straight-line program over a handful of values and two arrays.
+void buildRandomProgram(Function &F, BasicBlock &BB, Rng &R,
+                        unsigned NumInstrs) {
+  IrBuilder B(F, BB);
+  AliasClassId ClassA = F.getOrCreateAliasClass("a");
+  AliasClassId ClassB = F.getOrCreateAliasClass("b");
+  std::vector<Reg> Ints{B.emitLoadImm(64), B.emitLoadImm(512)};
+  std::vector<Reg> Fps{B.emitFLoadImm(0.5)};
+  auto PickInt = [&] { return Ints[R.nextBounded(Ints.size())]; };
+  auto PickFp = [&] { return Fps[R.nextBounded(Fps.size())]; };
+
+  for (unsigned I = 0; I != NumInstrs; ++I) {
+    switch (R.nextBounded(7)) {
+    case 0:
+      Ints.push_back(B.emitLoad(PickInt(), 8 * R.nextBounded(8), ClassA));
+      break;
+    case 1:
+      Fps.push_back(B.emitFLoad(PickInt(), 8 * R.nextBounded(8), ClassB));
+      break;
+    case 2:
+      B.emitStore(PickFp(), PickInt(), 8 * R.nextBounded(8), ClassB);
+      break;
+    case 3:
+      Ints.push_back(B.emitBinary(Opcode::Add, PickInt(), PickInt()));
+      break;
+    case 4:
+      Fps.push_back(B.emitBinary(Opcode::FMul, PickFp(), PickFp()));
+      break;
+    case 5:
+      Fps.push_back(B.emitFMadd(PickFp(), PickFp(), PickFp()));
+      break;
+    default:
+      B.emitStore(PickInt(), PickInt(), 8 * R.nextBounded(8), ClassA);
+      break;
+    }
+  }
+  // Store a digest so the memory image reflects the whole computation.
+  Reg Base = B.emitLoadImm(4096);
+  B.emitStore(Fps.back(), Base, 0, ClassB);
+  B.emitStore(Ints.back(), Base, 8, ClassA);
+}
+
+} // namespace
+
+class RegAllocPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegAllocPropertyTest, AllocationPreservesSemanticsUnderPressure) {
+  Rng R(GetParam());
+  Function F("rand");
+  BasicBlock &BB = F.addBlock("b");
+  buildRandomProgram(F, BB, R, 60);
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB, tinyTarget());
+  EXPECT_TRUE(fullyPhysical(BB));
+  EXPECT_TRUE(verifyBlock(BB).empty());
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+TEST_P(RegAllocPropertyTest, AllocationPreservesSemanticsDefaultTarget) {
+  Rng R(GetParam() ^ 0xFEED);
+  Function F("rand");
+  BasicBlock &BB = F.addBlock("b");
+  buildRandomProgram(F, BB, R, 80);
+
+  BasicBlock Original = BB;
+  RegAllocResult Alloc = allocateRegisters(F, BB);
+  EXPECT_TRUE(fullyPhysical(BB));
+  expectSemanticsPreserved(F, Original, BB, Alloc);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RegAllocPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 111));

@@ -1,0 +1,368 @@
+//===- tests/SimTest.cpp - Unit tests for the timing simulator ------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrBuilder.h"
+#include "sim/MemorySystem.h"
+#include "sim/Processor.h"
+#include "sim/Simulator.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+Reg vi(unsigned Id) { return Reg::makeVirtual(RegClass::Int, Id); }
+
+/// lat-cycle load into a fresh reg, consumer right behind it.
+BasicBlock loadThenUse() {
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(2), vi(1), 1));
+  return BB;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Memory systems
+//===----------------------------------------------------------------------===
+
+TEST(MemorySystemTest, FixedAlwaysSame) {
+  FixedSystem Mem(7);
+  Rng R(1);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(Mem.sampleLatency(R), 7u);
+  EXPECT_DOUBLE_EQ(Mem.optimisticLatency(), 7.0);
+  EXPECT_DOUBLE_EQ(Mem.effectiveLatency(), 7.0);
+}
+
+TEST(MemorySystemTest, CacheLatenciesAndRates) {
+  CacheSystem Mem(0.8, 2, 5);
+  Rng R(42);
+  int Hits = 0;
+  constexpr int N = 100000;
+  for (int I = 0; I != N; ++I) {
+    unsigned L = Mem.sampleLatency(R);
+    EXPECT_TRUE(L == 2 || L == 5);
+    Hits += L == 2;
+  }
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(Mem.optimisticLatency(), 2.0);
+  EXPECT_NEAR(Mem.effectiveLatency(), 2.6, 1e-12);
+  EXPECT_EQ(Mem.name(), "L80(2,5)");
+}
+
+TEST(MemorySystemTest, PaperEffectiveLatencies) {
+  // The "Optimistic Latency" rows of Table 2.
+  EXPECT_NEAR(CacheSystem(0.8, 2, 10).effectiveLatency(), 3.6, 1e-12);
+  EXPECT_NEAR(CacheSystem(0.95, 2, 5).effectiveLatency(), 2.15, 1e-12);
+  EXPECT_NEAR(CacheSystem(0.95, 2, 10).effectiveLatency(), 2.4, 1e-12);
+  EXPECT_NEAR(MixedSystem(0.8, 2, 30, 5).effectiveLatency(), 7.6, 1e-12);
+}
+
+TEST(MemorySystemTest, NetworkMomentsAndFloor) {
+  NetworkSystem Mem(5.0, 2.0);
+  Rng R(7);
+  RunningStat S;
+  for (int I = 0; I != 200000; ++I) {
+    unsigned L = Mem.sampleLatency(R);
+    EXPECT_GE(L, 1u);
+    S.add(static_cast<double>(L));
+  }
+  EXPECT_NEAR(S.mean(), 5.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 2.0, 0.05);
+  EXPECT_EQ(Mem.name(), "N(5,2)");
+}
+
+TEST(MemorySystemTest, NetworkClampingRaisesLowMeans) {
+  // N(2,5) is heavily clamped at 1: its realized mean exceeds 2.
+  NetworkSystem Mem(2.0, 5.0);
+  Rng R(9);
+  RunningStat S;
+  for (int I = 0; I != 100000; ++I)
+    S.add(static_cast<double>(Mem.sampleLatency(R)));
+  EXPECT_GT(S.mean(), 2.5);
+}
+
+TEST(MemorySystemTest, MixedNameAndSampling) {
+  MixedSystem Mem(0.8, 2, 30, 5);
+  EXPECT_EQ(Mem.name(), "L80-N(30,5)");
+  Rng R(3);
+  int Hits = 0;
+  constexpr int N = 50000;
+  for (int I = 0; I != N; ++I)
+    Hits += Mem.sampleLatency(R) == 2;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.8, 0.02);
+}
+
+TEST(ProcessorModelTest, Names) {
+  EXPECT_EQ(ProcessorModel::unlimited().name(), "UNLIMITED");
+  EXPECT_EQ(ProcessorModel::maxOutstanding(8).name(), "MAX-8");
+  EXPECT_EQ(ProcessorModel::maxLength(8).name(), "LEN-8");
+}
+
+//===----------------------------------------------------------------------===
+// Simulator: interlock accounting
+//===----------------------------------------------------------------------===
+
+TEST(SimulatorTest, EmptyBlock) {
+  BasicBlock BB("b");
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(5), R);
+  EXPECT_EQ(Res.Cycles, 0u);
+  EXPECT_EQ(Res.Instructions, 0u);
+}
+
+TEST(SimulatorTest, StraightLineNoLoadsOneCyclePerInstruction) {
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoadImm(vi(0), 1));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(1), vi(0), 1));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(2), vi(1), 1));
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(5), R);
+  EXPECT_EQ(Res.Cycles, 3u);
+  EXPECT_EQ(Res.Instructions, 3u);
+  EXPECT_EQ(Res.InterlockCycles, 0u);
+}
+
+TEST(SimulatorTest, ConsumerStallsForLoadLatency) {
+  BasicBlock BB = loadThenUse();
+  Rng R(1);
+  // Load at cycle 0 completes at 4; consumer issues at 4: 3 interlocks.
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(4), R);
+  EXPECT_EQ(Res.Cycles, 5u);
+  EXPECT_EQ(Res.Instructions, 2u);
+  EXPECT_EQ(Res.InterlockCycles, 3u);
+  EXPECT_NEAR(Res.interlockPercent(), 60.0, 1e-9);
+}
+
+TEST(SimulatorTest, IndependentWorkHidesLatency) {
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+  for (unsigned I = 0; I != 3; ++I)
+    BB.append(Instruction::makeLoadImm(vi(10 + I), I));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(2), vi(1), 1));
+  Rng R(1);
+  // Load completes at 4; fillers occupy cycles 1-3; consumer at 4.
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(4), R);
+  EXPECT_EQ(Res.Cycles, 5u);
+  EXPECT_EQ(Res.InterlockCycles, 0u);
+}
+
+TEST(SimulatorTest, NonBlockingLoadsOverlap) {
+  // Two independent loads back to back, consumers afterwards: latencies
+  // overlap rather than serialize.
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(2), vi(0), 8, 0));
+  BB.append(Instruction::makeBinary(Opcode::Add, vi(3), vi(1), vi(2)));
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(10), R);
+  // Loads at 0 and 1; both complete by 11; add at 11.
+  EXPECT_EQ(Res.Cycles, 12u);
+  EXPECT_EQ(Res.InterlockCycles, 9u);
+}
+
+TEST(SimulatorTest, UnusedLoadResultDoesNotStall) {
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+  BB.append(Instruction::makeLoadImm(vi(2), 1));
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(50), R);
+  EXPECT_EQ(Res.Cycles, 2u); // No drain for the dangling load.
+}
+
+TEST(SimulatorTest, OpLatencyModelHonored) {
+  BasicBlock BB("b");
+  Reg F0 = Reg::makeVirtual(RegClass::Fp, 0);
+  Reg F1 = Reg::makeVirtual(RegClass::Fp, 1);
+  Reg F2 = Reg::makeVirtual(RegClass::Fp, 2);
+  BB.append(Instruction::makeBinary(Opcode::FMul, F2, F0, F1));
+  BB.append(Instruction::makeBinary(Opcode::FAdd, F0, F2, F1));
+  Rng R(1);
+  BlockSimResult Res =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(2), R,
+                    LatencyModel::withFpLatency(4.0));
+  // FMul at 0 (result at 4), FAdd at 4.
+  EXPECT_EQ(Res.Cycles, 5u);
+  EXPECT_EQ(Res.InterlockCycles, 3u);
+}
+
+//===----------------------------------------------------------------------===
+// Simulator: processor models
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// N independent loads, then a consumer of the last one.
+BasicBlock manyLoads(unsigned N) {
+  BasicBlock BB("b");
+  for (unsigned I = 0; I != N; ++I)
+    BB.append(
+        Instruction::makeLoad(Opcode::Load, vi(1 + I), vi(0), 8 * I, 0));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(100), vi(N), 1));
+  return BB;
+}
+
+} // namespace
+
+TEST(SimulatorTest, MaxOutstandingBlocksNinthLoad) {
+  BasicBlock BB = manyLoads(9);
+  Rng R1(1), R2(1);
+  BlockSimResult Unl =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(20), R1);
+  BlockSimResult Max8 =
+      simulateBlock(BB, ProcessorModel::maxOutstanding(8), FixedSystem(20),
+                    R2);
+  // UNLIMITED: loads at 0..8; last completes at 8+20=28; consumer at 28.
+  EXPECT_EQ(Unl.Cycles, 29u);
+  // MAX-8: the ninth load waits until the first completes (cycle 20);
+  // it finishes at 40; consumer at 40.
+  EXPECT_EQ(Max8.Cycles, 41u);
+}
+
+TEST(SimulatorTest, MaxOutstandingIdenticalWhenUnderLimit) {
+  BasicBlock BB = manyLoads(4);
+  Rng R1(5), R2(5);
+  BlockSimResult A =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(12), R1);
+  BlockSimResult B =
+      simulateBlock(BB, ProcessorModel::maxOutstanding(8), FixedSystem(12),
+                    R2);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+}
+
+TEST(SimulatorTest, MaxLengthBlocksAfterLimitCycles) {
+  // One 20-cycle load, then a stream of independent fillers. LEN-8 stalls
+  // the whole pipeline from cycle 8 until the load returns at 20.
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+  for (unsigned I = 0; I != 15; ++I)
+    BB.append(Instruction::makeLoadImm(vi(10 + I), I));
+  Rng R1(1), R2(1);
+  BlockSimResult Unl =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(20), R1);
+  BlockSimResult Len8 =
+      simulateBlock(BB, ProcessorModel::maxLength(8), FixedSystem(20), R2);
+  // UNLIMITED: 16 instructions, no stalls.
+  EXPECT_EQ(Unl.Cycles, 16u);
+  // LEN-8: fillers at 1..7; blocked 8..19; remaining 8 fillers at 20..27.
+  EXPECT_EQ(Len8.Cycles, 28u);
+  EXPECT_EQ(Len8.InterlockCycles, 12u);
+}
+
+TEST(SimulatorTest, MaxLengthNoEffectOnShortLoads) {
+  BasicBlock BB = loadThenUse();
+  Rng R1(1), R2(1);
+  BlockSimResult A =
+      simulateBlock(BB, ProcessorModel::unlimited(), FixedSystem(5), R1);
+  BlockSimResult B =
+      simulateBlock(BB, ProcessorModel::maxLength(8), FixedSystem(5), R2);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+}
+
+TEST(SimulatorTest, SuperscalarIssueWidth) {
+  // Four independent instructions, width 2: two cycles.
+  BasicBlock BB("b");
+  for (unsigned I = 0; I != 4; ++I)
+    BB.append(Instruction::makeLoadImm(vi(I), I));
+  Rng R(1);
+  ProcessorModel P = ProcessorModel::unlimited();
+  P.IssueWidth = 2;
+  BlockSimResult Res = simulateBlock(BB, P, FixedSystem(2), R);
+  EXPECT_EQ(Res.Cycles, 2u);
+  EXPECT_EQ(Res.InterlockCycles, 0u);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  BasicBlock BB = manyLoads(6);
+  CacheSystem Mem(0.8, 2, 10);
+  Rng R1(99), R2(99);
+  BlockSimResult A =
+      simulateBlock(BB, ProcessorModel::unlimited(), Mem, R1);
+  BlockSimResult B =
+      simulateBlock(BB, ProcessorModel::unlimited(), Mem, R2);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.InterlockCycles, B.InterlockCycles);
+}
+
+TEST(SimulatorTest, VariabilityAcrossSeeds) {
+  BasicBlock BB = manyLoads(6);
+  NetworkSystem Mem(5, 5);
+  RunningStat S;
+  for (uint64_t Seed = 0; Seed != 64; ++Seed) {
+    Rng R(Seed);
+    S.add(static_cast<double>(
+        simulateBlock(BB, ProcessorModel::unlimited(), Mem, R).Cycles));
+  }
+  EXPECT_GT(S.stddev(), 0.5); // Latency variance shows up in runtimes.
+}
+
+//===----------------------------------------------------------------------===
+// Figure 3: interlocks of the Figure 2 schedules across latencies
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Builds a Figure 1 program as real IR in a given order.
+/// Slots: L0 loads from a0, L1 loads from [L0's result], X4 consumes L1;
+/// X0..X3 are independent fillers.
+BasicBlock figure1Schedule(const std::vector<const char *> &Order) {
+  BasicBlock BB("fig");
+  for (const char *Name : Order) {
+    std::string S(Name);
+    if (S == "L0")
+      BB.append(Instruction::makeLoad(Opcode::Load, vi(1), vi(0), 0, 0));
+    else if (S == "L1")
+      BB.append(Instruction::makeLoad(Opcode::Load, vi(2), vi(1), 0, 0));
+    else if (S == "X4")
+      BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(3), vi(2), 1));
+    else // X0..X3 fillers.
+      BB.append(Instruction::makeLoadImm(vi(10 + S[1]), 7));
+  }
+  return BB;
+}
+
+uint64_t interlocksAt(const BasicBlock &BB, unsigned Latency) {
+  Rng R(1);
+  return simulateBlock(BB, ProcessorModel::unlimited(),
+                       FixedSystem(Latency), R)
+      .InterlockCycles;
+}
+
+} // namespace
+
+TEST(Figure3Test, BalancedBeatsGreedyAndLazyInMidRange) {
+  BasicBlock Greedy = figure1Schedule(
+      {"L0", "X0", "X1", "X2", "X3", "L1", "X4"}); // Figure 2a.
+  BasicBlock Lazy = figure1Schedule(
+      {"L0", "L1", "X0", "X1", "X2", "X3", "X4"}); // Figure 2b.
+  BasicBlock Balanced = figure1Schedule(
+      {"L0", "X0", "X1", "L1", "X2", "X3", "X4"}); // Figure 2c.
+
+  // Latency 1: schedules are equivalent (no interlocks anywhere).
+  EXPECT_EQ(interlocksAt(Greedy, 1), 0u);
+  EXPECT_EQ(interlocksAt(Lazy, 1), 0u);
+  EXPECT_EQ(interlocksAt(Balanced, 1), 0u);
+
+  // Latencies 2-4: balanced strictly better than both (Figure 3).
+  for (unsigned Lat = 2; Lat <= 4; ++Lat) {
+    uint64_t B = interlocksAt(Balanced, Lat);
+    EXPECT_LT(B, interlocksAt(Greedy, Lat)) << Lat;
+    EXPECT_LT(B, interlocksAt(Lazy, Lat)) << Lat;
+  }
+
+  // Large latencies: all equivalent again (asymptotically dominated by
+  // the serial load chain).
+  EXPECT_EQ(interlocksAt(Balanced, 12), interlocksAt(Greedy, 12));
+}

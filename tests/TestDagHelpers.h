@@ -1,0 +1,101 @@
+//===- tests/TestDagHelpers.h - Shared DAG construction helpers -*- C++ -*-==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for building hand-specified code DAGs (the paper's Figures 1, 4
+/// and 7) in tests and benchmarks. The instructions are structurally valid
+/// IR but dependence edges are added explicitly, so the DAG shape is
+/// exactly the figure's, independent of the dependence analyzer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_TESTS_TESTDAGHELPERS_H
+#define BSCHED_TESTS_TESTDAGHELPERS_H
+
+#include "dag/DepDag.h"
+#include "ir/BasicBlock.h"
+
+#include <utility>
+#include <vector>
+
+namespace bsched::fixtures {
+
+/// Builds a block whose instruction I is a load iff \p IsLoad[I]. Every
+/// instruction uses private live-in registers and a private alias class so
+/// the *automatic* dependence analyzer would find no edges; the caller adds
+/// the figure's edges by hand.
+inline BasicBlock makeFigureBlock(const std::vector<bool> &IsLoad) {
+  BasicBlock BB("figure");
+  for (unsigned I = 0; I != IsLoad.size(); ++I) {
+    Reg Dst = Reg::makeVirtual(RegClass::Int, I);
+    if (IsLoad[I]) {
+      Reg Base = Reg::makeVirtual(RegClass::Int, 100 + I);
+      BB.append(Instruction::makeLoad(Opcode::Load, Dst, Base, 0,
+                                      static_cast<AliasClassId>(I)));
+    } else {
+      Reg Src = Reg::makeVirtual(RegClass::Int, 200 + I);
+      BB.append(Instruction::makeBinaryImm(Opcode::AddI, Dst, Src,
+                                           static_cast<int64_t>(I)));
+    }
+  }
+  return BB;
+}
+
+/// Builds the DepDag for \p IsLoad with the given (from, to) data edges.
+inline DepDag
+makeFigureDag(const std::vector<bool> &IsLoad,
+              const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+  BasicBlock BB = makeFigureBlock(IsLoad);
+  DepDag Dag(BB);
+  for (auto [From, To] : Edges)
+    Dag.addEdge(From, To, DepKind::Data);
+  return Dag;
+}
+
+/// The paper's Figure 1 DAG. Node order: L0=0, L1=1, X0=2, X1=3, X2=4,
+/// X3=5, X4=6. L0 -> L1 -> X4; X0..X3 independent.
+inline DepDag makeFigure1Dag() {
+  return makeFigureDag(
+      {true, true, false, false, false, false, false},
+      {{0, 1}, {1, 6}});
+}
+
+/// The paper's Figure 4 DAG: L0=0, L1=1 and X0..X4 = 2..6, all mutually
+/// independent.
+inline DepDag makeFigure4Dag() {
+  return makeFigureDag({true, true, false, false, false, false, false}, {});
+}
+
+/// Node numbering for the Figure 7 reconstruction (see DESIGN.md):
+/// L1=0, L2=1, L3=2, L4=3, L5=4, L6=5, X1=6, X2=7, X3=8, X4=9.
+/// Edges: L2->{L3, X1, X2}; L3->{L4, L5}; L5->L6; X3->X2; X4->X2.
+/// Note X3/X4 precede X2 in the figure but our DepDag requires edges to
+/// point forward in index order, so X2 is placed *after* X3/X4 here; we
+/// instead order nodes L1 L2 L3 L4 L5 L6 X1 X3 X4 X2 and report indices.
+struct Figure7 {
+  static constexpr unsigned L1 = 0, L2 = 1, L3 = 2, L4 = 3, L5 = 4, L6 = 5,
+                            X1 = 6, X3 = 7, X4 = 8, X2 = 9;
+};
+
+/// Builds the Figure 7 reconstruction.
+inline DepDag makeFigure7Dag() {
+  using F = Figure7;
+  return makeFigureDag(
+      {true, true, true, true, true, true, false, false, false, false},
+      {{F::L2, F::L3},
+       {F::L2, F::X1},
+       {F::L2, F::X2},
+       {F::L3, F::L4},
+       {F::L3, F::L5},
+       {F::L5, F::L6},
+       {F::X3, F::X2},
+       {F::X4, F::X2}});
+}
+
+} // namespace bsched::fixtures
+
+#endif // BSCHED_TESTS_TESTDAGHELPERS_H

@@ -1,0 +1,150 @@
+//===- tests/TraceTest.cpp - Superblock formation tests -------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+#include "trace/TraceFormation.h"
+#include "workload/PerfectClub.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+Reg vi(unsigned Id) { return Reg::makeVirtual(RegClass::Int, Id); }
+
+/// A block holding \p N trivial instructions, appended to \p F.
+BasicBlock &addWork(Function &F, const std::string &Name, unsigned N,
+                    double Freq = 1.0) {
+  BasicBlock &BB = F.addBlock(Name, Freq);
+  for (unsigned I = 0; I != N; ++I)
+    BB.append(Instruction::makeLoadImm(F.makeVirtualReg(RegClass::Int),
+                                       static_cast<int64_t>(I)));
+  return BB;
+}
+} // namespace
+
+TEST(TraceFormationTest, MergesJumpChain) {
+  Function F("f");
+  addWork(F, "a", 3, 7.0).append(Instruction::makeJump(1));
+  addWork(F, "b", 2).append(Instruction::makeJump(2));
+  addWork(F, "c", 4).append(Instruction::makeRet());
+
+  TraceFormationResult R = formSuperblocks(F);
+  EXPECT_EQ(R.BlocksMerged, 2u);
+  ASSERT_EQ(R.Formed.numBlocks(), 1u);
+  // 3 + 2 + 4 instructions plus the surviving ret; internal jumps gone.
+  EXPECT_EQ(R.Formed.block(0).size(), 10u);
+  EXPECT_TRUE(R.Formed.block(0).hasTerminator());
+  EXPECT_DOUBLE_EQ(R.Formed.block(0).frequency(), 7.0);
+  EXPECT_TRUE(verifyFunction(R.Formed).empty());
+}
+
+TEST(TraceFormationTest, MergesFallthroughChain) {
+  Function F("f");
+  addWork(F, "a", 3); // No terminator: falls through.
+  addWork(F, "b", 2).append(Instruction::makeRet());
+  TraceFormationResult R = formSuperblocks(F);
+  EXPECT_EQ(R.BlocksMerged, 1u);
+  ASSERT_EQ(R.Formed.numBlocks(), 1u);
+  EXPECT_EQ(R.Formed.block(0).size(), 6u);
+}
+
+TEST(TraceFormationTest, MultiplePredecessorsBlockMerging) {
+  // Two blocks jump to the same join: the join cannot be absorbed.
+  Function F("f");
+  addWork(F, "a", 2).append(Instruction::makeJump(2));
+  addWork(F, "b", 2).append(Instruction::makeJump(2));
+  addWork(F, "join", 3).append(Instruction::makeRet());
+  TraceFormationResult R = formSuperblocks(F);
+  EXPECT_EQ(R.BlocksMerged, 0u);
+  EXPECT_EQ(R.Formed.numBlocks(), 3u);
+}
+
+TEST(TraceFormationTest, ConditionalBranchEndsChainAndRetargets) {
+  // head (cond) -> tail via fallthrough; taken edge jumps to exit. The
+  // exit is also reachable from tail, so nothing merges across it; but
+  // tail -> exit is exit's second pred, so exit is not absorbed.
+  Function F("f");
+  BasicBlock &Head = addWork(F, "head", 2);
+  Head.append(Instruction::makeBranch(Opcode::BranchNotZero, vi(0), 2));
+  addWork(F, "tail", 2).append(Instruction::makeJump(2));
+  addWork(F, "exit", 1).append(Instruction::makeRet());
+
+  TraceFormationResult R = formSuperblocks(F);
+  // tail has 1 pred (head fallthrough) but head's terminator is
+  // conditional, so head has no *unconditional* successor: no merge of
+  // head+tail; exit has 2 preds: no merge either.
+  EXPECT_EQ(R.BlocksMerged, 0u);
+  ASSERT_EQ(R.Formed.numBlocks(), 3u);
+  // Branch targets survive the (identity) remap.
+  const BasicBlock &H = R.Formed.block(0);
+  EXPECT_EQ(H[H.size() - 1].imm(), 2);
+}
+
+TEST(TraceFormationTest, BranchTargetsRemappedAfterMerge) {
+  // a -> b merge; c branches to c itself (loop) and exits via ret... use:
+  // a jumps to b (merge), c jumps to a-chain head.
+  Function F("f");
+  addWork(F, "a", 2).append(Instruction::makeJump(1));
+  addWork(F, "b", 2).append(Instruction::makeRet());
+  BasicBlock &C = addWork(F, "c", 1, 3.0);
+  C.append(Instruction::makeJump(0));
+
+  TraceFormationResult R = formSuperblocks(F);
+  EXPECT_EQ(R.BlocksMerged, 1u);
+  ASSERT_EQ(R.Formed.numBlocks(), 2u);
+  const BasicBlock &NewC = R.Formed.block(1);
+  EXPECT_EQ(NewC.name(), "c");
+  EXPECT_EQ(NewC[NewC.size() - 1].imm(), 0); // Still targets the a-chain.
+}
+
+TEST(TraceFormationTest, SelfLoopIsNotAbsorbed) {
+  Function F("f");
+  addWork(F, "loop", 2).append(Instruction::makeJump(0));
+  TraceFormationResult R = formSuperblocks(F);
+  EXPECT_EQ(R.BlocksMerged, 0u);
+  ASSERT_EQ(R.Formed.numBlocks(), 1u);
+  const BasicBlock &L = R.Formed.block(0);
+  EXPECT_EQ(L[L.size() - 1].opcode(), Opcode::Jump);
+}
+
+TEST(TraceSplitTest, SplitThenFormRoundTrips) {
+  Function F = buildBenchmark(Benchmark::FLO52Q);
+  Function Split = splitIntoChains(F, 8);
+  EXPECT_GT(Split.numBlocks(), F.numBlocks());
+  EXPECT_TRUE(verifyFunction(Split).empty());
+
+  TraceFormationResult R = formSuperblocks(Split);
+  ASSERT_EQ(R.Formed.numBlocks(), F.numBlocks());
+  // Chains collapse back to the original blocks (same schedulable code;
+  // original blocks had no terminators, pieces added internal jumps that
+  // formation strips again).
+  for (unsigned B = 0; B != F.numBlocks(); ++B) {
+    EXPECT_EQ(R.Formed.block(B).schedulableSize(),
+              F.block(B).schedulableSize())
+        << B;
+    EXPECT_DOUBLE_EQ(R.Formed.block(B).frequency(), F.block(B).frequency());
+  }
+}
+
+TEST(TraceSplitTest, PieceSizesRespectLimit) {
+  Function F = buildBenchmark(Benchmark::MDG);
+  Function Split = splitIntoChains(F, 10);
+  for (const BasicBlock &BB : Split)
+    EXPECT_LE(BB.schedulableSize(), 10u);
+}
+
+TEST(TraceSplitTest, SingleInstructionLimit) {
+  Function F("f");
+  addWork(F, "a", 3).append(Instruction::makeRet());
+  Function Split = splitIntoChains(F, 1);
+  EXPECT_EQ(Split.numBlocks(), 3u);
+  TraceFormationResult R = formSuperblocks(Split);
+  EXPECT_EQ(R.Formed.numBlocks(), 1u);
+  EXPECT_EQ(R.Formed.block(0).schedulableSize(), 3u);
+}

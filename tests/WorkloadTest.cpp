@@ -1,0 +1,220 @@
+//===- tests/WorkloadTest.cpp - Unit tests for workload generators --------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/DagBuilder.h"
+#include "dag/DagUtils.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+#include "workload/KernelGen.h"
+#include "workload/PerfectClub.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+/// Fraction of instructions in \p F that are loads.
+double loadFraction(const Function &F) {
+  unsigned Loads = 0, Total = 0;
+  for (const BasicBlock &BB : F)
+    for (const Instruction &I : BB) {
+      Total += 1;
+      Loads += I.isLoad();
+    }
+  return Total == 0 ? 0.0 : static_cast<double>(Loads) / Total;
+}
+
+Function buildKernel(void (*Emit)(KernelContext &), bool Fortran = true) {
+  Function F("k");
+  BasicBlock &BB = F.addBlock("b");
+  KernelContext Ctx(F, BB, Fortran, 1);
+  Emit(Ctx);
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Kernel patterns
+//===----------------------------------------------------------------------===
+
+TEST(KernelGenTest, StencilIsValidAndLoadRich) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitStencil1D(Ctx, "in", "out", 3, 4);
+  });
+  EXPECT_TRUE(verifyFunction(F).empty());
+  // Window reuse keeps reloads down: taps + one new load per iteration.
+  EXPECT_GT(loadFraction(F), 0.12);
+}
+
+TEST(KernelGenTest, StencilLoadsChainAcrossIterations) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitStencil1D(Ctx, "in", "out", 3, 4);
+  });
+  DepDag Dag = buildDag(F.block(0));
+  std::vector<unsigned> All(Dag.size());
+  for (unsigned I = 0; I != Dag.size(); ++I)
+    All[I] = I;
+  // The sliding window loads Taps values up front plus one new element
+  // per later iteration; the in-place cursor bump chains those leading-
+  // edge loads in series — the structure balanced scheduling's Chances
+  // divisor expects.
+  EXPECT_EQ(Dag.loadNodes().size(), 6u); // 3 window + 3 leading edge.
+  EXPECT_EQ(longestLoadPath(Dag, All), 4u);
+}
+
+TEST(KernelGenTest, GatherChaseLoadsAreSerial) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitGatherChase(Ctx, "idx", "data", "out", 3);
+  });
+  DepDag Dag = buildDag(F.block(0));
+  // Each iteration chains idx-load -> data-load.
+  std::vector<unsigned> All(Dag.size());
+  for (unsigned I = 0; I != Dag.size(); ++I)
+    All[I] = I;
+  EXPECT_GE(longestLoadPath(Dag, All), 2u);
+}
+
+TEST(KernelGenTest, ExprTreeKeepsManyValuesLive) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitExprTree(Ctx, "in", "out", 16);
+  });
+  EXPECT_TRUE(verifyFunction(F).empty());
+  // 16 leaves + 15 reduction ops + store + addressing setup.
+  EXPECT_GE(F.block(0).size(), 32u);
+}
+
+TEST(KernelGenTest, RecurrenceIsSerial) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitRecurrence(Ctx, "b", "out", 5);
+  });
+  DepDag Dag = buildDag(F.block(0));
+  // Critical path is nearly the whole block: serial fmadd chain.
+  EXPECT_GT(criticalPathLength(Dag), Dag.size() * 0.5);
+}
+
+TEST(KernelGenTest, ComplexMatMulShape) {
+  Function F = buildKernel([](KernelContext &Ctx) {
+    emitComplexMatMul3(Ctx, "a", "b", "c");
+  });
+  EXPECT_TRUE(verifyFunction(F).empty());
+  unsigned Loads = 0, Stores = 0;
+  for (const Instruction &I : F.block(0)) {
+    Loads += I.isLoad();
+    Stores += I.isStore();
+  }
+  // Row-blocked walk: each row of A is loaded once (18 loads) but the
+  // columns of B are re-walked per output element (54 loads).
+  EXPECT_EQ(Loads, 72u);
+  EXPECT_EQ(Stores, 18u); // 9 complex results.
+  EXPECT_GT(F.block(0).size(), 150u);
+}
+
+TEST(KernelGenTest, FortranAliasingSeparatesArrays) {
+  Function FFortran = buildKernel(
+      [](KernelContext &Ctx) { emitStencil1D(Ctx, "in", "out", 2, 2); },
+      /*Fortran=*/true);
+  Function FC = buildKernel(
+      [](KernelContext &Ctx) { emitStencil1D(Ctx, "in", "out", 2, 2); },
+      /*Fortran=*/false);
+  EXPECT_EQ(FFortran.numAliasClasses(), 2u);
+  EXPECT_EQ(FC.numAliasClasses(), 1u);
+}
+
+TEST(KernelGenTest, ConservativeAliasingAddsDependences) {
+  auto EdgeCount = [](bool Fortran) {
+    Function F("k");
+    BasicBlock &BB = F.addBlock("b");
+    KernelContext Ctx(F, BB, Fortran, 1);
+    emitStencil2D(Ctx, "in", "out", 8, 4);
+    // Different bases defeat same-base disambiguation, so cross-array
+    // ordering hinges on alias classes alone.
+    return buildDag(BB).numEdges();
+  };
+  EXPECT_GT(EdgeCount(false), EdgeCount(true));
+}
+
+//===----------------------------------------------------------------------===
+// Perfect Club stand-ins
+//===----------------------------------------------------------------------===
+
+class BenchmarkTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(BenchmarkTest, BuildsValidFunction) {
+  Function F = buildBenchmark(GetParam());
+  EXPECT_EQ(F.name(), benchmarkName(GetParam()));
+  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_GE(F.numBlocks(), 3u);
+  EXPECT_GT(F.totalInstructions(), 40u);
+}
+
+TEST_P(BenchmarkTest, Deterministic) {
+  Function A = buildBenchmark(GetParam());
+  Function B = buildBenchmark(GetParam());
+  EXPECT_EQ(printFunction(A), printFunction(B));
+}
+
+TEST_P(BenchmarkTest, HasProfiledFrequencies) {
+  Function F = buildBenchmark(GetParam());
+  double MaxFreq = 0.0, MinFreq = 1e30;
+  for (const BasicBlock &BB : F) {
+    MaxFreq = std::max(MaxFreq, BB.frequency());
+    MinFreq = std::min(MinFreq, BB.frequency());
+  }
+  EXPECT_GT(MaxFreq, MinFreq); // Hot and cold blocks differ.
+}
+
+TEST_P(BenchmarkTest, UnrollGrowsBlocks) {
+  WorkloadOptions Small, Large;
+  Small.UnrollFactor = 2;
+  Large.UnrollFactor = 8;
+  EXPECT_LT(buildBenchmark(GetParam(), Small).totalInstructions(),
+            buildBenchmark(GetParam(), Large).totalInstructions());
+}
+
+TEST_P(BenchmarkTest, ContainsLoads) {
+  EXPECT_GT(loadFraction(buildBenchmark(GetParam())), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkTest,
+                         ::testing::ValuesIn(allBenchmarks()),
+                         [](const auto &Info) {
+                           return benchmarkName(Info.param);
+                         });
+
+TEST(BenchmarkSuiteTest, EightBenchmarks) {
+  EXPECT_EQ(allBenchmarks().size(), 8u);
+}
+
+TEST(BenchmarkSuiteTest, PersonalitiesDiffer) {
+  // MDG is load-parallel; TRACK is serial. Check the structural signal the
+  // whole evaluation rests on: MDG's hot block has far more load-level
+  // parallelism than TRACK's.
+  Function Mdg = buildBenchmark(Benchmark::MDG);
+  Function Track = buildBenchmark(Benchmark::TRACK);
+
+  auto HotBlockParallelLoads = [](const Function &F) {
+    const BasicBlock *Hot = &F.block(0);
+    for (const BasicBlock &BB : F)
+      if (BB.frequency() > Hot->frequency())
+        Hot = &BB;
+    DepDag Dag = buildDag(*Hot);
+    std::vector<unsigned> All(Dag.size());
+    for (unsigned I = 0; I != Dag.size(); ++I)
+      All[I] = I;
+    unsigned NumLoads =
+        static_cast<unsigned>(Dag.loadNodes().size());
+    if (NumLoads == 0)
+      return 0.0;
+    // Loads per serial step: higher = more parallel.
+    return static_cast<double>(NumLoads) /
+           std::max(1u, longestLoadPath(Dag, All));
+  };
+
+  EXPECT_GT(HotBlockParallelLoads(Mdg), 2 * HotBlockParallelLoads(Track));
+}
