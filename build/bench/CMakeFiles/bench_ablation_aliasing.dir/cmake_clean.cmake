@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aliasing.dir/bench_ablation_aliasing.cpp.o"
+  "CMakeFiles/bench_ablation_aliasing.dir/bench_ablation_aliasing.cpp.o.d"
+  "bench_ablation_aliasing"
+  "bench_ablation_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

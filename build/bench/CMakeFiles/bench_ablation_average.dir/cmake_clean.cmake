@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_average.dir/bench_ablation_average.cpp.o"
+  "CMakeFiles/bench_ablation_average.dir/bench_ablation_average.cpp.o.d"
+  "bench_ablation_average"
+  "bench_ablation_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

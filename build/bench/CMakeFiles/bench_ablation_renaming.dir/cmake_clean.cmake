@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_renaming.dir/bench_ablation_renaming.cpp.o"
+  "CMakeFiles/bench_ablation_renaming.dir/bench_ablation_renaming.cpp.o.d"
+  "bench_ablation_renaming"
+  "bench_ablation_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

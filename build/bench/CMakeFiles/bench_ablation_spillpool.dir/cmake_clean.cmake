@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spillpool.dir/bench_ablation_spillpool.cpp.o"
+  "CMakeFiles/bench_ablation_spillpool.dir/bench_ablation_spillpool.cpp.o.d"
+  "bench_ablation_spillpool"
+  "bench_ablation_spillpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spillpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unionfind.dir/bench_ablation_unionfind.cpp.o"
+  "CMakeFiles/bench_ablation_unionfind.dir/bench_ablation_unionfind.cpp.o.d"
+  "bench_ablation_unionfind"
+  "bench_ablation_unionfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fp.dir/bench_ext_fp.cpp.o"
+  "CMakeFiles/bench_ext_fp.dir/bench_ext_fp.cpp.o.d"
+  "bench_ext_fp"
+  "bench_ext_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

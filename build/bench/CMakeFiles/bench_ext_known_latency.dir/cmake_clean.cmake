@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_known_latency.dir/bench_ext_known_latency.cpp.o"
+  "CMakeFiles/bench_ext_known_latency.dir/bench_ext_known_latency.cpp.o.d"
+  "bench_ext_known_latency"
+  "bench_ext_known_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_known_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

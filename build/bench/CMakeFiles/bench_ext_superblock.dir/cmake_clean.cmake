@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_superblock.dir/bench_ext_superblock.cpp.o"
+  "CMakeFiles/bench_ext_superblock.dir/bench_ext_superblock.cpp.o.d"
+  "bench_ext_superblock"
+  "bench_ext_superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

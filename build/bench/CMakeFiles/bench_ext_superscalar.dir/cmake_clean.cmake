@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_superscalar.dir/bench_ext_superscalar.cpp.o"
+  "CMakeFiles/bench_ext_superscalar.dir/bench_ext_superscalar.cpp.o.d"
+  "bench_ext_superscalar"
+  "bench_ext_superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_interlocks.dir/bench_fig3_interlocks.cpp.o"
+  "CMakeFiles/bench_fig3_interlocks.dir/bench_fig3_interlocks.cpp.o.d"
+  "bench_fig3_interlocks"
+  "bench_fig3_interlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_interlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_scaling.dir/bench_perf_scaling.cpp.o"
+  "CMakeFiles/bench_perf_scaling.dir/bench_perf_scaling.cpp.o.d"
+  "bench_perf_scaling"
+  "bench_perf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_weights.dir/bench_table1_weights.cpp.o"
+  "CMakeFiles/bench_table1_weights.dir/bench_table1_weights.cpp.o.d"
+  "bench_table1_weights"
+  "bench_table1_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

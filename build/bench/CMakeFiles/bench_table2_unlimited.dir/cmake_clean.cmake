@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_unlimited.dir/bench_table2_unlimited.cpp.o"
+  "CMakeFiles/bench_table2_unlimited.dir/bench_table2_unlimited.cpp.o.d"
+  "bench_table2_unlimited"
+  "bench_table2_unlimited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_unlimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

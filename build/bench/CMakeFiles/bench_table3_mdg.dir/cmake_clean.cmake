@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mdg.dir/bench_table3_mdg.cpp.o"
+  "CMakeFiles/bench_table3_mdg.dir/bench_table3_mdg.cpp.o.d"
+  "bench_table3_mdg"
+  "bench_table3_mdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

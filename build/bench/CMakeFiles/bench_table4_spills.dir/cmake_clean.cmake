@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_spills.dir/bench_table4_spills.cpp.o"
+  "CMakeFiles/bench_table4_spills.dir/bench_table4_spills.cpp.o.d"
+  "bench_table4_spills"
+  "bench_table4_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

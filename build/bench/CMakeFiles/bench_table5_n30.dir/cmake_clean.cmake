@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_n30.dir/bench_table5_n30.cpp.o"
+  "CMakeFiles/bench_table5_n30.dir/bench_table5_n30.cpp.o.d"
+  "bench_table5_n30"
+  "bench_table5_n30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_n30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_machine.dir/custom_machine.cpp.o"
+  "CMakeFiles/custom_machine.dir/custom_machine.cpp.o.d"
+  "custom_machine"
+  "custom_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

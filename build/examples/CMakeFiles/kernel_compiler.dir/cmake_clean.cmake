@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_compiler.dir/kernel_compiler.cpp.o"
+  "CMakeFiles/kernel_compiler.dir/kernel_compiler.cpp.o.d"
+  "kernel_compiler"
+  "kernel_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

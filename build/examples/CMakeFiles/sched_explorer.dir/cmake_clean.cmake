@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_explorer.dir/sched_explorer.cpp.o"
+  "CMakeFiles/sched_explorer.dir/sched_explorer.cpp.o.d"
+  "sched_explorer"
+  "sched_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("parser")
+subdirs("frontend")
+subdirs("trace")
+subdirs("dag")
+subdirs("sched")
+subdirs("regalloc")
+subdirs("sim")
+subdirs("stats")
+subdirs("workload")
+subdirs("pipeline")

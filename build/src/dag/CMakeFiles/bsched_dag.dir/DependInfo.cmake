@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/DagBuilder.cpp" "src/dag/CMakeFiles/bsched_dag.dir/DagBuilder.cpp.o" "gcc" "src/dag/CMakeFiles/bsched_dag.dir/DagBuilder.cpp.o.d"
+  "/root/repo/src/dag/DagUtils.cpp" "src/dag/CMakeFiles/bsched_dag.dir/DagUtils.cpp.o" "gcc" "src/dag/CMakeFiles/bsched_dag.dir/DagUtils.cpp.o.d"
+  "/root/repo/src/dag/DepDag.cpp" "src/dag/CMakeFiles/bsched_dag.dir/DepDag.cpp.o" "gcc" "src/dag/CMakeFiles/bsched_dag.dir/DepDag.cpp.o.d"
+  "/root/repo/src/dag/Reachability.cpp" "src/dag/CMakeFiles/bsched_dag.dir/Reachability.cpp.o" "gcc" "src/dag/CMakeFiles/bsched_dag.dir/Reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bsched_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_dag.dir/DagBuilder.cpp.o"
+  "CMakeFiles/bsched_dag.dir/DagBuilder.cpp.o.d"
+  "CMakeFiles/bsched_dag.dir/DagUtils.cpp.o"
+  "CMakeFiles/bsched_dag.dir/DagUtils.cpp.o.d"
+  "CMakeFiles/bsched_dag.dir/DepDag.cpp.o"
+  "CMakeFiles/bsched_dag.dir/DepDag.cpp.o.d"
+  "CMakeFiles/bsched_dag.dir/Reachability.cpp.o"
+  "CMakeFiles/bsched_dag.dir/Reachability.cpp.o.d"
+  "libbsched_dag.a"
+  "libbsched_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

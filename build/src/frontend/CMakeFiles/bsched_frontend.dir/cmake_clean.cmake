@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_frontend.dir/KernelLang.cpp.o"
+  "CMakeFiles/bsched_frontend.dir/KernelLang.cpp.o.d"
+  "libbsched_frontend.a"
+  "libbsched_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

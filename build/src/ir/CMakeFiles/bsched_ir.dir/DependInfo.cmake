@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/bsched_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/bsched_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/bsched_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/bsched_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/IrPrinter.cpp" "src/ir/CMakeFiles/bsched_ir.dir/IrPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/bsched_ir.dir/IrPrinter.cpp.o.d"
+  "/root/repo/src/ir/IrVerifier.cpp" "src/ir/CMakeFiles/bsched_ir.dir/IrVerifier.cpp.o" "gcc" "src/ir/CMakeFiles/bsched_ir.dir/IrVerifier.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/ir/CMakeFiles/bsched_ir.dir/Opcode.cpp.o" "gcc" "src/ir/CMakeFiles/bsched_ir.dir/Opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/bsched_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/bsched_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/bsched_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/bsched_ir.dir/IrPrinter.cpp.o"
+  "CMakeFiles/bsched_ir.dir/IrPrinter.cpp.o.d"
+  "CMakeFiles/bsched_ir.dir/IrVerifier.cpp.o"
+  "CMakeFiles/bsched_ir.dir/IrVerifier.cpp.o.d"
+  "CMakeFiles/bsched_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/bsched_ir.dir/Opcode.cpp.o.d"
+  "libbsched_ir.a"
+  "libbsched_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

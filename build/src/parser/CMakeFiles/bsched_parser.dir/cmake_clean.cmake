@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/bsched_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/bsched_parser.dir/Parser.cpp.o"
+  "CMakeFiles/bsched_parser.dir/Parser.cpp.o.d"
+  "libbsched_parser.a"
+  "libbsched_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

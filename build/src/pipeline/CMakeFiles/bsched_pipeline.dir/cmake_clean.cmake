@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_pipeline.dir/Experiment.cpp.o"
+  "CMakeFiles/bsched_pipeline.dir/Experiment.cpp.o.d"
+  "CMakeFiles/bsched_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/bsched_pipeline.dir/Pipeline.cpp.o.d"
+  "libbsched_pipeline.a"
+  "libbsched_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_regalloc.dir/LocalRegAlloc.cpp.o"
+  "CMakeFiles/bsched_regalloc.dir/LocalRegAlloc.cpp.o.d"
+  "CMakeFiles/bsched_regalloc.dir/RegisterRenaming.cpp.o"
+  "CMakeFiles/bsched_regalloc.dir/RegisterRenaming.cpp.o.d"
+  "libbsched_regalloc.a"
+  "libbsched_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

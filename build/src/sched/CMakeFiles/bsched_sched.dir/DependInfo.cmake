@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/AverageWeighter.cpp" "src/sched/CMakeFiles/bsched_sched.dir/AverageWeighter.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/AverageWeighter.cpp.o.d"
+  "/root/repo/src/sched/BalancedWeighter.cpp" "src/sched/CMakeFiles/bsched_sched.dir/BalancedWeighter.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/BalancedWeighter.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/sched/CMakeFiles/bsched_sched.dir/ListScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/Schedule.cpp" "src/sched/CMakeFiles/bsched_sched.dir/Schedule.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/Schedule.cpp.o.d"
+  "/root/repo/src/sched/TraditionalWeighter.cpp" "src/sched/CMakeFiles/bsched_sched.dir/TraditionalWeighter.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/TraditionalWeighter.cpp.o.d"
+  "/root/repo/src/sched/Weighter.cpp" "src/sched/CMakeFiles/bsched_sched.dir/Weighter.cpp.o" "gcc" "src/sched/CMakeFiles/bsched_sched.dir/Weighter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/bsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsched_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_sched.dir/AverageWeighter.cpp.o"
+  "CMakeFiles/bsched_sched.dir/AverageWeighter.cpp.o.d"
+  "CMakeFiles/bsched_sched.dir/BalancedWeighter.cpp.o"
+  "CMakeFiles/bsched_sched.dir/BalancedWeighter.cpp.o.d"
+  "CMakeFiles/bsched_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/bsched_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/bsched_sched.dir/Schedule.cpp.o"
+  "CMakeFiles/bsched_sched.dir/Schedule.cpp.o.d"
+  "CMakeFiles/bsched_sched.dir/TraditionalWeighter.cpp.o"
+  "CMakeFiles/bsched_sched.dir/TraditionalWeighter.cpp.o.d"
+  "CMakeFiles/bsched_sched.dir/Weighter.cpp.o"
+  "CMakeFiles/bsched_sched.dir/Weighter.cpp.o.d"
+  "libbsched_sched.a"
+  "libbsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/MemorySystem.cpp" "src/sim/CMakeFiles/bsched_sim.dir/MemorySystem.cpp.o" "gcc" "src/sim/CMakeFiles/bsched_sim.dir/MemorySystem.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/bsched_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/bsched_sim.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/bsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/bsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsched_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_sim.dir/MemorySystem.cpp.o"
+  "CMakeFiles/bsched_sim.dir/MemorySystem.cpp.o.d"
+  "CMakeFiles/bsched_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/bsched_sim.dir/Simulator.cpp.o.d"
+  "libbsched_sim.a"
+  "libbsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsched_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_stats.dir/Bootstrap.cpp.o"
+  "CMakeFiles/bsched_stats.dir/Bootstrap.cpp.o.d"
+  "libbsched_stats.a"
+  "libbsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

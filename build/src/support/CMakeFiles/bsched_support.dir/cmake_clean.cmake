@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_support.dir/Rng.cpp.o"
+  "CMakeFiles/bsched_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/bsched_support.dir/Statistics.cpp.o"
+  "CMakeFiles/bsched_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/bsched_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/bsched_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/bsched_support.dir/Table.cpp.o"
+  "CMakeFiles/bsched_support.dir/Table.cpp.o.d"
+  "libbsched_support.a"
+  "libbsched_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

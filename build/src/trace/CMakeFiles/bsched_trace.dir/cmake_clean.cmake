@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_trace.dir/TraceFormation.cpp.o"
+  "CMakeFiles/bsched_trace.dir/TraceFormation.cpp.o.d"
+  "libbsched_trace.a"
+  "libbsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsched_trace.a"
+)

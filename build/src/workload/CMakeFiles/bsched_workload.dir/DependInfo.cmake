@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/KernelGen.cpp" "src/workload/CMakeFiles/bsched_workload.dir/KernelGen.cpp.o" "gcc" "src/workload/CMakeFiles/bsched_workload.dir/KernelGen.cpp.o.d"
+  "/root/repo/src/workload/LineReuse.cpp" "src/workload/CMakeFiles/bsched_workload.dir/LineReuse.cpp.o" "gcc" "src/workload/CMakeFiles/bsched_workload.dir/LineReuse.cpp.o.d"
+  "/root/repo/src/workload/PerfectClub.cpp" "src/workload/CMakeFiles/bsched_workload.dir/PerfectClub.cpp.o" "gcc" "src/workload/CMakeFiles/bsched_workload.dir/PerfectClub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bsched_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_workload.dir/KernelGen.cpp.o"
+  "CMakeFiles/bsched_workload.dir/KernelGen.cpp.o.d"
+  "CMakeFiles/bsched_workload.dir/LineReuse.cpp.o"
+  "CMakeFiles/bsched_workload.dir/LineReuse.cpp.o.d"
+  "CMakeFiles/bsched_workload.dir/PerfectClub.cpp.o"
+  "CMakeFiles/bsched_workload.dir/PerfectClub.cpp.o.d"
+  "libbsched_workload.a"
+  "libbsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_test.dir/FrontendTest.cpp.o"
+  "CMakeFiles/frontend_test.dir/FrontendTest.cpp.o.d"
+  "frontend_test"
+  "frontend_test.pdb"
+  "frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/integration_test.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/IntegrationTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/bsched_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/bsched_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/bsched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsched_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/known_latency_test.dir/KnownLatencyTest.cpp.o"
+  "CMakeFiles/known_latency_test.dir/KnownLatencyTest.cpp.o.d"
+  "known_latency_test"
+  "known_latency_test.pdb"
+  "known_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/known_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regalloc_test.dir/RegAllocTest.cpp.o"
+  "CMakeFiles/regalloc_test.dir/RegAllocTest.cpp.o.d"
+  "regalloc_test"
+  "regalloc_test.pdb"
+  "regalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renaming_test.dir/RenamingTest.cpp.o"
+  "CMakeFiles/renaming_test.dir/RenamingTest.cpp.o.d"
+  "renaming_test"
+  "renaming_test.pdb"
+  "renaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
