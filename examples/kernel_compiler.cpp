@@ -53,12 +53,21 @@ kernel relax(w, r) freq 800 {
 
 } // namespace
 
+namespace {
+
+// Exit codes: 2 = frontend (parse/semantic) failure, 4 = pipeline or
+// simulation failure.
+constexpr int ExitFrontendError = 2;
+constexpr int ExitPipelineError = 4;
+
+} // namespace
+
 int main() {
   KernelLangResult Compiled = compileKernelLang(Source);
   if (!Compiled.ok()) {
-    for (const ParseDiag &D : Compiled.Diags)
-      std::fprintf(stderr, "error: %s\n", D.str().c_str());
-    return 1;
+    for (const Diagnostic &D : Compiled.Diags)
+      std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
+    return ExitFrontendError;
   }
 
   const Function &Program = *Compiled.Program;
@@ -82,8 +91,14 @@ int main() {
   Table T("Balanced vs traditional on the compiled program");
   T.setHeader({"System", "Trad runtime", "Bal runtime", "Imp%", "95% CI"});
   for (SystemSpec &S : Systems) {
-    SchedulerComparison Cmp =
-        compareSchedulers(Program, *S.Memory, S.OptLat, Sim);
+    ErrorOr<SchedulerComparison> CmpOr =
+        compareSchedulersChecked(Program, *S.Memory, S.OptLat, Sim);
+    if (!CmpOr) {
+      for (const Diagnostic &D : CmpOr.errors())
+        std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
+      return ExitPipelineError;
+    }
+    const SchedulerComparison &Cmp = *CmpOr;
     T.addRow({S.Memory->name(),
               formatDouble(Cmp.TraditionalSim.MeanRuntime / 1000.0, 1) + "k",
               formatDouble(Cmp.CandidateSim.MeanRuntime / 1000.0, 1) + "k",

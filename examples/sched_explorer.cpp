@@ -160,9 +160,17 @@ int main(int argc, char **argv) {
 
   ParseResult Result = parseIr(Source);
   if (!Result.ok()) {
-    for (const ParseDiag &D : Result.Diags)
-      std::fprintf(stderr, "error: %s\n", D.str().c_str());
-    return 1;
+    // Exit codes: 2 = lexical/syntactic failure, 3 = the text parsed but
+    // the IR failed verification.
+    bool VerifyFailure = false;
+    std::string_view Filename = Path ? Path : "<demo>";
+    for (const ParseDiag &D : Result.Diags) {
+      std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&
+          D.Code < DiagCode::FrontendSyntax)
+        VerifyFailure = true;
+    }
+    return VerifyFailure ? 3 : 2;
   }
 
   for (const Function &F : Result.Functions) {

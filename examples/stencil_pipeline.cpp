@@ -76,12 +76,25 @@ block body freq 1000 {
 
 } // namespace
 
+namespace {
+
+// Exit codes: 2 = parse/verify failure, 4 = pipeline/simulation failure.
+constexpr int ExitParseError = 2;
+constexpr int ExitPipelineError = 4;
+
+void printDiagnostics(const std::vector<Diagnostic> &Diags,
+                      std::string_view Filename) {
+  for (const Diagnostic &D : Diags)
+    std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+}
+
+} // namespace
+
 int main() {
-  std::string Error;
-  std::optional<Function> F = parseSingleFunction(StencilSource, &Error);
+  ErrorOr<Function> F = parseSingleFunction(StencilSource);
   if (!F) {
-    std::fprintf(stderr, "parse error:\n%s\n", Error.c_str());
-    return 1;
+    printDiagnostics(F.errors(), "<stencil>");
+    return ExitParseError;
   }
   std::printf("Parsed kernel:\n%s\n", printFunction(*F).c_str());
 
@@ -100,8 +113,13 @@ int main() {
   Table T("Balanced vs traditional on the smooth3 kernel");
   T.setHeader({"System", "Trad cycles", "Bal cycles", "Imp%", "95% CI"});
   for (SystemSpec &S : Systems) {
-    SchedulerComparison Cmp =
-        compareSchedulers(*F, *S.Memory, S.OptLat, Sim);
+    ErrorOr<SchedulerComparison> CmpOr =
+        compareSchedulersChecked(*F, *S.Memory, S.OptLat, Sim);
+    if (!CmpOr) {
+      printDiagnostics(CmpOr.errors(), "<stencil>");
+      return ExitPipelineError;
+    }
+    const SchedulerComparison &Cmp = *CmpOr;
     T.addRow({S.Memory->name(),
               formatDouble(Cmp.TraditionalSim.MeanRuntime, 0),
               formatDouble(Cmp.CandidateSim.MeanRuntime, 0),

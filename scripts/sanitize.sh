@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds and tests under ASan and UBSan (the robustness gate): the whole
+# tier-1 suite plus the 10k-iteration fuzz smoke must run clean in both.
+#
+# Usage: scripts/sanitize.sh [address] [undefined]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+  SANITIZERS=(address undefined)
+fi
+
+for SAN in "${SANITIZERS[@]}"; do
+  case "$SAN" in
+  address) PRESET=asan ;;
+  undefined) PRESET=ubsan ;;
+  *)
+    echo "unknown sanitizer '$SAN' (expected: address, undefined)" >&2
+    exit 2
+    ;;
+  esac
+  echo "== $SAN: configure + build (preset $PRESET) =="
+  cmake --preset "$PRESET"
+  cmake --build --preset "$PRESET" -j "$(nproc)"
+  echo "== $SAN: tier-1 tests + fuzz smoke =="
+  ctest --preset "$PRESET" -j "$(nproc)"
+done
+
+echo "sanitize: all clean"

@@ -21,6 +21,13 @@ using namespace bsched;
 
 namespace {
 
+bool hasErrors(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    if (D.isError())
+      return true;
+  return false;
+}
+
 //===----------------------------------------------------------------------===
 // AST
 //===----------------------------------------------------------------------===
@@ -86,13 +93,15 @@ private:
   void bump() {
     Tok = Lex.next();
     if (Tok.is(TokenKind::Error)) {
-      error(std::string(Tok.Text));
+      Errors.push_back({Tok.Line, Tok.Col, std::string(Tok.Text),
+                        Severity::Error, Tok.Code});
       Tok = Lex.next();
     }
   }
 
   void error(std::string Message) {
-    Errors.push_back({Tok.Line, Tok.Col, std::move(Message)});
+    Errors.push_back({Tok.Line, Tok.Col, std::move(Message), Severity::Error,
+                      DiagCode::FrontendSyntax});
   }
 
   bool expect(TokenKind Kind, const char *What) {
@@ -382,13 +391,14 @@ public:
       BasicBlock &BB = F.addBlock(K.Name, K.Freq);
       lowerKernel(F, BB, K);
     }
-    if (Result.Diags.empty())
+    if (!hasErrors(Result.Diags))
       Result.Program = std::move(F);
   }
 
 private:
   void diag(unsigned Line, std::string Message) {
-    Result.Diags.push_back({Line, 0, std::move(Message)});
+    Result.Diags.push_back({Line, 0, std::move(Message), Severity::Error,
+                            DiagCode::FrontendSemantic});
   }
 
   /// Array bookkeeping: one binding per source array, shared across
@@ -650,7 +660,7 @@ KernelLangResult bsched::compileKernelLang(std::string_view Source,
   KernelLangResult Result;
   LangParser Parser(Source);
   std::vector<KernelDecl> Kernels = Parser.run(Result.Diags);
-  if (!Result.Diags.empty())
+  if (hasErrors(Result.Diags))
     return Result;
   Lowering(Options, Result).run(Kernels);
   return Result;

@@ -73,10 +73,19 @@ struct ArrayBinding {
 struct KernelLangResult {
   /// One function containing one block per kernel; empty on error.
   std::optional<Function> Program;
-  std::vector<ParseDiag> Diags;
+  std::vector<Diagnostic> Diags;
   std::vector<ArrayBinding> Arrays;
 
-  bool ok() const { return Program.has_value() && Diags.empty(); }
+  /// True when a program was produced and no error-severity diagnostic
+  /// was raised (warnings are tolerated).
+  bool ok() const {
+    if (!Program.has_value())
+      return false;
+    for (const Diagnostic &D : Diags)
+      if (D.isError())
+        return false;
+    return true;
+  }
 
   /// Looks up the binding of array \p Name (nullptr if absent).
   const ArrayBinding *findArray(const std::string &Name) const {

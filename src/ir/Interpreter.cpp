@@ -53,6 +53,44 @@ int64_t safeFpToInt(double D) {
   return static_cast<int64_t>(D);
 }
 
+// Two's-complement wrapping arithmetic. Fuzzed programs reach arbitrary
+// register values, so every signed operation must be defined on the full
+// domain (the harness runs under UBSan).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapShl(int64_t A, int64_t N) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << (N & 63));
+}
+
+int64_t safeDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (A == std::numeric_limits<int64_t>::min() && B == -1)
+    return A; // Wraps to itself; the plain division would trap.
+  return A / B;
+}
+
+int64_t safeRem(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (B == -1)
+    return 0; // INT64_MIN % -1 traps despite the result being 0.
+  return A % B;
+}
+
 } // namespace
 
 void Interpreter::setIntReg(Reg R, int64_t Value) {
@@ -103,19 +141,19 @@ void Interpreter::run(const BasicBlock &BB) {
 
     switch (I.opcode()) {
     case Opcode::Add:
-      DefI(SrcI(0) + SrcI(1));
+      DefI(wrapAdd(SrcI(0), SrcI(1)));
       break;
     case Opcode::Sub:
-      DefI(SrcI(0) - SrcI(1));
+      DefI(wrapSub(SrcI(0), SrcI(1)));
       break;
     case Opcode::Mul:
-      DefI(SrcI(0) * SrcI(1));
+      DefI(wrapMul(SrcI(0), SrcI(1)));
       break;
     case Opcode::Div:
-      DefI(SrcI(1) == 0 ? 0 : SrcI(0) / SrcI(1));
+      DefI(safeDiv(SrcI(0), SrcI(1)));
       break;
     case Opcode::Rem:
-      DefI(SrcI(1) == 0 ? 0 : SrcI(0) % SrcI(1));
+      DefI(safeRem(SrcI(0), SrcI(1)));
       break;
     case Opcode::And:
       DefI(SrcI(0) & SrcI(1));
@@ -127,7 +165,7 @@ void Interpreter::run(const BasicBlock &BB) {
       DefI(SrcI(0) ^ SrcI(1));
       break;
     case Opcode::Shl:
-      DefI(SrcI(0) << (SrcI(1) & 63));
+      DefI(wrapShl(SrcI(0), SrcI(1)));
       break;
     case Opcode::Shr:
       DefI(static_cast<int64_t>(static_cast<uint64_t>(SrcI(0)) >>
@@ -137,13 +175,13 @@ void Interpreter::run(const BasicBlock &BB) {
       DefI(SrcI(0) < SrcI(1) ? 1 : 0);
       break;
     case Opcode::AddI:
-      DefI(SrcI(0) + I.imm());
+      DefI(wrapAdd(SrcI(0), I.imm()));
       break;
     case Opcode::MulI:
-      DefI(SrcI(0) * I.imm());
+      DefI(wrapMul(SrcI(0), I.imm()));
       break;
     case Opcode::ShlI:
-      DefI(SrcI(0) << (I.imm() & 63));
+      DefI(wrapShl(SrcI(0), I.imm()));
       break;
     case Opcode::LoadImm:
       DefI(I.imm());
@@ -186,17 +224,17 @@ void Interpreter::run(const BasicBlock &BB) {
       break;
     case Opcode::Load:
       DefI(static_cast<int64_t>(
-          loadRaw(I.aliasClass(), SrcI(0) + I.imm())));
+          loadRaw(I.aliasClass(), wrapAdd(SrcI(0), I.imm()))));
       break;
     case Opcode::FLoad:
-      DefF(doubleOfRaw(loadRaw(I.aliasClass(), SrcI(0) + I.imm())));
+      DefF(doubleOfRaw(loadRaw(I.aliasClass(), wrapAdd(SrcI(0), I.imm()))));
       break;
     case Opcode::Store:
-      storeRaw(I.aliasClass(), getIntReg(I.source(1)) + I.imm(),
+      storeRaw(I.aliasClass(), wrapAdd(getIntReg(I.source(1)), I.imm()),
                static_cast<uint64_t>(SrcI(0)));
       break;
     case Opcode::FStore:
-      storeRaw(I.aliasClass(), getIntReg(I.source(1)) + I.imm(),
+      storeRaw(I.aliasClass(), wrapAdd(getIntReg(I.source(1)), I.imm()),
                rawOfDouble(SrcF(0)));
       break;
     case Opcode::Nop:

@@ -9,47 +9,86 @@
 
 using namespace bsched;
 
-std::vector<std::string> bsched::verifyBlock(const BasicBlock &BB,
-                                             unsigned NumBlocks) {
-  std::vector<std::string> Errors;
-  auto Report = [&](unsigned Index, const std::string &Message) {
-    Errors.push_back("block '" + BB.name() + "', instruction " +
-                     std::to_string(Index) + ": " + Message);
+std::vector<Diagnostic> bsched::verifyBlock(const BasicBlock &BB,
+                                            unsigned NumBlocks) {
+  std::vector<Diagnostic> Diags;
+  auto Report = [&](Severity Sev, DiagCode Code, unsigned Index,
+                    const std::string &Message) {
+    Diags.push_back({0, 0,
+                     "block '" + BB.name() + "', instruction " +
+                         std::to_string(Index) + ": " + Message,
+                     Sev, Code});
   };
+  auto Error = [&](DiagCode Code, unsigned Index, const std::string &Msg) {
+    Report(Severity::Error, Code, Index, Msg);
+  };
+
+  if (BB.size() == 0)
+    Diags.push_back({0, 0, "block '" + BB.name() + "' is empty",
+                     Severity::Warning, DiagCode::VerifyEmptyBlock});
 
   for (unsigned I = 0, E = BB.size(); I != E; ++I) {
     const Instruction &Instr = BB[I];
+    Opcode Op = Instr.opcode();
 
     if (Instr.isTerminator() && I + 1 != E)
-      Report(I, "terminator is not the last instruction");
+      Error(DiagCode::VerifyTerminatorNotLast, I,
+            "terminator is not the last instruction");
 
-    if (Instr.hasDest() && !Instr.dest().isValid())
-      Report(I, "missing destination register");
+    if (Instr.hasDest()) {
+      if (!Instr.dest().isValid())
+        Error(DiagCode::VerifyMissingDest, I,
+              "missing destination register");
+      else if ((Instr.dest().regClass() == RegClass::Fp) !=
+               opcodeDestIsFp(Op))
+        Error(DiagCode::VerifyOperandClass, I,
+              "destination register class does not match opcode");
+    }
 
-    for (Reg Src : Instr.sources())
+    unsigned SrcIndex = 0;
+    for (Reg Src : Instr.sources()) {
       if (!Src.isValid())
-        Report(I, "invalid source operand");
+        Error(DiagCode::VerifyInvalidOperand, I, "invalid source operand");
+      else if ((Src.regClass() == RegClass::Fp) !=
+               opcodeSrcIsFp(Op, SrcIndex))
+        Error(DiagCode::VerifyOperandClass, I,
+              "source operand " + std::to_string(SrcIndex) +
+                  " register class does not match opcode");
+      ++SrcIndex;
+    }
 
     if (Instr.isMemory() && Instr.aliasClass() < 0)
-      Report(I, "memory operation without an alias class");
+      Error(DiagCode::VerifyMissingAliasClass, I,
+            "memory operation without an alias class");
 
-    if (NumBlocks != 0 && Instr.isTerminator() &&
-        Instr.opcode() != Opcode::Ret) {
+    if (NumBlocks != 0 && Instr.isTerminator() && Op != Opcode::Ret) {
       int64_t Target = Instr.imm();
       if (Target < 0 || Target >= static_cast<int64_t>(NumBlocks))
-        Report(I, "branch target " + std::to_string(Target) +
-                      " out of range (function has " +
-                      std::to_string(NumBlocks) + " blocks)");
+        Error(DiagCode::VerifyBranchOutOfRange, I,
+              "branch target " + std::to_string(Target) +
+                  " out of range (function has " +
+                  std::to_string(NumBlocks) + " blocks)");
     }
   }
-  return Errors;
+  return Diags;
 }
 
-std::vector<std::string> bsched::verifyFunction(const Function &F) {
-  std::vector<std::string> Errors;
+std::vector<Diagnostic> bsched::verifyFunction(const Function &F) {
+  std::vector<Diagnostic> Diags;
+  if (F.numBlocks() == 0)
+    Diags.push_back({0, 0, "function '" + F.name() + "' has no blocks",
+                     Severity::Warning, DiagCode::VerifyNoBlocks});
   for (const BasicBlock &BB : F) {
-    std::vector<std::string> BlockErrors = verifyBlock(BB, F.numBlocks());
-    Errors.insert(Errors.end(), BlockErrors.begin(), BlockErrors.end());
+    std::vector<Diagnostic> BlockDiags = verifyBlock(BB, F.numBlocks());
+    Diags.insert(Diags.end(), std::make_move_iterator(BlockDiags.begin()),
+                 std::make_move_iterator(BlockDiags.end()));
   }
-  return Errors;
+  return Diags;
+}
+
+bool bsched::verifyClean(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    if (D.isError())
+      return false;
+  return true;
 }

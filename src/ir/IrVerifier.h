@@ -7,8 +7,10 @@
 ///
 /// \file
 /// Structural well-formedness checks for functions and blocks, run by the
-/// parser and available to pipeline clients. Errors are reported as plain
-/// strings (library code never throws).
+/// parser and by the checked pipeline entry points. Problems are reported
+/// as collected \c Diagnostic records (library code never throws and never
+/// prints); degenerate-but-harmless shapes (an empty block) are warnings,
+/// everything else is an error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,20 +18,27 @@
 #define BSCHED_IR_IRVERIFIER_H
 
 #include "ir/Function.h"
+#include "support/Diagnostic.h"
 
-#include <string>
 #include <vector>
 
 namespace bsched {
 
 /// Returns all structural problems found in \p BB (empty when valid):
-/// terminators not in last position, invalid operands, branch targets out
-/// of range when \p NumBlocks is nonzero.
-std::vector<std::string> verifyBlock(const BasicBlock &BB,
-                                     unsigned NumBlocks = 0);
+/// terminators not in last position, missing/invalid operands, operand
+/// register classes that do not match the opcode, memory operations with
+/// no alias class, and branch targets out of range when \p NumBlocks is
+/// nonzero. An empty block yields a warning.
+std::vector<Diagnostic> verifyBlock(const BasicBlock &BB,
+                                    unsigned NumBlocks = 0);
 
 /// Returns all structural problems found in \p F (empty when valid).
-std::vector<std::string> verifyFunction(const Function &F);
+/// A function with no blocks yields a warning.
+std::vector<Diagnostic> verifyFunction(const Function &F);
+
+/// True when \p Diags contains no error-severity entry (warnings are
+/// tolerated).
+bool verifyClean(const std::vector<Diagnostic> &Diags);
 
 } // namespace bsched
 

@@ -65,12 +65,13 @@ Token Lexer::makeSimple(TokenKind Kind, unsigned Length) {
   return T;
 }
 
-Token Lexer::errorToken(const char *Message) {
+Token Lexer::errorToken(DiagCode Code, const char *Message) {
   Token T;
   T.Kind = TokenKind::Error;
   T.Text = Message;
   T.Line = Line;
   T.Col = Col;
+  T.Code = Code;
   advance(); // Consume the offending character so lexing can progress.
   return T;
 }
@@ -135,10 +136,12 @@ Token Lexer::lexRegister() {
   advance(); // % or $
   char ClassChar = peek();
   if (ClassChar != 'i' && ClassChar != 'f')
-    return errorToken("expected 'i' or 'f' after register sigil");
+    return errorToken(DiagCode::LexBadRegisterClass,
+                      "expected 'i' or 'f' after register sigil");
   advance();
   if (!isDigitChar(peek()))
-    return errorToken("expected register number");
+    return errorToken(DiagCode::LexBadRegisterNumber,
+                      "expected register number");
   uint64_t Id = 0;
   while (isDigitChar(peek())) {
     Id = Id * 10 + static_cast<uint64_t>(peek() - '0');
@@ -203,6 +206,6 @@ Token Lexer::next() {
       return lexIdent();
     if (isDigitChar(C))
       return lexNumber();
-    return errorToken("unexpected character");
+    return errorToken(DiagCode::LexUnexpectedChar, "unexpected character");
   }
 }

@@ -15,6 +15,7 @@
 #define BSCHED_PARSER_LEXER_H
 
 #include "ir/Reg.h"
+#include "support/Diagnostic.h"
 
 #include <cstdint>
 #include <string>
@@ -57,6 +58,7 @@ struct Token {
   Reg RegValue;             ///< For RegTok.
   unsigned Line = 1;
   unsigned Col = 1;
+  DiagCode Code = DiagCode::Unknown; ///< For Error: the diagnostic code.
 
   bool is(TokenKind K) const { return Kind == K; }
 };
@@ -80,7 +82,7 @@ private:
   Token lexIdent();
   Token lexNumber();
   Token lexRegister();
-  Token errorToken(const char *Message);
+  Token errorToken(DiagCode Code, const char *Message);
 
   std::string_view Buffer;
   size_t Pos = 0;

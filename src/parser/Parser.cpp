@@ -29,11 +29,11 @@ public:
         if (std::optional<Function> F = parseFunction())
           Result.Functions.push_back(std::move(*F));
       } else {
-        error("expected 'func'");
+        error(DiagCode::ParseExpectedToken, "expected 'func'");
         bump();
       }
     }
-    Result.Diags = std::move(Diags);
+    Result.Diags = Engine.take();
     return Result;
   }
 
@@ -45,7 +45,7 @@ private:
   void bump() {
     Tok = Lex.next();
     if (Tok.is(TokenKind::Error)) {
-      error(std::string(Tok.Text));
+      Engine.error(Tok.Code, Tok.Line, Tok.Col, std::string(Tok.Text));
       // Error tokens are pre-consumed by the lexer; fetch the next one.
       Tok = Lex.next();
     }
@@ -56,12 +56,12 @@ private:
       bump();
       return true;
     }
-    error(std::string("expected ") + What);
+    error(DiagCode::ParseExpectedToken, std::string("expected ") + What);
     return false;
   }
 
-  void error(std::string Message) {
-    Diags.push_back({Tok.Line, Tok.Col, std::move(Message)});
+  void error(DiagCode Code, std::string Message) {
+    Engine.error(Code, Tok.Line, Tok.Col, std::move(Message));
   }
 
   /// Skips tokens until one of the block/function delimiters, for recovery.
@@ -81,7 +81,7 @@ private:
     if (!expect(TokenKind::At, "'@' before function name"))
       return std::nullopt;
     if (!Tok.is(TokenKind::Ident)) {
-      error("expected function name");
+      error(DiagCode::ParseExpectedToken, "expected function name");
       return std::nullopt;
     }
     Function F(std::string(Tok.Text));
@@ -95,8 +95,7 @@ private:
     expect(TokenKind::RBrace, "'}' closing function");
 
     resolveBranchFixups(F);
-    for (const std::string &Err : verifyFunction(F))
-      Diags.push_back({0, 0, Err});
+    Engine.append(verifyFunction(F));
     return F;
   }
 
@@ -107,7 +106,7 @@ private:
       Name = std::string(Tok.Text);
       bump();
     } else {
-      error("expected block name");
+      error(DiagCode::ParseExpectedToken, "expected block name");
     }
 
     double Freq = 1.0;
@@ -120,7 +119,7 @@ private:
         Freq = Tok.FloatValue;
         bump();
       } else {
-        error("expected a number after 'freq'");
+        error(DiagCode::ParseBadImmediate, "expected a number after 'freq'");
       }
     }
 
@@ -151,25 +150,28 @@ private:
     }
 
     if (!Tok.is(TokenKind::Ident)) {
-      error("expected an instruction mnemonic");
+      error(DiagCode::ParseExpectedToken, "expected an instruction mnemonic");
       return false;
     }
     std::optional<Opcode> MaybeOp = parseOpcode(Tok.Text);
     if (!MaybeOp) {
-      error("unknown mnemonic '" + std::string(Tok.Text) + "'");
+      error(DiagCode::ParseUnknownMnemonic,
+            "unknown mnemonic '" + std::string(Tok.Text) + "'");
       return false;
     }
     Opcode Op = *MaybeOp;
     bump();
 
     if (opcodeHasDest(Op) != Dst.isValid()) {
-      error(opcodeHasDest(Op) ? "opcode requires a destination register"
+      error(DiagCode::ParseBadDestination,
+            opcodeHasDest(Op) ? "opcode requires a destination register"
                               : "opcode does not produce a result");
       return false;
     }
     if (Dst.isValid() &&
         (Dst.regClass() == RegClass::Fp) != opcodeDestIsFp(Op)) {
-      error("destination register class does not match opcode");
+      error(DiagCode::ParseBadDestination,
+            "destination register class does not match opcode");
       return false;
     }
 
@@ -220,7 +222,8 @@ private:
     if (Tok.is(TokenKind::At)) {
       bump();
       if (!Tok.is(TokenKind::Int) || Tok.IntValue == 0) {
-        error("expected a positive known latency after '@'");
+        error(DiagCode::ParseBadKnownLatency,
+              "expected a positive known latency after '@'");
         return false;
       }
       Load.setKnownLatency(static_cast<unsigned>(Tok.IntValue));
@@ -252,7 +255,7 @@ private:
       return false;
     if (!Tok.is(TokenKind::RegTok) ||
         Tok.RegValue.regClass() != RegClass::Int) {
-      error("expected integer base register");
+      error(DiagCode::ParseBadOperand, "expected integer base register");
       return false;
     }
     Base = Tok.RegValue;
@@ -264,7 +267,7 @@ private:
       bool Negative = Tok.is(TokenKind::Minus);
       bump();
       if (!Tok.is(TokenKind::Int)) {
-        error("expected offset after '+'/'-'");
+        error(DiagCode::ParseBadImmediate, "expected offset after '+'/'-'");
         return false;
       }
       Offset = static_cast<int64_t>(Tok.IntValue);
@@ -284,7 +287,8 @@ private:
       Alias = F.getOrCreateAliasClass(std::string(Tok.Text));
       bump();
     } else {
-      error("expected alias class name or number");
+      error(DiagCode::ParseExpectedToken,
+            "expected alias class name or number");
       return false;
     }
     return true;
@@ -310,7 +314,7 @@ private:
     if (Tok.is(TokenKind::At)) {
       bump();
       if (!Tok.is(TokenKind::Ident)) {
-        error("expected block name after '@'");
+        error(DiagCode::ParseExpectedToken, "expected block name after '@'");
         return false;
       }
       TargetName = std::string(Tok.Text);
@@ -320,7 +324,8 @@ private:
       Target = static_cast<int64_t>(Tok.IntValue);
       bump();
     } else {
-      error("expected '@blockname' or block index");
+      error(DiagCode::ParseExpectedToken,
+            "expected '@blockname' or block index");
       return false;
     }
 
@@ -335,13 +340,14 @@ private:
 
   bool parseRegOperand(Function &F, Opcode Op, unsigned SrcIndex, Reg &Out) {
     if (!Tok.is(TokenKind::RegTok)) {
-      error("expected register operand");
+      error(DiagCode::ParseBadOperand, "expected register operand");
       return false;
     }
     Out = Tok.RegValue;
     bool WantFp = opcodeSrcIsFp(Op, SrcIndex);
     if ((Out.regClass() == RegClass::Fp) != WantFp) {
-      error(WantFp ? "expected a floating-point register"
+      error(DiagCode::ParseBadOperand,
+            WantFp ? "expected a floating-point register"
                    : "expected an integer register");
       return false;
     }
@@ -357,7 +363,7 @@ private:
       bump();
     }
     if (!Tok.is(TokenKind::Int)) {
-      error("expected integer immediate");
+      error(DiagCode::ParseBadImmediate, "expected integer immediate");
       return false;
     }
     Out = static_cast<int64_t>(Tok.IntValue);
@@ -378,7 +384,8 @@ private:
     } else if (Tok.is(TokenKind::Int)) {
       Out = static_cast<double>(Tok.IntValue);
     } else {
-      error("expected floating-point immediate");
+      error(DiagCode::ParseBadImmediate,
+            "expected floating-point immediate");
       return false;
     }
     if (Negative)
@@ -398,8 +405,8 @@ private:
     for (const BranchFixup &Fix : BranchFixups) {
       auto It = BlockIndexByName.find(Fix.TargetName);
       if (It == BlockIndexByName.end()) {
-        Diags.push_back({Fix.Line, Fix.Col,
-                         "unknown branch target '@" + Fix.TargetName + "'"});
+        Engine.error(DiagCode::ParseUnknownBranchTarget, Fix.Line, Fix.Col,
+                     "unknown branch target '@" + Fix.TargetName + "'");
         continue;
       }
       F.block(Fix.BlockIndex)[Fix.InstrIndex].setImm(
@@ -419,7 +426,7 @@ private:
 
   Lexer Lex;
   Token Tok;
-  std::vector<ParseDiag> Diags;
+  DiagnosticEngine Engine;
   std::vector<BranchFixup> BranchFixups;
   std::unordered_map<std::string, unsigned> BlockIndexByName;
 };
@@ -430,22 +437,16 @@ ParseResult bsched::parseIr(std::string_view Buffer) {
   return Parser(Buffer).run();
 }
 
-std::optional<Function>
-bsched::parseSingleFunction(std::string_view Buffer, std::string *ErrorOut) {
+ErrorOr<Function> bsched::parseSingleFunction(std::string_view Buffer) {
   ParseResult Result = parseIr(Buffer);
   if (!Result.ok() || Result.Functions.size() != 1) {
-    if (ErrorOut) {
-      ErrorOut->clear();
-      if (Result.Functions.size() != 1 && Result.Diags.empty())
-        *ErrorOut = "expected exactly one function, found " +
-                    std::to_string(Result.Functions.size());
-      for (const ParseDiag &D : Result.Diags) {
-        if (!ErrorOut->empty())
-          *ErrorOut += '\n';
-        *ErrorOut += D.str();
-      }
-    }
-    return std::nullopt;
+    std::vector<Diagnostic> Diags = std::move(Result.Diags);
+    if (Result.Functions.size() != 1)
+      Diags.push_back({0, 0,
+                       "expected exactly one function, found " +
+                           std::to_string(Result.Functions.size()),
+                       Severity::Error, DiagCode::ParseNotSingleFunction});
+    return ErrorOr<Function>(std::move(Diags));
   }
   return std::move(Result.Functions.front());
 }

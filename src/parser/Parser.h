@@ -25,43 +25,40 @@
 #define BSCHED_PARSER_PARSER_H
 
 #include "ir/Function.h"
+#include "support/Diagnostic.h"
+#include "support/ErrorOr.h"
 
-#include <optional>
-#include <string>
 #include <string_view>
 #include <vector>
 
 namespace bsched {
 
-/// One parse diagnostic with its 1-based source position.
-struct ParseDiag {
-  unsigned Line = 0;
-  unsigned Col = 0;
-  std::string Message;
-
-  /// Renders "line L, col C: message".
-  std::string str() const {
-    return "line " + std::to_string(Line) + ", col " + std::to_string(Col) +
-           ": " + Message;
-  }
-};
+/// Historical name for a parser diagnostic; now the shared support type
+/// (severity + stable DiagCode + 1-based location).
+using ParseDiag = Diagnostic;
 
 /// The outcome of parsing a buffer: functions plus any diagnostics.
 struct ParseResult {
   std::vector<Function> Functions;
-  std::vector<ParseDiag> Diags;
+  std::vector<Diagnostic> Diags;
 
-  /// Returns true when parsing produced no diagnostics.
-  bool ok() const { return Diags.empty(); }
+  /// Returns true when parsing produced no error-severity diagnostics
+  /// (warnings — e.g. an empty block — are tolerated).
+  bool ok() const {
+    for (const Diagnostic &D : Diags)
+      if (D.isError())
+        return false;
+    return true;
+  }
 };
 
 /// Parses every function in \p Buffer.
 ParseResult parseIr(std::string_view Buffer);
 
-/// Parses a buffer expected to contain exactly one function. On failure
-/// returns std::nullopt and, if \p ErrorOut is non-null, a joined message.
-std::optional<Function> parseSingleFunction(std::string_view Buffer,
-                                            std::string *ErrorOut = nullptr);
+/// Parses a buffer expected to contain exactly one function. A failed
+/// result carries the parse diagnostics (or a ParseNotSingleFunction
+/// diagnostic when the buffer held zero or several functions).
+ErrorOr<Function> parseSingleFunction(std::string_view Buffer);
 
 } // namespace bsched
 

@@ -7,6 +7,7 @@
 
 #include "pipeline/Experiment.h"
 
+#include "ir/IrVerifier.h"
 #include "sim/Simulator.h"
 
 using namespace bsched;
@@ -73,6 +74,91 @@ SchedulerComparison bsched::compareSchedulers(const Function &Program,
       simulateProgram(Comparison.TraditionalCompiled, Memory, SimConfig);
   Comparison.CandidateSim =
       simulateProgram(Comparison.CandidateCompiled, Memory, SimConfig);
+
+  Comparison.Improvement =
+      pairedImprovement(Comparison.TraditionalSim.BootstrapRuntimes,
+                        Comparison.CandidateSim.BootstrapRuntimes);
+  return Comparison;
+}
+
+Status bsched::validateSimulationConfig(const SimulationConfig &Config) {
+  std::vector<Diagnostic> Diags;
+  auto BadConfig = [&](std::string Message) {
+    Diags.push_back({0, 0, std::move(Message), Severity::Error,
+                     DiagCode::SimBadConfig});
+  };
+  if (Config.NumRuns == 0)
+    BadConfig("simulation requires at least one run per block");
+  if (Config.NumResamples == 0)
+    BadConfig("bootstrap requires at least one resample");
+  if (Config.Processor.IssueWidth == 0)
+    BadConfig("processor issue width must be at least 1");
+  if (Config.Processor.Kind != ProcessorKind::Unlimited &&
+      Config.Processor.Limit == 0)
+    BadConfig("outstanding-load limit must be at least 1 for " +
+              Config.Processor.name());
+  return Status(std::move(Diags));
+}
+
+ErrorOr<ProgramSimResult>
+bsched::simulateProgramChecked(const CompiledFunction &Program,
+                               const MemorySystem &Memory,
+                               const SimulationConfig &Config) {
+  Status ConfigStatus = validateSimulationConfig(Config);
+  if (!ConfigStatus.ok())
+    return ErrorOr<ProgramSimResult>(ConfigStatus.diagnostics());
+
+  std::vector<Diagnostic> ProgramDiags = verifyFunction(Program.Compiled);
+  if (!verifyClean(ProgramDiags)) {
+    std::vector<Diagnostic> Diags;
+    Diags.push_back({0, 0,
+                     "cannot simulate invalid program '" +
+                         Program.Compiled.name() + "'",
+                     Severity::Error, DiagCode::PipelineInvalidInput});
+    for (Diagnostic &D : ProgramDiags)
+      Diags.push_back(std::move(D));
+    return ErrorOr<ProgramSimResult>(std::move(Diags));
+  }
+  return simulateProgram(Program, Memory, Config);
+}
+
+ErrorOr<SchedulerComparison>
+bsched::compareSchedulersChecked(const Function &Program,
+                                 const MemorySystem &Memory,
+                                 double OptimisticLatency,
+                                 const SimulationConfig &SimConfig,
+                                 SchedulerPolicy Candidate,
+                                 PipelineConfig Base) {
+  SchedulerComparison Comparison;
+
+  PipelineConfig TradConfig = Base;
+  TradConfig.Policy = SchedulerPolicy::Traditional;
+  TradConfig.OptimisticLatency = OptimisticLatency;
+  ErrorOr<CompiledFunction> Trad =
+      compilePipelineChecked(Program, TradConfig);
+  if (!Trad)
+    return ErrorOr<SchedulerComparison>(Trad.takeErrors());
+  Comparison.TraditionalCompiled = std::move(*Trad);
+
+  PipelineConfig CandConfig = Base;
+  CandConfig.Policy = Candidate;
+  ErrorOr<CompiledFunction> Cand =
+      compilePipelineChecked(Program, CandConfig);
+  if (!Cand)
+    return ErrorOr<SchedulerComparison>(Cand.takeErrors());
+  Comparison.CandidateCompiled = std::move(*Cand);
+
+  ErrorOr<ProgramSimResult> TradSim = simulateProgramChecked(
+      Comparison.TraditionalCompiled, Memory, SimConfig);
+  if (!TradSim)
+    return ErrorOr<SchedulerComparison>(TradSim.takeErrors());
+  Comparison.TraditionalSim = std::move(*TradSim);
+
+  ErrorOr<ProgramSimResult> CandSim =
+      simulateProgramChecked(Comparison.CandidateCompiled, Memory, SimConfig);
+  if (!CandSim)
+    return ErrorOr<SchedulerComparison>(CandSim.takeErrors());
+  Comparison.CandidateSim = std::move(*CandSim);
 
   Comparison.Improvement =
       pairedImprovement(Comparison.TraditionalSim.BootstrapRuntimes,

@@ -54,9 +54,24 @@ struct ProgramSimResult {
 };
 
 /// Simulates \p Program (a compiled function) on \p Memory.
+///
+/// Trusted-input entry point; use simulateProgramChecked when \p Program
+/// or \p Config comes from outside.
 ProgramSimResult simulateProgram(const CompiledFunction &Program,
                                  const MemorySystem &Memory,
                                  const SimulationConfig &Config);
+
+/// Validates the caller-supplied simulation knobs (nonzero run and
+/// resample counts, a sane processor model).
+Status validateSimulationConfig(const SimulationConfig &Config);
+
+/// Checked simulation: validates \p Config and verifies \p Program, then
+/// simulates. Failures come back as diagnostics instead of undefined
+/// behaviour under NDEBUG.
+ErrorOr<ProgramSimResult>
+simulateProgramChecked(const CompiledFunction &Program,
+                       const MemorySystem &Memory,
+                       const SimulationConfig &Config);
 
 /// The full comparison the paper's tables are built from: one program,
 /// one memory system, one processor; traditional (at a given optimistic
@@ -80,6 +95,17 @@ SchedulerComparison compareSchedulers(const Function &Program,
                                       SchedulerPolicy Candidate =
                                           SchedulerPolicy::Balanced,
                                       PipelineConfig Base = {});
+
+/// Failure-carrying variant of compareSchedulers for untrusted programs:
+/// both compilations run through compilePipelineChecked and both
+/// simulations through simulateProgramChecked, so one malformed kernel
+/// yields diagnostics rather than aborting a whole sweep.
+ErrorOr<SchedulerComparison>
+compareSchedulersChecked(const Function &Program, const MemorySystem &Memory,
+                         double OptimisticLatency,
+                         const SimulationConfig &SimConfig,
+                         SchedulerPolicy Candidate = SchedulerPolicy::Balanced,
+                         PipelineConfig Base = {});
 
 } // namespace bsched
 

@@ -7,6 +7,7 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "ir/IrVerifier.h"
 #include "regalloc/RegisterRenaming.h"
 
 #include "sched/AverageWeighter.h"
@@ -103,4 +104,74 @@ CompiledFunction bsched::compilePipeline(const Function &Input,
     Result.DynamicSpills += BB.frequency() * Spills;
   }
   return Result;
+}
+
+Status bsched::validatePipelineConfig(const PipelineConfig &Config) {
+  std::vector<Diagnostic> Diags;
+  auto BadConfig = [&](std::string Message) {
+    Diags.push_back({0, 0, std::move(Message), Severity::Error,
+                     DiagCode::PipelineBadConfig});
+  };
+
+  if (Config.SchedOptions.IssueWidth == 0)
+    BadConfig("issue width must be at least 1");
+  if (Config.Policy == SchedulerPolicy::Traditional &&
+      Config.OptimisticLatency <= 0.0)
+    BadConfig("optimistic latency must be positive, got " +
+              std::to_string(Config.OptimisticLatency));
+  if (Config.RunRegAlloc) {
+    // generalRegs() needs Total > Reserved + 2 per class; the integer
+    // class additionally reserves the frame pointer.
+    unsigned IntReserved = Config.Target.SpillPoolSize + 1;
+    unsigned FpReserved = Config.Target.SpillPoolSize;
+    if (Config.Target.NumIntRegs <= IntReserved + 2)
+      BadConfig("integer register file too small: " +
+                std::to_string(Config.Target.NumIntRegs) +
+                " registers cannot hold a spill pool of " +
+                std::to_string(Config.Target.SpillPoolSize));
+    if (Config.Target.NumFpRegs <= FpReserved + 2)
+      BadConfig("floating-point register file too small: " +
+                std::to_string(Config.Target.NumFpRegs) +
+                " registers cannot hold a spill pool of " +
+                std::to_string(Config.Target.SpillPoolSize));
+  }
+  return Status(std::move(Diags));
+}
+
+ErrorOr<CompiledFunction>
+bsched::compilePipelineChecked(const Function &Input,
+                               const PipelineConfig &Config) {
+  Status ConfigStatus = validatePipelineConfig(Config);
+  if (!ConfigStatus.ok())
+    return ErrorOr<CompiledFunction>(ConfigStatus.diagnostics());
+
+  std::vector<Diagnostic> InputDiags = verifyFunction(Input);
+  if (!verifyClean(InputDiags)) {
+    std::vector<Diagnostic> Diags;
+    Diags.push_back({0, 0,
+                     "input function '" + Input.name() +
+                         "' failed verification",
+                     Severity::Error, DiagCode::PipelineInvalidInput});
+    for (Diagnostic &D : InputDiags)
+      Diags.push_back(std::move(D));
+    return ErrorOr<CompiledFunction>(std::move(Diags));
+  }
+
+  CompiledFunction Compiled = compilePipeline(Input, Config);
+
+  // A scheduling or allocation defect that corrupts the output is reported
+  // as a diagnostic, not silently simulated: the sweep records the kernel
+  // as failed and carries on.
+  std::vector<Diagnostic> OutputDiags = verifyFunction(Compiled.Compiled);
+  if (!verifyClean(OutputDiags)) {
+    std::vector<Diagnostic> Diags;
+    Diags.push_back({0, 0,
+                     "pipeline produced invalid IR for function '" +
+                         Input.name() + "'",
+                     Severity::Error, DiagCode::PipelineInvalidOutput});
+    for (Diagnostic &D : OutputDiags)
+      Diags.push_back(std::move(D));
+    return ErrorOr<CompiledFunction>(std::move(Diags));
+  }
+  return Compiled;
 }

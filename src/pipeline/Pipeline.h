@@ -25,6 +25,7 @@
 #include "regalloc/LocalRegAlloc.h"
 #include "sched/LatencyModel.h"
 #include "sched/ListScheduler.h"
+#include "support/ErrorOr.h"
 
 #include <string>
 #include <vector>
@@ -109,8 +110,26 @@ struct CompiledFunction {
 };
 
 /// Runs the full pipeline on a copy of \p Input.
+///
+/// Trusted-input entry point: \p Input must already verify cleanly and
+/// \p Config must be valid; violations are internal-invariant territory.
+/// Untrusted callers (CLIs, sweeps over external kernels) use
+/// compilePipelineChecked instead.
 CompiledFunction compilePipeline(const Function &Input,
                                  const PipelineConfig &Config);
+
+/// Validates the caller-supplied knobs of \p Config: nonzero issue width,
+/// a positive optimistic latency, and register files large enough for the
+/// spill pool when allocation is enabled.
+Status validatePipelineConfig(const PipelineConfig &Config);
+
+/// Checked pipeline entry point for untrusted input: validates \p Config,
+/// verifies \p Input, compiles, then verifies the output. Any failure is
+/// returned as diagnostics instead of corrupting or aborting the caller —
+/// this is the unit of per-kernel fault isolation in the experiment
+/// harness.
+ErrorOr<CompiledFunction> compilePipelineChecked(const Function &Input,
+                                                 const PipelineConfig &Config);
 
 } // namespace bsched
 

@@ -1,0 +1,62 @@
+//===- pipeline/Sweep.cpp - Fault-isolated workload sweeps ----------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Sweep.h"
+
+using namespace bsched;
+
+std::string SweepResult::summary() const {
+  std::string Out = std::to_string(numSucceeded()) + " of " +
+                    std::to_string(Kernels.size()) + " kernels succeeded";
+  if (!degraded())
+    return Out;
+  Out += "; failed:";
+  bool First = true;
+  for (const SweepKernelOutcome &K : Kernels) {
+    if (K.ok())
+      continue;
+    Out += First ? " " : ", ";
+    First = false;
+    Out += K.Name + " (" + K.firstError() + ")";
+  }
+  return Out;
+}
+
+SweepResult bsched::runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
+                                     const MemorySystem &Memory,
+                                     const SimulationConfig &SimConfig,
+                                     const SweepOptions &Options) {
+  SweepResult Result;
+  Result.Kernels.reserve(Kernels.size());
+  for (const SweepEntry &Entry : Kernels) {
+    SweepKernelOutcome Outcome;
+    Outcome.Name = Entry.Name;
+    ErrorOr<SchedulerComparison> Comparison = compareSchedulersChecked(
+        Entry.Program, Memory, Options.OptimisticLatency, SimConfig,
+        Options.Candidate, Options.Base);
+    if (Comparison) {
+      Outcome.Comparison = std::move(*Comparison);
+    } else {
+      Outcome.Errors.push_back({0, 0,
+                                "kernel '" + Entry.Name + "' failed",
+                                Severity::Error,
+                                DiagCode::SweepKernelFailed});
+      for (Diagnostic &D : Comparison.takeErrors())
+        Outcome.Errors.push_back(std::move(D));
+    }
+    Result.Kernels.push_back(std::move(Outcome));
+  }
+  return Result;
+}
+
+std::vector<SweepEntry>
+bsched::perfectClubSweepEntries(const WorkloadOptions &Options) {
+  std::vector<SweepEntry> Entries;
+  for (Benchmark B : allBenchmarks())
+    Entries.push_back({benchmarkName(B), buildBenchmark(B, Options)});
+  return Entries;
+}

@@ -1,0 +1,103 @@
+//===- pipeline/Sweep.h - Fault-isolated workload sweeps -------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-isolated experiment sweep: run the scheduler comparison over
+/// a list of kernels so that one malformed or degenerate kernel is
+/// *recorded* as a failure while every remaining kernel still completes.
+/// The result carries a degraded-results summary ("N of M kernels
+/// succeeded; failed: X (...)") instead of the harness dying mid-sweep —
+/// a whole Perfect Club run should never be lost to one bad input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_PIPELINE_SWEEP_H
+#define BSCHED_PIPELINE_SWEEP_H
+
+#include "pipeline/Experiment.h"
+#include "workload/PerfectClub.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// One named kernel to sweep.
+struct SweepEntry {
+  std::string Name;
+  Function Program;
+};
+
+/// Sweep-wide knobs: which candidate policy runs against traditional and
+/// which pipeline configuration both share.
+struct SweepOptions {
+  SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
+  double OptimisticLatency = 2.0;
+  PipelineConfig Base;
+};
+
+/// Outcome of one kernel inside a sweep: the comparison on success, the
+/// diagnostics explaining the failure otherwise.
+struct SweepKernelOutcome {
+  std::string Name;
+  std::optional<SchedulerComparison> Comparison;
+  std::vector<Diagnostic> Errors;
+
+  bool ok() const { return Comparison.has_value(); }
+
+  /// First underlying error message (skipping the per-kernel
+  /// SweepKernelFailed wrapper), or empty when the kernel succeeded.
+  std::string firstError() const {
+    for (const Diagnostic &D : Errors)
+      if (D.isError() && D.Code != DiagCode::SweepKernelFailed)
+        return D.formatted();
+    for (const Diagnostic &D : Errors)
+      if (D.isError())
+        return D.formatted();
+    return {};
+  }
+};
+
+/// The whole sweep: per-kernel outcomes plus degraded-results accounting.
+struct SweepResult {
+  std::vector<SweepKernelOutcome> Kernels;
+
+  unsigned numSucceeded() const {
+    unsigned N = 0;
+    for (const SweepKernelOutcome &K : Kernels)
+      N += K.ok();
+    return N;
+  }
+
+  unsigned numFailed() const {
+    return static_cast<unsigned>(Kernels.size()) - numSucceeded();
+  }
+
+  /// True when at least one kernel failed (results are partial).
+  bool degraded() const { return numFailed() != 0; }
+
+  /// "8 of 8 kernels succeeded" or "7 of 8 kernels succeeded; failed:
+  /// MDG (error[BS501]: ...)".
+  std::string summary() const;
+};
+
+/// Runs the traditional-vs-candidate comparison over every entry. Each
+/// kernel goes through the checked pipeline and simulation; a failure is
+/// recorded in its outcome and the sweep continues with the next kernel.
+SweepResult runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
+                             const MemorySystem &Memory,
+                             const SimulationConfig &SimConfig,
+                             const SweepOptions &Options = {});
+
+/// Builds the eight Perfect Club stand-ins as sweep entries.
+std::vector<SweepEntry>
+perfectClubSweepEntries(const WorkloadOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_PIPELINE_SWEEP_H

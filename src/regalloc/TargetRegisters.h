@@ -20,6 +20,8 @@
 
 #include "ir/Reg.h"
 
+#include "support/Check.h"
+
 #include <cassert>
 
 namespace bsched {
@@ -51,7 +53,7 @@ struct TargetDescription {
   unsigned generalRegs(RegClass RC) const {
     unsigned Total = RC == RegClass::Fp ? NumFpRegs : NumIntRegs;
     unsigned Reserved = SpillPoolSize + (RC == RegClass::Int ? 1 : 0);
-    assert(Total > Reserved + 2 && "register file too small for the pool");
+    BSCHED_CHECK(Total > Reserved + 2, "register file too small for the pool");
     return Total - Reserved;
   }
 

@@ -19,6 +19,8 @@
 
 #include "ir/Instruction.h"
 
+#include "support/Check.h"
+
 #include <array>
 
 namespace bsched {
@@ -38,7 +40,7 @@ public:
 
   /// Overrides the latency of \p Op (section 6 extension: multi-cycle FP).
   void setOpLatency(Opcode Op, double Cycles) {
-    assert(Cycles >= 1.0 && "operation latency below one cycle");
+    BSCHED_CHECK(Cycles >= 1.0, "operation latency below one cycle");
     Latency[static_cast<unsigned>(Op)] = Cycles;
   }
 

@@ -56,7 +56,7 @@ public:
 class FixedSystem final : public MemorySystem {
 public:
   explicit FixedSystem(unsigned Latency) : Latency(Latency) {
-    assert(Latency >= 1 && "latency below one cycle");
+    BSCHED_CHECK(Latency >= 1, "latency below one cycle");
   }
   unsigned sampleLatency(Rng &) const override { return Latency; }
   double optimisticLatency() const override { return Latency; }
@@ -72,7 +72,7 @@ class CacheSystem final : public MemorySystem {
 public:
   CacheSystem(double HitRate, unsigned HitLatency, unsigned MissLatency)
       : HitRate(HitRate), HitLatency(HitLatency), MissLatency(MissLatency) {
-    assert(HitRate >= 0.0 && HitRate <= 1.0 && "hit rate out of range");
+    BSCHED_CHECK(HitRate >= 0.0 && HitRate <= 1.0, "hit rate out of range");
   }
   unsigned sampleLatency(Rng &R) const override;
   double optimisticLatency() const override { return HitLatency; }

@@ -23,7 +23,8 @@
 #ifndef BSCHED_SIM_PROCESSOR_H
 #define BSCHED_SIM_PROCESSOR_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <string>
 
 namespace bsched {
@@ -47,12 +48,12 @@ struct ProcessorModel {
   static ProcessorModel unlimited() { return {}; }
 
   static ProcessorModel maxOutstanding(unsigned N) {
-    assert(N >= 1 && "limit must be positive");
+    BSCHED_CHECK(N >= 1, "limit must be positive");
     return {ProcessorKind::MaxOutstanding, N, 1};
   }
 
   static ProcessorModel maxLength(unsigned N) {
-    assert(N >= 1 && "limit must be positive");
+    BSCHED_CHECK(N >= 1, "limit must be positive");
     return {ProcessorKind::MaxLength, N, 1};
   }
 

@@ -1,0 +1,19 @@
+//===- support/Check.cpp - Always-on invariant checks ---------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void bsched::detail::checkFailed(const char *File, unsigned Line,
+                                 const char *Condition, const char *Message) {
+  std::fprintf(stderr, "%s:%u: check failed: %s (%s)\n", File, Line,
+               Condition, Message);
+  std::fflush(stderr);
+  std::abort();
+}

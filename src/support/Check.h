@@ -1,0 +1,52 @@
+//===- support/Check.h - Always-on invariant checks ------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c BSCHED_CHECK: an invariant check that stays active under NDEBUG.
+///
+/// The default build type is RelWithDebInfo, which defines NDEBUG and
+/// compiles `assert()` out — so a plain assert guarding *untrusted input*
+/// (parsed text, caller-supplied configuration) silently vanishes in the
+/// build everyone runs. Policy (DESIGN.md):
+///
+///  - Input that can be *recovered from* returns ErrorOr / reports a
+///    Diagnostic — never a check of any kind.
+///  - Preconditions on caller-supplied values that cannot be recovered
+///    from mid-computation use BSCHED_CHECK: always on, message + source
+///    location, abort.
+///  - Internal invariants on state the library itself computed keep plain
+///    `assert`: free in release builds, active in debug and sanitizer CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_CHECK_H
+#define BSCHED_SUPPORT_CHECK_H
+
+namespace bsched {
+namespace detail {
+
+/// Prints "<file>:<line>: check failed: <cond> (<message>)" to stderr and
+/// aborts. Out-of-line so the macro expansion stays small.
+[[noreturn]] void checkFailed(const char *File, unsigned Line,
+                              const char *Condition, const char *Message);
+
+} // namespace detail
+} // namespace bsched
+
+/// Always-on invariant check (see file comment for when to use it over
+/// `assert`). Evaluates \p Cond exactly once.
+#define BSCHED_CHECK(Cond, Message)                                          \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::bsched::detail::checkFailed(__FILE__, __LINE__, #Cond, Message);     \
+  } while (false)
+
+/// Marks a path that must be impossible regardless of input.
+#define BSCHED_UNREACHABLE(Message)                                          \
+  ::bsched::detail::checkFailed(__FILE__, __LINE__, "unreachable", Message)
+
+#endif // BSCHED_SUPPORT_CHECK_H

@@ -1,0 +1,62 @@
+//===- support/Diagnostic.cpp - Recoverable-error diagnostics -------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+using namespace bsched;
+
+std::string_view bsched::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string bsched::diagCodeString(DiagCode Code) {
+  return "BS" + std::to_string(static_cast<unsigned>(Code));
+}
+
+std::string Diagnostic::str() const {
+  if (Line == 0 && Col == 0)
+    return Message;
+  return "line " + std::to_string(Line) + ", col " + std::to_string(Col) +
+         ": " + Message;
+}
+
+std::string Diagnostic::formatted(std::string_view Filename) const {
+  std::string Out;
+  if (!Filename.empty()) {
+    Out += Filename;
+    Out += ':';
+  }
+  if (Line != 0 || Col != 0) {
+    Out += std::to_string(Line) + ":" + std::to_string(Col) + ": ";
+  } else if (!Out.empty()) {
+    Out += ' ';
+  }
+  Out += severityName(Sev);
+  if (Code != DiagCode::Unknown)
+    Out += "[" + diagCodeString(Code) + "]";
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string bsched::joinDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}

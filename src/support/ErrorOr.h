@@ -1,0 +1,121 @@
+//===- support/ErrorOr.h - Result types carrying diagnostics ---*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c ErrorOr<T> and \c Status: the return types of the checked entry
+/// points. A failed result carries the diagnostics that explain it, so a
+/// harness can record *why* a kernel failed and keep sweeping the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_ERROROR_H
+#define BSCHED_SUPPORT_ERROROR_H
+
+#include "support/Check.h"
+#include "support/Diagnostic.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace bsched {
+
+/// Success, or a list of diagnostics explaining the failure.
+class Status {
+public:
+  /// Default: success.
+  Status() = default;
+
+  /// Failure carrying \p Diags (at least one must be Error severity for
+  /// the status to read as failed; warnings alone leave it ok).
+  explicit Status(std::vector<Diagnostic> Diags) : Diags(std::move(Diags)) {}
+
+  static Status success() { return Status(); }
+
+  static Status failure(Diagnostic D) {
+    Status S;
+    S.Diags.push_back(std::move(D));
+    return S;
+  }
+
+  static Status failure(DiagCode Code, std::string Message) {
+    return failure({0, 0, std::move(Message), Severity::Error, Code});
+  }
+
+  bool ok() const {
+    for (const Diagnostic &D : Diags)
+      if (D.isError())
+        return false;
+    return true;
+  }
+
+  explicit operator bool() const { return ok(); }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Newline-joined rendering of every diagnostic.
+  std::string errorText() const { return joinDiagnostics(Diags); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// Either a value or the diagnostics explaining why there is none.
+///
+/// Mirrors std::optional's access surface (has_value / operator* /
+/// operator-> / value), so converted call sites read the same; failure
+/// detail is available through errors() / errorText().
+template <typename T> class ErrorOr {
+public:
+  /// Success.
+  ErrorOr(T Value) : MaybeValue(std::move(Value)) {}
+
+  /// Failure with one diagnostic.
+  ErrorOr(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  /// Failure with a diagnostic list. \p Diags must contain at least one
+  /// error-severity entry; a value-less result needs an explanation.
+  ErrorOr(std::vector<Diagnostic> DiagList) : Diags(std::move(DiagList)) {
+    BSCHED_CHECK(!Diags.empty(),
+                 "ErrorOr failure requires at least one diagnostic");
+  }
+
+  bool has_value() const { return MaybeValue.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  T &operator*() { return *MaybeValue; }
+  const T &operator*() const { return *MaybeValue; }
+  T *operator->() { return &*MaybeValue; }
+  const T *operator->() const { return &*MaybeValue; }
+
+  T &value() {
+    BSCHED_CHECK(has_value(), "ErrorOr::value() on a failed result");
+    return *MaybeValue;
+  }
+  const T &value() const {
+    BSCHED_CHECK(has_value(), "ErrorOr::value() on a failed result");
+    return *MaybeValue;
+  }
+
+  /// Diagnostics attached to the result (failures always have some;
+  /// successes may carry warnings).
+  const std::vector<Diagnostic> &errors() const { return Diags; }
+
+  /// Moves the diagnostics out (for folding into another collection).
+  std::vector<Diagnostic> takeErrors() { return std::move(Diags); }
+
+  /// Newline-joined rendering of every diagnostic.
+  std::string errorText() const { return joinDiagnostics(Diags); }
+
+private:
+  std::optional<T> MaybeValue;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_ERROROR_H

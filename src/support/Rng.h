@@ -17,7 +17,8 @@
 #ifndef BSCHED_SUPPORT_RNG_H
 #define BSCHED_SUPPORT_RNG_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cstdint>
 
 namespace bsched {
@@ -62,7 +63,9 @@ public:
 
   /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
   uint64_t nextBounded(uint64_t Bound) {
-    assert(Bound != 0 && "nextBounded requires a nonzero bound");
+    // Always-on: Bound == 0 would divide by zero below, and callers often
+    // compute bounds from untrusted sizes.
+    BSCHED_CHECK(Bound != 0, "nextBounded requires a nonzero bound");
     // Debiased modulo via rejection sampling (Lemire-style threshold).
     uint64_t Threshold = (0 - Bound) % Bound;
     for (;;) {

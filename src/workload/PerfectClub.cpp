@@ -56,14 +56,14 @@ Function buildAdm(const WorkloadOptions &O) {
   unsigned U = O.UnrollFactor;
   {
     BlockEmitter E(F, O, "advect", 2000, 0xAD01);
-    emitStencil2D(E.Ctx, "wind", "conc", 16, std::max(2u, U - 1));
+    emitStencil2D(E.Ctx, "wind", "conc", 16, std::max(3u, U) - 1);
   }
   {
     BlockEmitter E(F, O, "diffuse", 1500, 0xAD02);
     // Two fused smoothing stages: the second stage reloads what the first
     // stored, chaining its loads behind the stores through memory.
-    emitStencil1D(E.Ctx, "conc", "dconc", 3, std::max(2u, U - 1));
-    emitStencil1D(E.Ctx, "dconc", "conc2", 2, std::max(2u, U - 1));
+    emitStencil1D(E.Ctx, "conc", "dconc", 3, std::max(3u, U) - 1);
+    emitStencil1D(E.Ctx, "dconc", "conc2", 2, std::max(3u, U) - 1);
   }
   {
     BlockEmitter E(F, O, "vertdif", 900, 0xAD03);
@@ -128,15 +128,15 @@ Function buildFlo52q(const WorkloadOptions &O) {
   unsigned U = O.UnrollFactor;
   {
     BlockEmitter E(F, O, "euler", 2500, 0xF501);
-    emitStencil2D(E.Ctx, "w", "fw", 12, std::max(2u, U - 2));
+    emitStencil2D(E.Ctx, "w", "fw", 12, std::max(4u, U) - 2);
   }
   {
     // Fused smooth + flux-add: the second stage's loads chain behind the
     // first stage's stores through memory (RAW on the dw array), so loads
     // cannot be hoisted into one cluster.
     BlockEmitter E(F, O, "smooth", 2000, 0xF502);
-    emitStencil1D(E.Ctx, "fw", "dw", 3, std::max(2u, U - 1));
-    emitStencil1D(E.Ctx, "dw", "w2", 2, std::max(2u, U - 1));
+    emitStencil1D(E.Ctx, "fw", "dw", 3, std::max(3u, U) - 1);
+    emitStencil1D(E.Ctx, "dw", "w2", 2, std::max(3u, U) - 1);
   }
   {
     BlockEmitter E(F, O, "resid", 300, 0xF504);

@@ -56,7 +56,7 @@ TEST(FrontendTest, CompilesMinimalKernel) {
   ASSERT_TRUE(R.ok()) << (R.Diags.empty() ? "" : R.Diags[0].str());
   ASSERT_EQ(R.Program->numBlocks(), 1u);
   EXPECT_EQ(R.Program->block(0).name(), "k");
-  EXPECT_TRUE(verifyFunction(*R.Program).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(*R.Program)));
   EXPECT_NE(R.findArray("a"), nullptr);
   EXPECT_EQ(R.findArray("zzz"), nullptr);
 }
@@ -221,7 +221,7 @@ kernel dot(x, y) freq 500 {
   PipelineConfig Config;
   Config.Policy = SchedulerPolicy::Balanced;
   CompiledFunction C = compilePipeline(*R.Program, Config);
-  EXPECT_TRUE(verifyFunction(C.Compiled).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   EXPECT_GT(C.DynamicInstructions, 0.0);
 }
 

@@ -1,0 +1,288 @@
+//===- tests/FuzzerMain.cpp - Deterministic mutation/round-trip fuzzer ----==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// A seeded fuzz harness over the input-facing layers. Three modes, all
+// driven from one support/Rng stream so every failure reproduces from
+// (--seed, --iters):
+//
+//   roundtrip   generate a random straight-line kernel, then require
+//               print -> parse -> verify -> interpret to reproduce the
+//               original: identical reprint, identical memory image.
+//   mutate      byte-mutate a valid printed kernel and feed it to the
+//               parser. Any outcome is acceptable except a crash, a
+//               sanitizer report, or an accepted function that fails
+//               verification.
+//   kernel-lang byte-mutate a valid frontend program and feed it to
+//               compileKernelLang under the same rules.
+//
+// Exit code 0 = clean; 1 = a property violation (details on stderr).
+// Registered in ctest under the label "fuzz-smoke"; intended to run under
+// BSCHED_SANITIZE=address and =undefined builds.
+//
+// Usage: fuzz_harness [--seed N] [--iters N] [--mode all|roundtrip|mutate|kernel-lang]
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/KernelLang.h"
+#include "ir/Interpreter.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+#include "parser/Parser.h"
+#include "support/Rng.h"
+#include "workload/KernelGen.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace bsched;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Random-program generation
+//===----------------------------------------------------------------------===//
+
+/// Builds a random straight-line kernel out of the workload generator's
+/// patterns. Always well-formed: generation goes through IrBuilder.
+Function makeRandomFunction(Rng &R) {
+  Function F("fuzz");
+  BasicBlock &BB = F.addBlock("body", 1.0 + static_cast<double>(
+                                                R.nextBounded(1000)));
+  KernelContext Ctx(F, BB, /*FortranAliasing=*/R.nextBernoulli(0.5),
+                    R.nextUInt64());
+  unsigned NumPatterns = 1 + static_cast<unsigned>(R.nextBounded(3));
+  for (unsigned P = 0; P != NumPatterns; ++P) {
+    unsigned Iters = 1 + static_cast<unsigned>(R.nextBounded(4));
+    switch (R.nextBounded(8)) {
+    case 0:
+      emitStencil1D(Ctx, "a", "b", 2 + R.nextBounded(3), Iters);
+      break;
+    case 1:
+      emitStencil2D(Ctx, "g", "h", 4 + R.nextBounded(12), Iters);
+      break;
+    case 2:
+      emitDotProduct(Ctx, "x", "y", "dot", Iters);
+      break;
+    case 3:
+      emitInteraction(Ctx, "pos", "frc", Iters);
+      break;
+    case 4:
+      emitGatherChase(Ctx, "idx", "dat", "acc", Iters);
+      break;
+    case 5:
+      emitExprTree(Ctx, "leaf", "tree", 2 + R.nextBounded(8));
+      break;
+    case 6:
+      emitRecurrence(Ctx, "co", "rec", 1 + R.nextBounded(6));
+      break;
+    default:
+      emitScalarSoup(Ctx, "soup", 1 + R.nextBounded(4),
+                     1 + R.nextBounded(4));
+      break;
+    }
+  }
+  if (R.nextBernoulli(0.5))
+    Ctx.builder().emitRet();
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation
+//===----------------------------------------------------------------------===//
+
+/// Characters the mutator may inject: the IR/kernel-lang alphabet plus
+/// syntax-significant punctuation, so mutants stay near the grammar.
+constexpr char MutationPool[] = "abcdefghijklmnopqrstuvwxyz"
+                                "0123456789"
+                                "%$@!#{}[]()+-*/=,.;<>_ \t\n";
+
+std::string mutateText(std::string Text, Rng &R) {
+  unsigned NumEdits = 1 + static_cast<unsigned>(R.nextBounded(8));
+  for (unsigned E = 0; E != NumEdits && !Text.empty(); ++E) {
+    size_t At = static_cast<size_t>(R.nextBounded(Text.size()));
+    char C = MutationPool[R.nextBounded(sizeof(MutationPool) - 1)];
+    switch (R.nextBounded(4)) {
+    case 0: // Replace one byte.
+      Text[At] = C;
+      break;
+    case 1: // Delete one byte.
+      Text.erase(At, 1);
+      break;
+    case 2: // Insert one byte.
+      Text.insert(At, 1, C);
+      break;
+    default: { // Duplicate a short chunk elsewhere (token-level chaos).
+      size_t Len = 1 + static_cast<size_t>(R.nextBounded(16));
+      Len = std::min(Len, Text.size() - At);
+      std::string Chunk = Text.substr(At, Len);
+      Text.insert(static_cast<size_t>(R.nextBounded(Text.size() + 1)),
+                  Chunk);
+      break;
+    }
+    }
+  }
+  return Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Properties
+//===----------------------------------------------------------------------===//
+
+unsigned Failures = 0;
+
+void fail(uint64_t Iter, const char *Mode, const std::string &Detail,
+          const std::string &Input) {
+  ++Failures;
+  std::fprintf(stderr, "FAIL iter %" PRIu64 " [%s]: %s\n", Iter, Mode,
+               Detail.c_str());
+  std::fprintf(stderr, "---- input ----\n%s\n---------------\n",
+               Input.c_str());
+}
+
+/// print -> parse -> verify -> interpret must reproduce the generated
+/// program exactly.
+void runRoundTrip(uint64_t Iter, Rng &R) {
+  Function Original = makeRandomFunction(R);
+  std::string Printed = printFunction(Original);
+
+  ErrorOr<Function> Reparsed = parseSingleFunction(Printed);
+  if (!Reparsed) {
+    fail(Iter, "roundtrip", "printed IR failed to reparse: " +
+                                Reparsed.errorText(), Printed);
+    return;
+  }
+  if (!verifyClean(verifyFunction(*Reparsed))) {
+    fail(Iter, "roundtrip",
+         "reparsed IR failed verification: " +
+             joinDiagnostics(verifyFunction(*Reparsed)),
+         Printed);
+    return;
+  }
+  std::string Reprinted = printFunction(*Reparsed);
+  if (Reprinted != Printed) {
+    fail(Iter, "roundtrip", "reprint differs:\n" + Reprinted, Printed);
+    return;
+  }
+
+  // Execution equivalence: same memory image and instruction count.
+  Interpreter A, B;
+  A.run(Original.block(0));
+  B.run(Reparsed->block(0));
+  if (A.instructionsExecuted() != B.instructionsExecuted()) {
+    fail(Iter, "roundtrip", "instruction counts diverge", Printed);
+    return;
+  }
+  if (A.memoryImage() != B.memoryImage())
+    fail(Iter, "roundtrip", "memory images diverge after reparse", Printed);
+}
+
+/// Mutated IR text may be rejected, but must never crash the parser, and
+/// anything accepted must verify cleanly (the parser runs the verifier).
+void runMutate(uint64_t Iter, Rng &R) {
+  std::string Mutant = mutateText(printFunction(makeRandomFunction(R)), R);
+  ParseResult Result = parseIr(Mutant);
+  if (!Result.ok())
+    return; // Rejection with diagnostics is a pass.
+  for (const Function &F : Result.Functions)
+    if (!verifyClean(verifyFunction(F))) {
+      fail(Iter, "mutate",
+           "parser accepted a function that fails verification: " +
+               joinDiagnostics(verifyFunction(F)),
+           Mutant);
+      return;
+    }
+  // Accepted programs must also print and interpret without incident.
+  for (const Function &F : Result.Functions) {
+    printFunction(F);
+    Interpreter I;
+    for (const BasicBlock &BB : F)
+      I.run(BB);
+  }
+}
+
+/// The frontend seed program the kernel-lang mutator perturbs.
+const char *KernelLangSeed = R"(
+kernel smooth(u, v) freq 2000 {
+  for i = 0 to 32 unroll 4 {
+    v[i] = 0.25*u[i-1] + 0.5*u[i] + 0.25*u[i+1];
+  }
+}
+
+kernel dot(x, y) freq 1200 {
+  s = 0.0;
+  for i = 0 to 24 unroll 6 {
+    s = s + x[i] * y[i];
+  }
+  result[0] = s;
+}
+)";
+
+/// Mutated kernel-lang text may be rejected, but must never crash the
+/// frontend, and an accepted program must verify cleanly.
+void runKernelLang(uint64_t Iter, Rng &R) {
+  std::string Mutant = mutateText(KernelLangSeed, R);
+  KernelLangResult Result = compileKernelLang(Mutant);
+  if (!Result.ok())
+    return;
+  if (!verifyClean(verifyFunction(*Result.Program)))
+    fail(Iter, "kernel-lang",
+         "frontend accepted a program that fails verification: " +
+             joinDiagnostics(verifyFunction(*Result.Program)),
+         Mutant);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 0xB5C0FFEEULL;
+  uint64_t Iters = 10000;
+  std::string Mode = "all";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 0);
+    else if (std::strcmp(argv[I], "--iters") == 0 && I + 1 < argc)
+      Iters = std::strtoull(argv[++I], nullptr, 0);
+    else if (std::strcmp(argv[I], "--mode") == 0 && I + 1 < argc)
+      Mode = argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--iters N] "
+                   "[--mode all|roundtrip|mutate|kernel-lang]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Rng Root(Seed);
+  for (uint64_t Iter = 0; Iter != Iters; ++Iter) {
+    // Each iteration gets its own split stream, so a failure reproduces
+    // with --iters <iter+1> without replaying unrelated draws.
+    Rng R = Root.split(Iter);
+    if (Mode == "roundtrip" || (Mode == "all" && Iter % 3 == 0))
+      runRoundTrip(Iter, R);
+    else if (Mode == "mutate" || (Mode == "all" && Iter % 3 == 1))
+      runMutate(Iter, R);
+    else if (Mode == "kernel-lang" || (Mode == "all" && Iter % 3 == 2))
+      runKernelLang(Iter, R);
+    else {
+      std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
+      return 2;
+    }
+  }
+
+  if (Failures != 0) {
+    std::fprintf(stderr, "%u failure(s) over %" PRIu64 " iterations\n",
+                 Failures, Iters);
+    return 1;
+  }
+  std::printf("fuzz: %" PRIu64 " iterations clean (seed 0x%" PRIX64
+              ", mode %s)\n",
+              Iters, Seed, Mode.c_str());
+  return 0;
+}

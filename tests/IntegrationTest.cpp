@@ -47,7 +47,7 @@ TEST_P(PipelineSweepTest, CompilesValidDeterministicCode) {
 
   CompiledFunction First = compilePipeline(F, Config);
   CompiledFunction Second = compilePipeline(F, Config);
-  EXPECT_TRUE(verifyFunction(First.Compiled).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(First.Compiled)));
   EXPECT_EQ(printFunction(First.Compiled), printFunction(Second.Compiled));
   EXPECT_EQ(First.StaticSpills, Second.StaticSpills);
 }
@@ -134,10 +134,10 @@ TEST(TracePipelineTest, FormedRegionsScheduleAndSimulate) {
   Function F = buildBenchmark(Benchmark::FLO52Q);
   Function Split = splitIntoChains(F, 8);
   TraceFormationResult Formed = formSuperblocks(Split);
-  ASSERT_TRUE(verifyFunction(Formed.Formed).empty());
+  ASSERT_TRUE(verifyClean(verifyFunction(Formed.Formed)));
 
   CompiledFunction C = compilePipeline(Formed.Formed, {});
-  EXPECT_TRUE(verifyFunction(C.Compiled).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   NetworkSystem Memory(3, 5);
   SimulationConfig Sim;
   Sim.NumRuns = 8;

@@ -251,7 +251,7 @@ TEST(IrBuilderTest, EmitsWellFormedKernel) {
 
   EXPECT_EQ(BB.size(), 6u);
   EXPECT_TRUE(BB.hasTerminator());
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
 }
 
 TEST(IrBuilderTest, StoreSelectsOpcodeByClass) {
@@ -275,23 +275,24 @@ TEST(VerifierTest, AcceptsValidBlock) {
   BasicBlock BB("ok");
   BB.append(Instruction::makeLoadImm(vi(0), 5));
   BB.append(Instruction::makeRet());
-  EXPECT_TRUE(verifyBlock(BB).empty());
+  EXPECT_TRUE(verifyClean(verifyBlock(BB)));
 }
 
 TEST(VerifierTest, RejectsOutOfRangeBranchTarget) {
   Function F("f");
   BasicBlock &BB = F.addBlock("b");
   BB.append(Instruction::makeJump(5));
-  std::vector<std::string> Errors = verifyFunction(F);
+  std::vector<Diagnostic> Errors = verifyFunction(F);
   ASSERT_EQ(Errors.size(), 1u);
-  EXPECT_NE(Errors[0].find("out of range"), std::string::npos);
+  EXPECT_EQ(Errors[0].Code, DiagCode::VerifyBranchOutOfRange);
+  EXPECT_NE(Errors[0].Message.find("out of range"), std::string::npos);
 }
 
 TEST(VerifierTest, AcceptsInRangeBranchTarget) {
   Function F("f");
   F.addBlock("a").append(Instruction::makeJump(1));
   F.addBlock("b").append(Instruction::makeRet());
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
 }
 
 //===----------------------------------------------------------------------===

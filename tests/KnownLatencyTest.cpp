@@ -37,17 +37,16 @@ TEST(KnownLatencyTest, ParserRoundTrip) {
                     "%f0 = fload [%i0 + 0] !a\n"
                     "%f1 = fload [%i0 + 8] !a @2\n"
                     "ret } }";
-  std::string Error;
-  std::optional<Function> F = parseSingleFunction(Src, &Error);
-  ASSERT_TRUE(F.has_value()) << Error;
+  ErrorOr<Function> F = parseSingleFunction(Src);
+  ASSERT_TRUE(F.has_value()) << F.errorText();
   EXPECT_FALSE((*F).block(0)[1].hasKnownLatency());
   ASSERT_TRUE((*F).block(0)[2].hasKnownLatency());
   EXPECT_EQ((*F).block(0)[2].knownLatency(), 2u);
 
   // Printed form reparses identically.
   std::string Printed = printFunction(*F);
-  std::optional<Function> F2 = parseSingleFunction(Printed, &Error);
-  ASSERT_TRUE(F2.has_value()) << Error << "\n" << Printed;
+  ErrorOr<Function> F2 = parseSingleFunction(Printed);
+  ASSERT_TRUE(F2.has_value()) << F2.errorText() << "\n" << Printed;
   EXPECT_EQ(printFunction(*F2), Printed);
 }
 

@@ -131,7 +131,7 @@ TEST(ParserTest, ParsesSampleKernel) {
 }
 
 TEST(ParserTest, AliasClassesInterned) {
-  std::optional<Function> F = parseSingleFunction(SampleKernel);
+  ErrorOr<Function> F = parseSingleFunction(SampleKernel);
   ASSERT_TRUE(F.has_value());
   // !x -> 0, !y -> 1 in first-appearance order.
   EXPECT_EQ((*F).block(0)[2].aliasClass(), 0);
@@ -142,7 +142,7 @@ TEST(ParserTest, AliasClassesInterned) {
 TEST(ParserTest, NumericAliasClasses) {
   const char *Src = "func @f { block b { %i0 = li 0\n"
                     "%i1 = load [%i0 + 0] !7\nret } }";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_EQ((*F).block(0)[1].aliasClass(), 7);
 }
@@ -154,7 +154,7 @@ TEST(ParserTest, NegativeOffsetsAndImmediates) {
                     "%f0 = fli -2.5\n"
                     "%i2 = load [%i0 - 16] !m\n"
                     "ret } }";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_EQ((*F).block(0)[0].imm(), -5);
   EXPECT_EQ((*F).block(0)[1].imm(), -3);
@@ -177,7 +177,7 @@ block exit {
 }
 }
 )";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_EQ((*F).block(0)[1].imm(), 2); // @exit
   EXPECT_EQ((*F).block(1)[0].imm(), 0); // @head
@@ -185,7 +185,7 @@ block exit {
 
 TEST(ParserTest, BranchTargetsByIndex) {
   const char *Src = "func @f { block a { jump 1 } block b { ret } }";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_EQ((*F).block(0)[0].imm(), 1);
 }
@@ -201,25 +201,24 @@ TEST(ParserTest, MultipleFunctions) {
 
 TEST(ParserTest, ExplicitRegistersReserveCounters) {
   const char *Src = "func @f { block b { %i9 = li 1\nret } }";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_EQ(F->makeVirtualReg(RegClass::Int).id(), 10u);
 }
 
 TEST(ParserTest, PhysicalRegistersAccepted) {
   const char *Src = "func @f { block b { $i0 = li 1\n$i1 = mov $i0\nret } }";
-  std::optional<Function> F = parseSingleFunction(Src);
+  ErrorOr<Function> F = parseSingleFunction(Src);
   ASSERT_TRUE(F.has_value());
   EXPECT_TRUE((*F).block(0)[0].dest().isPhysical());
 }
 
 TEST(ParserTest, PrintParseRoundTrip) {
-  std::optional<Function> F = parseSingleFunction(SampleKernel);
+  ErrorOr<Function> F = parseSingleFunction(SampleKernel);
   ASSERT_TRUE(F.has_value());
   std::string Printed = printFunction(*F);
-  std::string Error;
-  std::optional<Function> F2 = parseSingleFunction(Printed, &Error);
-  ASSERT_TRUE(F2.has_value()) << Error << "\n" << Printed;
+  ErrorOr<Function> F2 = parseSingleFunction(Printed);
+  ASSERT_TRUE(F2.has_value()) << F2.errorText() << "\n" << Printed;
   EXPECT_EQ(printFunction(*F2), Printed);
 }
 
@@ -284,11 +283,12 @@ TEST(ParserDiagTest, EmptyInputYieldsNoFunctions) {
 }
 
 TEST(ParserDiagTest, SingleFunctionHelperRejectsTwo) {
-  std::string Error;
-  std::optional<Function> F = parseSingleFunction(
-      "func @a { block x { ret } } func @b { block y { ret } }", &Error);
+  ErrorOr<Function> F = parseSingleFunction(
+      "func @a { block x { ret } } func @b { block y { ret } }");
   EXPECT_FALSE(F.has_value());
-  EXPECT_FALSE(Error.empty());
+  ASSERT_FALSE(F.errors().empty());
+  EXPECT_EQ(F.errors()[0].Code, DiagCode::ParseNotSingleFunction);
+  EXPECT_FALSE(F.errorText().empty());
 }
 
 TEST(ParserDiagTest, RecoversAndParsesNextBlock) {

@@ -39,7 +39,7 @@ SimulationConfig quickSim(ProcessorModel P = ProcessorModel::unlimited()) {
 TEST(PipelineTest, ProducesPhysicalCode) {
   Function F = buildBenchmark(Benchmark::FLO52Q);
   CompiledFunction C = compilePipeline(F, {});
-  EXPECT_TRUE(verifyFunction(C.Compiled).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   for (const BasicBlock &BB : C.Compiled)
     for (const Instruction &I : BB) {
       if (I.hasDest()) {

@@ -85,7 +85,7 @@ TEST(RegAllocTest, SimpleBlockNoSpills) {
   RegAllocResult Alloc = allocateRegisters(F, BB);
   EXPECT_EQ(Alloc.spillInstructions(), 0u);
   EXPECT_TRUE(fullyPhysical(BB));
-  EXPECT_TRUE(verifyBlock(BB).empty());
+  EXPECT_TRUE(verifyClean(verifyBlock(BB)));
   EXPECT_EQ(BB.size(), Original.size());
   expectSemanticsPreserved(F, Original, BB, Alloc);
 }
@@ -311,7 +311,7 @@ TEST_P(RegAllocPropertyTest, AllocationPreservesSemanticsUnderPressure) {
   BasicBlock Original = BB;
   RegAllocResult Alloc = allocateRegisters(F, BB, tinyTarget());
   EXPECT_TRUE(fullyPhysical(BB));
-  EXPECT_TRUE(verifyBlock(BB).empty());
+  EXPECT_TRUE(verifyClean(verifyBlock(BB)));
   expectSemanticsPreserved(F, Original, BB, Alloc);
 }
 

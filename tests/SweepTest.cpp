@@ -1,0 +1,116 @@
+//===- tests/SweepTest.cpp - Fault-isolated workload sweep tests ----------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// The per-kernel fault-isolation acceptance test: a sweep with one
+// deliberately corrupted kernel must complete every remaining kernel and
+// report the failure in a degraded-results summary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Sweep.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+SimulationConfig smallSim() {
+  SimulationConfig Sim;
+  Sim.NumRuns = 3;
+  Sim.NumResamples = 10;
+  return Sim;
+}
+
+WorkloadOptions smallWorkload() {
+  WorkloadOptions W;
+  W.UnrollFactor = 1;
+  return W;
+}
+
+/// Plants a branch to a nonexistent block in the entry block: a
+/// structural corruption the parser can never produce but a buggy
+/// producer could.
+void corruptFunction(Function &F) {
+  ASSERT_GE(F.numBlocks(), 1u);
+  std::vector<Instruction> Instrs = F.block(0).instructions();
+  Instrs.push_back(Instruction::makeJump(99));
+  F.block(0).setInstructions(std::move(Instrs));
+}
+
+} // namespace
+
+TEST(SweepTest, AllKernelsSucceedOnHealthyWorkload) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  ASSERT_EQ(Entries.size(), 8u);
+  FixedSystem Memory(10);
+  SweepResult R = runWorkloadSweep(Entries, Memory, smallSim());
+  EXPECT_EQ(R.numSucceeded(), 8u);
+  EXPECT_EQ(R.numFailed(), 0u);
+  EXPECT_FALSE(R.degraded());
+  EXPECT_EQ(R.summary(), "8 of 8 kernels succeeded");
+  for (const SweepKernelOutcome &K : R.Kernels) {
+    EXPECT_TRUE(K.ok());
+    EXPECT_TRUE(K.firstError().empty());
+    EXPECT_GT(K.Comparison->TraditionalSim.MeanRuntime, 0.0);
+  }
+}
+
+TEST(SweepTest, CorruptedKernelIsIsolatedAndReported) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  ASSERT_EQ(Entries.size(), 8u);
+  ASSERT_EQ(Entries[4].Name, "MDG");
+  corruptFunction(Entries[4].Program);
+
+  FixedSystem Memory(10);
+  SweepResult R = runWorkloadSweep(Entries, Memory, smallSim());
+
+  // The sweep finished: seven healthy kernels carry full comparisons.
+  EXPECT_EQ(R.numSucceeded(), 7u);
+  EXPECT_EQ(R.numFailed(), 1u);
+  EXPECT_TRUE(R.degraded());
+  for (const SweepKernelOutcome &K : R.Kernels) {
+    if (K.Name == "MDG")
+      continue;
+    EXPECT_TRUE(K.ok()) << K.Name << ": " << K.firstError();
+    EXPECT_GT(K.Comparison->TraditionalSim.MeanRuntime, 0.0);
+  }
+
+  // The corrupted kernel is recorded with its real cause, wrapped in the
+  // per-kernel failure marker.
+  const SweepKernelOutcome &Bad = R.Kernels[4];
+  EXPECT_FALSE(Bad.ok());
+  ASSERT_FALSE(Bad.Errors.empty());
+  EXPECT_EQ(Bad.Errors.front().Code, DiagCode::SweepKernelFailed);
+  bool SawVerifierError = false;
+  for (const Diagnostic &D : Bad.Errors)
+    SawVerifierError |= D.Code == DiagCode::VerifyBranchOutOfRange;
+  EXPECT_TRUE(SawVerifierError);
+  EXPECT_NE(Bad.firstError().find("error[BS"), std::string::npos);
+
+  // The degraded-results summary names the failed kernel and why.
+  std::string Summary = R.summary();
+  EXPECT_NE(Summary.find("7 of 8 kernels succeeded"), std::string::npos)
+      << Summary;
+  EXPECT_NE(Summary.find("MDG"), std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("error[BS"), std::string::npos) << Summary;
+}
+
+TEST(SweepTest, BadSimulationConfigFailsEveryKernelWithoutAborting) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  FixedSystem Memory(10);
+  SimulationConfig Sim = smallSim();
+  Sim.NumRuns = 0; // Invalid: validateSimulationConfig rejects it.
+  SweepResult R = runWorkloadSweep(Entries, Memory, Sim);
+  EXPECT_EQ(R.numSucceeded(), 0u);
+  EXPECT_EQ(R.numFailed(), 8u);
+  EXPECT_TRUE(R.degraded());
+  for (const SweepKernelOutcome &K : R.Kernels) {
+    bool SawConfigError = false;
+    for (const Diagnostic &D : K.Errors)
+      SawConfigError |= D.Code == DiagCode::SimBadConfig;
+    EXPECT_TRUE(SawConfigError) << K.Name;
+  }
+}

@@ -41,7 +41,7 @@ TEST(TraceFormationTest, MergesJumpChain) {
   EXPECT_EQ(R.Formed.block(0).size(), 10u);
   EXPECT_TRUE(R.Formed.block(0).hasTerminator());
   EXPECT_DOUBLE_EQ(R.Formed.block(0).frequency(), 7.0);
-  EXPECT_TRUE(verifyFunction(R.Formed).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(R.Formed)));
 }
 
 TEST(TraceFormationTest, MergesFallthroughChain) {
@@ -117,7 +117,7 @@ TEST(TraceSplitTest, SplitThenFormRoundTrips) {
   Function F = buildBenchmark(Benchmark::FLO52Q);
   Function Split = splitIntoChains(F, 8);
   EXPECT_GT(Split.numBlocks(), F.numBlocks());
-  EXPECT_TRUE(verifyFunction(Split).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(Split)));
 
   TraceFormationResult R = formSuperblocks(Split);
   ASSERT_EQ(R.Formed.numBlocks(), F.numBlocks());

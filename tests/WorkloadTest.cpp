@@ -47,7 +47,7 @@ TEST(KernelGenTest, StencilIsValidAndLoadRich) {
   Function F = buildKernel([](KernelContext &Ctx) {
     emitStencil1D(Ctx, "in", "out", 3, 4);
   });
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
   // Window reuse keeps reloads down: taps + one new load per iteration.
   EXPECT_GT(loadFraction(F), 0.12);
 }
@@ -84,7 +84,7 @@ TEST(KernelGenTest, ExprTreeKeepsManyValuesLive) {
   Function F = buildKernel([](KernelContext &Ctx) {
     emitExprTree(Ctx, "in", "out", 16);
   });
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
   // 16 leaves + 15 reduction ops + store + addressing setup.
   EXPECT_GE(F.block(0).size(), 32u);
 }
@@ -102,7 +102,7 @@ TEST(KernelGenTest, ComplexMatMulShape) {
   Function F = buildKernel([](KernelContext &Ctx) {
     emitComplexMatMul3(Ctx, "a", "b", "c");
   });
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
   unsigned Loads = 0, Stores = 0;
   for (const Instruction &I : F.block(0)) {
     Loads += I.isLoad();
@@ -148,7 +148,7 @@ class BenchmarkTest : public ::testing::TestWithParam<Benchmark> {};
 TEST_P(BenchmarkTest, BuildsValidFunction) {
   Function F = buildBenchmark(GetParam());
   EXPECT_EQ(F.name(), benchmarkName(GetParam()));
-  EXPECT_TRUE(verifyFunction(F).empty());
+  EXPECT_TRUE(verifyClean(verifyFunction(F)));
   EXPECT_GE(F.numBlocks(), 3u);
   EXPECT_GT(F.totalInstructions(), 40u);
 }
