@@ -16,11 +16,13 @@
 #ifndef BSCHED_BENCH_BENCHCOMMON_H
 #define BSCHED_BENCH_BENCHCOMMON_H
 
-#include "pipeline/Experiment.h"
+#include "pipeline/ExperimentEngine.h"
 #include "sim/MemorySystem.h"
 #include "workload/PerfectClub.h"
 
+#include <cstdio>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace bsched::bench {
@@ -68,6 +70,31 @@ inline SimulationConfig paperSimulation(
   Config.NumRuns = 30;
   Config.NumResamples = 100;
   return Config;
+}
+
+/// Every Perfect Club stand-in, built once so an experiment matrix can
+/// borrow the same Function across all of its cells (a prerequisite for
+/// the engine's compile cache to fire across system rows).
+inline std::vector<std::pair<Benchmark, Function>> paperPrograms() {
+  std::vector<std::pair<Benchmark, Function>> Programs;
+  for (Benchmark B : allBenchmarks())
+    Programs.emplace_back(B, buildBenchmark(B));
+  return Programs;
+}
+
+/// Runs \p Cells through a fresh experiment engine (worker count from
+/// BSCHED_JOBS, else hardware concurrency) and prints the run's
+/// accounting line. A failed cell degrades that cell only; callers render
+/// it as "n/a" and keep printing the table.
+inline EngineResult runEngineMatrix(const std::vector<ExperimentCell> &Cells) {
+  ExperimentEngine Engine;
+  EngineResult Result = Engine.run(Cells);
+  const EngineCounters &C = Result.Counters;
+  std::printf("[engine] %u workers, %u cells (%u failed), "
+              "%u hits / %u misses in the compile cache, %.0f ms\n\n",
+              C.Workers, C.Cells, C.Failed, C.CacheHits, C.CacheMisses,
+              C.WallMillis);
+  return Result;
 }
 
 } // namespace bsched::bench

@@ -54,25 +54,51 @@ int main() {
   NetworkSystem Memory(3, 5);
   SimulationConfig Sim = paperSimulation();
 
+  // Two programs per benchmark (Fortran vs. conservative aliasing), each
+  // its own engine cell; the programs must outlive the engine run.
+  WorkloadOptions Fortran, Conservative;
+  Fortran.FortranAliasing = true;
+  Conservative.FortranAliasing = false;
+  std::vector<std::pair<Function, Function>> Programs;
+  for (Benchmark B : allBenchmarks())
+    Programs.emplace_back(buildBenchmark(B, Fortran),
+                          buildBenchmark(B, Conservative));
+
+  std::vector<ExperimentCell> Matrix;
+  for (size_t I = 0; I != Programs.size(); ++I) {
+    std::string Name = benchmarkName(allBenchmarks()[I]);
+    Matrix.push_back({Name + "/fortran", &Programs[I].first, &Memory, 3,
+                      SchedulerPolicy::Balanced,
+                      PipelineConfig::paperDefault(), Sim});
+    Matrix.push_back({Name + "/c", &Programs[I].second, &Memory, 3,
+                      SchedulerPolicy::Balanced,
+                      PipelineConfig::paperDefault(), Sim});
+  }
+  EngineResult Run = runEngineMatrix(Matrix);
+
   Table T;
   T.setHeader({"Program", "LLP fortran", "LLP c", "Imp% fortran",
                "Imp% c"});
   double SumF = 0, SumC = 0;
-  for (Benchmark B : allBenchmarks()) {
-    WorkloadOptions Fortran, Conservative;
-    Fortran.FortranAliasing = true;
-    Conservative.FortranAliasing = false;
-    Function FF = buildBenchmark(B, Fortran);
-    Function FC = buildBenchmark(B, Conservative);
-
-    SchedulerComparison CmpF = compareSchedulers(FF, Memory, 3, Sim);
-    SchedulerComparison CmpC = compareSchedulers(FC, Memory, 3, Sim);
-    T.addRow({benchmarkName(B), formatDouble(meanLoadParallelism(FF), 2),
+  size_t Next = 0;
+  for (size_t I = 0; I != Programs.size(); ++I) {
+    const Function &FF = Programs[I].first;
+    const Function &FC = Programs[I].second;
+    const CellOutcome &OutF = Run.Cells[Next++];
+    const CellOutcome &OutC = Run.Cells[Next++];
+    if (!OutF.ok() || !OutC.ok()) {
+      const CellOutcome &Bad = OutF.ok() ? OutC : OutF;
+      T.addRow({benchmarkName(allBenchmarks()[I]),
+                "n/a (" + Bad.firstError() + ")", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    T.addRow({benchmarkName(allBenchmarks()[I]),
+              formatDouble(meanLoadParallelism(FF), 2),
               formatDouble(meanLoadParallelism(FC), 2),
-              formatPercent(CmpF.Improvement.MeanPercent),
-              formatPercent(CmpC.Improvement.MeanPercent)});
-    SumF += CmpF.Improvement.MeanPercent;
-    SumC += CmpC.Improvement.MeanPercent;
+              formatPercent(OutF.Comparison->Improvement.MeanPercent),
+              formatPercent(OutC.Comparison->Improvement.MeanPercent)});
+    SumF += OutF.Comparison->Improvement.MeanPercent;
+    SumC += OutC.Comparison->Improvement.MeanPercent;
   }
   T.addSeparator();
   T.addRow({"Mean", "", "", formatPercent(SumF / 8),

@@ -34,17 +34,37 @@ int main() {
                           {NetworkSystem(2, 2), 2}};
   SimulationConfig Sim = paperSimulation();
 
+  // Two cells per (system, benchmark) — balanced and average-LLP — that
+  // share their traditional baseline compile through the engine cache.
+  std::vector<std::pair<Benchmark, Function>> Programs = paperPrograms();
+  std::vector<ExperimentCell> Matrix;
+  for (SystemSpec &S : Systems)
+    for (const auto &[B, F] : Programs)
+      for (SchedulerPolicy Candidate :
+           {SchedulerPolicy::Balanced, SchedulerPolicy::AverageLlp})
+        Matrix.push_back({benchmarkName(B) + "/" + policyName(Candidate),
+                          &F, &S.Memory, S.OptLat, Candidate,
+                          PipelineConfig::paperDefault(), Sim});
+  EngineResult Run = runEngineMatrix(Matrix);
+
+  size_t Next = 0;
   for (SystemSpec &S : Systems) {
     Table T("System " + S.Memory.name());
     T.setHeader({"Program", "Bal Imp%", "Avg Imp%", "Bal spill%",
                  "Avg spill%"});
     double BalSum = 0, AvgSum = 0;
-    for (Benchmark B : allBenchmarks()) {
-      Function F = buildBenchmark(B);
-      SchedulerComparison Bal = compareSchedulers(
-          F, S.Memory, S.OptLat, Sim, SchedulerPolicy::Balanced);
-      SchedulerComparison Avg = compareSchedulers(
-          F, S.Memory, S.OptLat, Sim, SchedulerPolicy::AverageLlp);
+    for (const auto &[B, F] : Programs) {
+      (void)F;
+      const CellOutcome &BalOut = Run.Cells[Next++];
+      const CellOutcome &AvgOut = Run.Cells[Next++];
+      if (!BalOut.ok() || !AvgOut.ok()) {
+        const CellOutcome &Bad = BalOut.ok() ? AvgOut : BalOut;
+        T.addRow({benchmarkName(B), "n/a (" + Bad.firstError() + ")", "n/a",
+                  "n/a", "n/a"});
+        continue;
+      }
+      const SchedulerComparison &Bal = *BalOut.Comparison;
+      const SchedulerComparison &Avg = *AvgOut.Comparison;
       T.addRow({benchmarkName(B),
                 formatPercent(Bal.Improvement.MeanPercent),
                 formatPercent(Avg.Improvement.MeanPercent),

@@ -35,14 +35,14 @@ int main() {
 
     PipelineConfig BaseConfig;
     BaseConfig.Policy = SchedulerPolicy::Balanced;
-    CompiledFunction Base = compilePipeline(F, BaseConfig);
+    CompiledFunction Base = runPipeline(F, BaseConfig).value();
 
     PipelineConfig RenameConfig = BaseConfig;
     RenameConfig.RenameAfterAllocation = true;
-    CompiledFunction Renamed = compilePipeline(F, RenameConfig);
+    CompiledFunction Renamed = runPipeline(F, RenameConfig).value();
 
-    ProgramSimResult BaseSim = simulateProgram(Base, Memory, Sim);
-    ProgramSimResult RenSim = simulateProgram(Renamed, Memory, Sim);
+    ProgramSimResult BaseSim = runSimulation(Base, Memory, Sim).value();
+    ProgramSimResult RenSim = runSimulation(Renamed, Memory, Sim).value();
     double Gain =
         100.0 * (BaseSim.MeanRuntime - RenSim.MeanRuntime) /
         BaseSim.MeanRuntime;

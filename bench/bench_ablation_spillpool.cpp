@@ -51,8 +51,8 @@ int main() {
       Config.Policy = SchedulerPolicy::Balanced;
       Config.Target.SpillPoolSize = Pool.Size;
       Config.Target.FifoSpillPool = Pool.Fifo;
-      CompiledFunction C = compilePipeline(F, Config);
-      ProgramSimResult SimResult = simulateProgram(C, Memory, Sim);
+      CompiledFunction C = runPipeline(F, Config).value();
+      ProgramSimResult SimResult = runSimulation(C, Memory, Sim).value();
       if (Baseline == 0.0)
         Baseline = SimResult.MeanRuntime;
       double Gain =

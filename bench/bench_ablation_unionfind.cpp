@@ -59,15 +59,35 @@ int main() {
   std::printf("\nEnd-to-end improvement over traditional, N(3,5):\n\n");
   NetworkSystem Memory(3, 5);
   SimulationConfig Sim = paperSimulation();
+
+  // The exact and union-find cells of each benchmark share their
+  // traditional baseline compile through the engine cache.
+  std::vector<std::pair<Benchmark, Function>> Programs = paperPrograms();
+  std::vector<ExperimentCell> Matrix;
+  for (const auto &[B, F] : Programs)
+    for (SchedulerPolicy Candidate : {SchedulerPolicy::Balanced,
+                                      SchedulerPolicy::BalancedUnionFind})
+      Matrix.push_back({benchmarkName(B) + "/" + policyName(Candidate), &F,
+                        &Memory, 3, Candidate,
+                        PipelineConfig::paperDefault(), Sim});
+  EngineResult Run = runEngineMatrix(Matrix);
+
   Table ET;
   ET.setHeader({"Program", "Exact Imp%", "UnionFind Imp%"});
   double SumExact = 0, SumApprox = 0;
-  for (Benchmark B : allBenchmarks()) {
-    Function F = buildBenchmark(B);
-    SchedulerComparison Exact = compareSchedulers(
-        F, Memory, 3, Sim, SchedulerPolicy::Balanced);
-    SchedulerComparison Approx = compareSchedulers(
-        F, Memory, 3, Sim, SchedulerPolicy::BalancedUnionFind);
+  size_t Next = 0;
+  for (const auto &[B, F] : Programs) {
+    (void)F;
+    const CellOutcome &ExactOut = Run.Cells[Next++];
+    const CellOutcome &ApproxOut = Run.Cells[Next++];
+    if (!ExactOut.ok() || !ApproxOut.ok()) {
+      const CellOutcome &Bad = ExactOut.ok() ? ApproxOut : ExactOut;
+      ET.addRow({benchmarkName(B), "n/a (" + Bad.firstError() + ")",
+                 "n/a"});
+      continue;
+    }
+    const SchedulerComparison &Exact = *ExactOut.Comparison;
+    const SchedulerComparison &Approx = *ApproxOut.Comparison;
     ET.addRow({benchmarkName(B),
                formatPercent(Exact.Improvement.MeanPercent),
                formatPercent(Approx.Improvement.MeanPercent)});

@@ -31,21 +31,39 @@ int main() {
   T.setHeader({"FP latency", "ADM", "BDNA", "MDG", "QCD2", "Mean"});
   const Benchmark Set[] = {Benchmark::ADM, Benchmark::BDNA, Benchmark::MDG,
                            Benchmark::QCD2};
-  for (double FpLat : {1.0, 2.0, 4.0}) {
+  const double FpLats[] = {1.0, 2.0, 4.0};
+
+  std::vector<std::pair<Benchmark, Function>> Programs;
+  for (Benchmark B : Set)
+    Programs.emplace_back(B, buildBenchmark(B));
+
+  std::vector<ExperimentCell> Matrix;
+  for (double FpLat : FpLats) {
     LatencyModel Ops = LatencyModel::withFpLatency(FpLat);
-    PipelineConfig Base;
+    PipelineConfig Base = PipelineConfig::paperDefault();
     Base.Ops = Ops;
     SimulationConfig Sim = paperSimulation();
     Sim.Ops = Ops;
+    for (const auto &[B, F] : Programs)
+      Matrix.push_back({benchmarkName(B) + "/fp" + formatDouble(FpLat, 0),
+                        &F, &Memory, 3, SchedulerPolicy::Balanced, Base,
+                        Sim});
+  }
+  EngineResult Run = runEngineMatrix(Matrix);
 
+  size_t Next = 0;
+  for (double FpLat : FpLats) {
     std::vector<std::string> Row = {formatDouble(FpLat, 0)};
     double Sum = 0;
-    for (Benchmark B : Set) {
-      Function F = buildBenchmark(B);
-      SchedulerComparison Cmp = compareSchedulers(
-          F, Memory, 3, Sim, SchedulerPolicy::Balanced, Base);
-      Row.push_back(formatPercent(Cmp.Improvement.MeanPercent));
-      Sum += Cmp.Improvement.MeanPercent;
+    for (const auto &Program : Programs) {
+      (void)Program;
+      const CellOutcome &Out = Run.Cells[Next++];
+      if (!Out.ok()) {
+        Row.push_back("n/a (" + Out.firstError() + ")");
+        continue;
+      }
+      Row.push_back(formatPercent(Out.Comparison->Improvement.MeanPercent));
+      Sum += Out.Comparison->Improvement.MeanPercent;
     }
     Row.push_back(formatPercent(Sum / 4));
     T.addRow(std::move(Row));

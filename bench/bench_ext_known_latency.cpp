@@ -50,10 +50,10 @@ int main() {
     PipelineConfig OptOut = Naive;
     OptOut.HonorKnownLatency = true;
 
-    CompiledFunction NaiveC = compilePipeline(F, Naive);
-    CompiledFunction OptC = compilePipeline(F, OptOut);
-    ProgramSimResult NaiveSim = simulateProgram(NaiveC, Memory, Sim);
-    ProgramSimResult OptSim = simulateProgram(OptC, Memory, Sim);
+    CompiledFunction NaiveC = runPipeline(F, Naive).value();
+    CompiledFunction OptC = runPipeline(F, OptOut).value();
+    ProgramSimResult NaiveSim = runSimulation(NaiveC, Memory, Sim).value();
+    ProgramSimResult OptSim = runSimulation(OptC, Memory, Sim).value();
     double Gain = 100.0 * (NaiveSim.MeanRuntime - OptSim.MeanRuntime) /
                   NaiveSim.MeanRuntime;
     SumGain += Gain;

@@ -52,7 +52,8 @@ int main() {
         SumBlockSize += BB.schedulableSize();
         ++Blocks;
       }
-      SchedulerComparison Cmp = compareSchedulers(Program, Memory, 3, Sim);
+      SchedulerComparison Cmp =
+          runComparison(Program, Memory, 3, Sim).value();
       Imps.push_back(Cmp.Improvement.MeanPercent);
       SumImp += Cmp.Improvement.MeanPercent;
     }

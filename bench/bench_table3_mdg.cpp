@@ -31,13 +31,29 @@ int main() {
                                        ProcessorModel::maxOutstanding(8),
                                        ProcessorModel::maxLength(8)};
 
+  // Only the simulated processor differs between the three cells of a
+  // (system, latency) row, so every compilation after the first row is a
+  // cache hit.
+  std::vector<SystemRow> Systems = paperSystems();
+  std::vector<ExperimentCell> Matrix;
+  for (const SystemRow &Row : Systems)
+    for (double OptLat : Row.OptimisticLatencies)
+      for (const ProcessorModel &P : Processors)
+        Matrix.push_back({Row.Memory->name() + "/" + P.name(), &F,
+                          Row.Memory.get(), OptLat,
+                          SchedulerPolicy::Balanced,
+                          PipelineConfig::paperDefault(),
+                          paperSimulation(P)});
+  EngineResult Run = runEngineMatrix(Matrix);
+
   Table T;
   T.setHeader({"System", "OptLat", "TIns", "BIns", "UNL Imp%", "UNL TI%",
                "UNL BI%", "MAX8 Imp%", "MAX8 TI%", "MAX8 BI%", "LEN8 Imp%",
                "LEN8 TI%", "LEN8 BI%"});
 
   const char *LastGroup = nullptr;
-  for (const SystemRow &Row : paperSystems()) {
+  size_t Next = 0;
+  for (const SystemRow &Row : Systems) {
     if (LastGroup != Row.Group) {
       if (LastGroup)
         T.addSeparator();
@@ -49,8 +65,20 @@ int main() {
                                         formatDouble(OptLat, 2)};
       bool CountsEmitted = false;
       for (const ProcessorModel &P : Processors) {
-        SchedulerComparison Cmp =
-            compareSchedulers(F, *Row.Memory, OptLat, paperSimulation(P));
+        (void)P;
+        const CellOutcome &Out = Run.Cells[Next++];
+        if (!Out.ok()) {
+          if (!CountsEmitted) {
+            Cells.push_back("n/a");
+            Cells.push_back("n/a");
+            CountsEmitted = true;
+          }
+          Cells.push_back("n/a (" + Out.firstError() + ")");
+          Cells.push_back("n/a");
+          Cells.push_back("n/a");
+          continue;
+        }
+        const SchedulerComparison &Cmp = *Out.Comparison;
         if (!CountsEmitted) {
           Cells.push_back(formatDouble(
               Cmp.TraditionalSim.DynamicInstructions / 1000.0, 0));

@@ -37,7 +37,7 @@ int main() {
 
     PipelineConfig BalConfig;
     BalConfig.Policy = SchedulerPolicy::Balanced;
-    CompiledFunction Bal = compilePipeline(F, BalConfig);
+    CompiledFunction Bal = runPipeline(F, BalConfig).value();
 
     std::vector<std::string> Row = {
         benchmarkName(B),
@@ -47,8 +47,8 @@ int main() {
       PipelineConfig TradConfig;
       TradConfig.Policy = SchedulerPolicy::Traditional;
       TradConfig.OptimisticLatency = L;
-      Row.push_back(
-          formatDouble(compilePipeline(F, TradConfig).spillPercent(), 2));
+      Row.push_back(formatDouble(
+          runPipeline(F, TradConfig).value().spillPercent(), 2));
     }
     T.addRow(std::move(Row));
   }

@@ -55,11 +55,11 @@ int main() {
   PipelineConfig TradConfig;
   TradConfig.Policy = SchedulerPolicy::Traditional;
   TradConfig.OptimisticLatency = 3.0;
-  CompiledFunction Trad = compilePipeline(F, TradConfig);
+  CompiledFunction Trad = runPipeline(F, TradConfig).value();
 
   PipelineConfig BalConfig;
   BalConfig.Policy = SchedulerPolicy::Balanced;
-  CompiledFunction Bal = compilePipeline(F, BalConfig);
+  CompiledFunction Bal = runPipeline(F, BalConfig).value();
 
   std::printf("MDG compiled once per policy (traditional fixed at the "
               "3-cycle local\nlatency), evaluated across machines without "
@@ -81,8 +81,8 @@ int main() {
     for (const ProcessorModel &P : Processors) {
       SimulationConfig Sim;
       Sim.Processor = P;
-      ProgramSimResult TradSim = simulateProgram(Trad, *Memory, Sim);
-      ProgramSimResult BalSim = simulateProgram(Bal, *Memory, Sim);
+      ProgramSimResult TradSim = runSimulation(Trad, *Memory, Sim).value();
+      ProgramSimResult BalSim = runSimulation(Bal, *Memory, Sim).value();
       ImprovementEstimate Imp = pairedImprovement(
           TradSim.BootstrapRuntimes, BalSim.BootstrapRuntimes);
       T.addRow({Memory->name(), P.name(),

@@ -55,14 +55,33 @@ kernel relax(w, r) freq 800 {
 
 namespace {
 
-// Exit codes: 2 = frontend (parse/semantic) failure, 4 = pipeline or
-// simulation failure.
+// Exit codes: 1 = bad command line, 2 = frontend (parse/semantic)
+// failure, 4 = pipeline or simulation failure.
+constexpr int ExitUsageError = 1;
 constexpr int ExitFrontendError = 2;
 constexpr int ExitPipelineError = 4;
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --candidate <policy> picks the scheduler compared against
+  // traditional; the spelling is whatever policyName prints.
+  SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--candidate" && I + 1 < argc) {
+      ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(argv[++I]);
+      if (!Parsed) {
+        std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+        return ExitUsageError;
+      }
+      Candidate = *Parsed;
+    } else {
+      std::fprintf(stderr, "usage: %s [--candidate <policy>]\n", argv[0]);
+      return ExitUsageError;
+    }
+  }
+
   KernelLangResult Compiled = compileKernelLang(Source);
   if (!Compiled.ok()) {
     for (const Diagnostic &D : Compiled.Diags)
@@ -88,11 +107,11 @@ int main() {
   Systems.push_back({std::make_unique<MixedSystem>(0.8, 2, 30, 5), 2});
 
   SimulationConfig Sim;
-  Table T("Balanced vs traditional on the compiled program");
-  T.setHeader({"System", "Trad runtime", "Bal runtime", "Imp%", "95% CI"});
+  Table T(policyName(Candidate) + " vs traditional on the compiled program");
+  T.setHeader({"System", "Trad runtime", "Cand runtime", "Imp%", "95% CI"});
   for (SystemSpec &S : Systems) {
     ErrorOr<SchedulerComparison> CmpOr =
-        compareSchedulersChecked(Program, *S.Memory, S.OptLat, Sim);
+        runComparison(Program, *S.Memory, S.OptLat, Sim, Candidate);
     if (!CmpOr) {
       for (const Diagnostic &D : CmpOr.errors())
         std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());

@@ -9,7 +9,7 @@
 // of the code DAG.
 //
 // Usage:
-//   sched_explorer <file.bsir> [--dot] [--latency N]
+//   sched_explorer <file.bsir> [--dot] [--latency N] [--policy <name>]
 //   sched_explorer --demo          (runs on a built-in example)
 //
 //===----------------------------------------------------------------------===//
@@ -18,6 +18,7 @@
 #include "dag/DagUtils.h"
 #include "ir/IrPrinter.h"
 #include "parser/Parser.h"
+#include "pipeline/Pipeline.h"
 #include "sched/AverageWeighter.h"
 #include "sched/BalancedWeighter.h"
 #include "sched/ListScheduler.h"
@@ -29,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 using namespace bsched;
@@ -52,7 +54,8 @@ block body freq 1 {
 )";
 
 void exploreBlock(const Function &F, const BasicBlock &BB,
-                  double TraditionalLatency, bool EmitDot) {
+                  double TraditionalLatency, bool EmitDot,
+                  std::optional<SchedulerPolicy> Only) {
   std::printf("== block '%s' (freq %g, %u instructions) ==\n",
               BB.name().c_str(), BB.frequency(), BB.size());
 
@@ -76,6 +79,18 @@ void exploreBlock(const Function &F, const BasicBlock &BB,
        std::make_unique<BalancedWeighter>(LatencyModel(),
                                           ChancesMethod::UnionFindLevels)});
   Policies.push_back({"average-llp", std::make_unique<AverageWeighter>()});
+
+  // --policy restricts the exploration to one weighter; the spellings
+  // are shared with parsePolicyName.
+  if (Only)
+    std::erase_if(Policies, [&](const PolicySpec &P) {
+      return policyName(*Only) != P.Name;
+    });
+  if (Policies.empty()) {
+    std::printf("(no weighter to explore for policy '%s')\n\n",
+                policyName(*Only).c_str());
+    return;
+  }
 
   // Per-load weights under each policy.
   std::printf("\n%-6s %-30s", "node", "load");
@@ -126,6 +141,7 @@ int main(int argc, char **argv) {
   std::string Source;
   bool EmitDot = false;
   double TraditionalLatency = 2.0;
+  std::optional<SchedulerPolicy> Only;
   const char *Path = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -135,7 +151,14 @@ int main(int argc, char **argv) {
       EmitDot = true;
     else if (std::strcmp(argv[I], "--latency") == 0 && I + 1 < argc)
       TraditionalLatency = std::atof(argv[++I]);
-    else
+    else if (std::strcmp(argv[I], "--policy") == 0 && I + 1 < argc) {
+      ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(argv[++I]);
+      if (!Parsed) {
+        std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+        return 2;
+      }
+      Only = *Parsed;
+    } else
       Path = argv[I];
   }
   if (argc <= 1)
@@ -144,7 +167,8 @@ int main(int argc, char **argv) {
   if (Source.empty()) {
     if (!Path) {
       std::fprintf(stderr,
-                   "usage: %s <file.bsir> [--dot] [--latency N] | --demo\n",
+                   "usage: %s <file.bsir> [--dot] [--latency N] "
+                   "[--policy <name>] | --demo\n",
                    argv[0]);
       return 2;
     }
@@ -176,7 +200,7 @@ int main(int argc, char **argv) {
   for (const Function &F : Result.Functions) {
     std::printf("function @%s\n", F.name().c_str());
     for (const BasicBlock &BB : F)
-      exploreBlock(F, BB, TraditionalLatency, EmitDot);
+      exploreBlock(F, BB, TraditionalLatency, EmitDot, Only);
   }
   return 0;
 }

@@ -114,7 +114,7 @@ int main() {
   T.setHeader({"System", "Trad cycles", "Bal cycles", "Imp%", "95% CI"});
   for (SystemSpec &S : Systems) {
     ErrorOr<SchedulerComparison> CmpOr =
-        compareSchedulersChecked(*F, *S.Memory, S.OptLat, Sim);
+        runComparison(*F, *S.Memory, S.OptLat, Sim);
     if (!CmpOr) {
       printDiagnostics(CmpOr.errors(), "<stencil>");
       return ExitPipelineError;

@@ -12,9 +12,16 @@
 
 using namespace bsched;
 
-ProgramSimResult bsched::simulateProgram(const CompiledFunction &Program,
-                                         const MemorySystem &Memory,
-                                         const SimulationConfig &Config) {
+namespace {
+
+/// The raw measurement loop of section 4.3, after Program has been
+/// verified: 30 simulations per block, bootstrapped to 100 sample means,
+/// frequency-scaled and summed. Every latency stream is seeded from
+/// (Config.Seed, block, run) — never shared — so the result is a pure
+/// function of the inputs regardless of which thread or order runs it.
+ProgramSimResult simulateVerified(const CompiledFunction &Program,
+                                  const MemorySystem &Memory,
+                                  const SimulationConfig &Config) {
   ProgramSimResult Result;
   Result.BootstrapRuntimes.assign(Config.NumResamples, 0.0);
 
@@ -53,33 +60,7 @@ ProgramSimResult bsched::simulateProgram(const CompiledFunction &Program,
   return Result;
 }
 
-SchedulerComparison bsched::compareSchedulers(const Function &Program,
-                                              const MemorySystem &Memory,
-                                              double OptimisticLatency,
-                                              const SimulationConfig &SimConfig,
-                                              SchedulerPolicy Candidate,
-                                              PipelineConfig Base) {
-  SchedulerComparison Comparison;
-
-  PipelineConfig TradConfig = Base;
-  TradConfig.Policy = SchedulerPolicy::Traditional;
-  TradConfig.OptimisticLatency = OptimisticLatency;
-  Comparison.TraditionalCompiled = compilePipeline(Program, TradConfig);
-
-  PipelineConfig CandConfig = Base;
-  CandConfig.Policy = Candidate;
-  Comparison.CandidateCompiled = compilePipeline(Program, CandConfig);
-
-  Comparison.TraditionalSim =
-      simulateProgram(Comparison.TraditionalCompiled, Memory, SimConfig);
-  Comparison.CandidateSim =
-      simulateProgram(Comparison.CandidateCompiled, Memory, SimConfig);
-
-  Comparison.Improvement =
-      pairedImprovement(Comparison.TraditionalSim.BootstrapRuntimes,
-                        Comparison.CandidateSim.BootstrapRuntimes);
-  return Comparison;
-}
+} // namespace
 
 Status bsched::validateSimulationConfig(const SimulationConfig &Config) {
   std::vector<Diagnostic> Diags;
@@ -101,9 +82,9 @@ Status bsched::validateSimulationConfig(const SimulationConfig &Config) {
 }
 
 ErrorOr<ProgramSimResult>
-bsched::simulateProgramChecked(const CompiledFunction &Program,
-                               const MemorySystem &Memory,
-                               const SimulationConfig &Config) {
+bsched::runSimulation(const CompiledFunction &Program,
+                      const MemorySystem &Memory,
+                      const SimulationConfig &Config) {
   Status ConfigStatus = validateSimulationConfig(Config);
   if (!ConfigStatus.ok())
     return ErrorOr<ProgramSimResult>(ConfigStatus.diagnostics());
@@ -119,43 +100,40 @@ bsched::simulateProgramChecked(const CompiledFunction &Program,
       Diags.push_back(std::move(D));
     return ErrorOr<ProgramSimResult>(std::move(Diags));
   }
-  return simulateProgram(Program, Memory, Config);
+  return simulateVerified(Program, Memory, Config);
 }
 
 ErrorOr<SchedulerComparison>
-bsched::compareSchedulersChecked(const Function &Program,
-                                 const MemorySystem &Memory,
-                                 double OptimisticLatency,
-                                 const SimulationConfig &SimConfig,
-                                 SchedulerPolicy Candidate,
-                                 PipelineConfig Base) {
+bsched::runComparisonWith(const CompileFn &Compile, const Function &Program,
+                          const MemorySystem &Memory,
+                          double OptimisticLatency,
+                          const SimulationConfig &SimConfig,
+                          SchedulerPolicy Candidate, PipelineConfig Base) {
   SchedulerComparison Comparison;
 
   PipelineConfig TradConfig = Base;
   TradConfig.Policy = SchedulerPolicy::Traditional;
   TradConfig.OptimisticLatency = OptimisticLatency;
-  ErrorOr<CompiledFunction> Trad =
-      compilePipelineChecked(Program, TradConfig);
+  ErrorOr<CompiledFunction> Trad = Compile(Program, TradConfig);
   if (!Trad)
     return ErrorOr<SchedulerComparison>(Trad.takeErrors());
   Comparison.TraditionalCompiled = std::move(*Trad);
 
   PipelineConfig CandConfig = Base;
   CandConfig.Policy = Candidate;
-  ErrorOr<CompiledFunction> Cand =
-      compilePipelineChecked(Program, CandConfig);
+  ErrorOr<CompiledFunction> Cand = Compile(Program, CandConfig);
   if (!Cand)
     return ErrorOr<SchedulerComparison>(Cand.takeErrors());
   Comparison.CandidateCompiled = std::move(*Cand);
 
-  ErrorOr<ProgramSimResult> TradSim = simulateProgramChecked(
-      Comparison.TraditionalCompiled, Memory, SimConfig);
+  ErrorOr<ProgramSimResult> TradSim =
+      runSimulation(Comparison.TraditionalCompiled, Memory, SimConfig);
   if (!TradSim)
     return ErrorOr<SchedulerComparison>(TradSim.takeErrors());
   Comparison.TraditionalSim = std::move(*TradSim);
 
   ErrorOr<ProgramSimResult> CandSim =
-      simulateProgramChecked(Comparison.CandidateCompiled, Memory, SimConfig);
+      runSimulation(Comparison.CandidateCompiled, Memory, SimConfig);
   if (!CandSim)
     return ErrorOr<SchedulerComparison>(CandSim.takeErrors());
   Comparison.CandidateSim = std::move(*CandSim);
@@ -165,3 +143,67 @@ bsched::compareSchedulersChecked(const Function &Program,
                         Comparison.CandidateSim.BootstrapRuntimes);
   return Comparison;
 }
+
+ErrorOr<SchedulerComparison>
+bsched::runComparison(const Function &Program, const MemorySystem &Memory,
+                      double OptimisticLatency,
+                      const SimulationConfig &SimConfig,
+                      SchedulerPolicy Candidate, PipelineConfig Base) {
+  return runComparisonWith(
+      [](const Function &F, const PipelineConfig &Config) {
+        return runPipeline(F, Config);
+      },
+      Program, Memory, OptimisticLatency, SimConfig, Candidate,
+      std::move(Base));
+}
+
+//===----------------------------------------------------------------------===
+// Deprecated forwarders (kept for out-of-tree callers; in-repo code uses
+// runSimulation / runComparison).
+//===----------------------------------------------------------------------===
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+ProgramSimResult bsched::simulateProgram(const CompiledFunction &Program,
+                                         const MemorySystem &Memory,
+                                         const SimulationConfig &Config) {
+  ErrorOr<ProgramSimResult> Result = runSimulation(Program, Memory, Config);
+  BSCHED_CHECK(Result.has_value(),
+               Result.errorText().c_str()); // Trusted-input contract broken.
+  return std::move(*Result);
+}
+
+ErrorOr<ProgramSimResult>
+bsched::simulateProgramChecked(const CompiledFunction &Program,
+                               const MemorySystem &Memory,
+                               const SimulationConfig &Config) {
+  return runSimulation(Program, Memory, Config);
+}
+
+SchedulerComparison bsched::compareSchedulers(const Function &Program,
+                                              const MemorySystem &Memory,
+                                              double OptimisticLatency,
+                                              const SimulationConfig &SimConfig,
+                                              SchedulerPolicy Candidate,
+                                              PipelineConfig Base) {
+  ErrorOr<SchedulerComparison> Result =
+      runComparison(Program, Memory, OptimisticLatency, SimConfig, Candidate,
+                    std::move(Base));
+  BSCHED_CHECK(Result.has_value(),
+               Result.errorText().c_str()); // Trusted-input contract broken.
+  return std::move(*Result);
+}
+
+ErrorOr<SchedulerComparison>
+bsched::compareSchedulersChecked(const Function &Program,
+                                 const MemorySystem &Memory,
+                                 double OptimisticLatency,
+                                 const SimulationConfig &SimConfig,
+                                 SchedulerPolicy Candidate,
+                                 PipelineConfig Base) {
+  return runComparison(Program, Memory, OptimisticLatency, SimConfig,
+                       Candidate, std::move(Base));
+}
+
+#pragma GCC diagnostic pop

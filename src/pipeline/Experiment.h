@@ -21,6 +21,8 @@
 #include "sim/Processor.h"
 #include "stats/Bootstrap.h"
 
+#include <functional>
+
 namespace bsched {
 
 /// Simulation and statistics knobs (the paper's values by default).
@@ -53,21 +55,28 @@ struct ProgramSimResult {
   }
 };
 
-/// Simulates \p Program (a compiled function) on \p Memory.
-///
-/// Trusted-input entry point; use simulateProgramChecked when \p Program
-/// or \p Config comes from outside.
-ProgramSimResult simulateProgram(const CompiledFunction &Program,
-                                 const MemorySystem &Memory,
-                                 const SimulationConfig &Config);
+/// Simulates \p Program (a compiled function) on \p Memory: validates
+/// \p Config and verifies \p Program, then simulates. Failures come back
+/// as diagnostics instead of undefined behaviour under NDEBUG. The single
+/// simulation entry point (the historical checked/unchecked split is gone;
+/// the forwarders below are deprecated).
+ErrorOr<ProgramSimResult> runSimulation(const CompiledFunction &Program,
+                                        const MemorySystem &Memory,
+                                        const SimulationConfig &Config);
 
 /// Validates the caller-supplied simulation knobs (nonzero run and
 /// resample counts, a sane processor model).
 Status validateSimulationConfig(const SimulationConfig &Config);
 
-/// Checked simulation: validates \p Config and verifies \p Program, then
-/// simulates. Failures come back as diagnostics instead of undefined
-/// behaviour under NDEBUG.
+/// Deprecated trusted-input entry point. Forwards to runSimulation and
+/// aborts (with the diagnostics) on failure instead of returning them.
+[[deprecated("use runSimulation, which returns ErrorOr<ProgramSimResult>")]]
+ProgramSimResult simulateProgram(const CompiledFunction &Program,
+                                 const MemorySystem &Memory,
+                                 const SimulationConfig &Config);
+
+/// Deprecated spelling of the unified entry point.
+[[deprecated("renamed to runSimulation")]]
 ErrorOr<ProgramSimResult>
 simulateProgramChecked(const CompiledFunction &Program,
                        const MemorySystem &Memory,
@@ -87,7 +96,32 @@ struct SchedulerComparison {
 /// Compiles \p Program under the traditional policy (load weight
 /// \p OptimisticLatency) and under \p Candidate's policy, simulates both,
 /// and pairs the bootstrap runtimes. \p Base supplies every other pipeline
-/// knob (target registers, aliasing, op latencies).
+/// knob (target registers, aliasing, op latencies). One malformed kernel
+/// yields diagnostics rather than aborting a whole sweep.
+ErrorOr<SchedulerComparison>
+runComparison(const Function &Program, const MemorySystem &Memory,
+              double OptimisticLatency, const SimulationConfig &SimConfig,
+              SchedulerPolicy Candidate = SchedulerPolicy::Balanced,
+              PipelineConfig Base = {});
+
+/// A pipeline-compilation callback with runPipeline's signature. The
+/// experiment engine injects its memoizing compiler here so the comparison
+/// driver exists exactly once.
+using CompileFn = std::function<ErrorOr<CompiledFunction>(
+    const Function &, const PipelineConfig &)>;
+
+/// runComparison with \p Compile supplying both compilations (the engine's
+/// cache-aware hook; runComparison itself passes runPipeline).
+ErrorOr<SchedulerComparison>
+runComparisonWith(const CompileFn &Compile, const Function &Program,
+                  const MemorySystem &Memory, double OptimisticLatency,
+                  const SimulationConfig &SimConfig,
+                  SchedulerPolicy Candidate = SchedulerPolicy::Balanced,
+                  PipelineConfig Base = {});
+
+/// Deprecated trusted-input entry point. Forwards to runComparison and
+/// aborts (with the diagnostics) on failure instead of returning them.
+[[deprecated("use runComparison, which returns ErrorOr<SchedulerComparison>")]]
 SchedulerComparison compareSchedulers(const Function &Program,
                                       const MemorySystem &Memory,
                                       double OptimisticLatency,
@@ -96,10 +130,8 @@ SchedulerComparison compareSchedulers(const Function &Program,
                                           SchedulerPolicy::Balanced,
                                       PipelineConfig Base = {});
 
-/// Failure-carrying variant of compareSchedulers for untrusted programs:
-/// both compilations run through compilePipelineChecked and both
-/// simulations through simulateProgramChecked, so one malformed kernel
-/// yields diagnostics rather than aborting a whole sweep.
+/// Deprecated spelling of the unified entry point.
+[[deprecated("renamed to runComparison")]]
 ErrorOr<SchedulerComparison>
 compareSchedulersChecked(const Function &Program, const MemorySystem &Memory,
                          double OptimisticLatency,

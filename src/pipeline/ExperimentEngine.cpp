@@ -1,0 +1,242 @@
+//===- pipeline/ExperimentEngine.cpp - Parallel experiment engine ---------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ExperimentEngine.h"
+
+#include "ir/IrPrinter.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace bsched;
+
+std::string CellOutcome::firstError() const {
+  for (const Diagnostic &D : Errors)
+    if (D.isError())
+      return D.formatted();
+  return {};
+}
+
+namespace {
+
+void appendJsonString(std::string &Out, const std::string &Text) {
+  Out += '"';
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendMillis(std::string &Out, double Millis) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Millis);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string EngineResult::summaryJson() const {
+  std::string Out = "{\"workers\":" + std::to_string(Counters.Workers) +
+                    ",\"cells\":" + std::to_string(Counters.Cells) +
+                    ",\"failed\":" + std::to_string(Counters.Failed) +
+                    ",\"cache_hits\":" + std::to_string(Counters.CacheHits) +
+                    ",\"cache_misses\":" +
+                    std::to_string(Counters.CacheMisses) + ",\"wall_ms\":";
+  appendMillis(Out, Counters.WallMillis);
+  Out += ",\"cell_wall_ms\":";
+  appendMillis(Out, Counters.CellWallMillis);
+  Out += ",\"per_cell\":[";
+  bool First = true;
+  for (const CellOutcome &Cell : Cells) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"label\":";
+    appendJsonString(Out, Cell.Label);
+    Out += Cell.ok() ? ",\"ok\":true" : ",\"ok\":false";
+    Out += ",\"wall_ms\":";
+    appendMillis(Out, Cell.WallMillis);
+    Out += ",\"cache_hits\":" + std::to_string(Cell.CacheHits) +
+           ",\"cache_misses\":" + std::to_string(Cell.CacheMisses) +
+           ",\"error\":";
+    appendJsonString(Out, Cell.firstError());
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string bsched::experimentCacheKey(const Function &Program,
+                                       const PipelineConfig &Config) {
+  std::string Key = printFunction(Program);
+
+  // The printer rounds frequencies and FP immediates for readability;
+  // re-append them hex-exact so distinct programs never share a key.
+  auto Exact = [&Key](double Value) {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), " %a", Value);
+    Key += Buf;
+  };
+  Key += "#freqs";
+  for (const BasicBlock &BB : Program) {
+    Exact(BB.frequency());
+    for (const Instruction &I : BB)
+      if (opcodeHasFpImm(I.opcode()))
+        Exact(I.fpImm());
+  }
+
+  Key += "\n#config ";
+  Key += policyName(Config.Policy);
+  Exact(Config.OptimisticLatency);
+  for (unsigned Op = 0; Op != NumOpcodes; ++Op)
+    Exact(Config.Ops.opLatency(static_cast<Opcode>(Op)));
+  Key += ' ' + std::to_string(Config.Target.NumIntRegs) + ' ' +
+         std::to_string(Config.Target.NumFpRegs) + ' ' +
+         std::to_string(Config.Target.SpillPoolSize) + ' ' +
+         std::to_string(Config.SchedOptions.IssueWidth);
+  auto Flag = [&Key](bool Value) { Key += Value ? " 1" : " 0"; };
+  Flag(Config.Target.FifoSpillPool);
+  Flag(Config.DagOptions.DisambiguateSameBase);
+  Flag(Config.RunRegAlloc);
+  Flag(Config.SecondSchedulingPass);
+  Flag(Config.HonorKnownLatency);
+  Flag(Config.RenameAfterAllocation);
+  return Key;
+}
+
+uint64_t bsched::experimentContentHash(const Function &Program,
+                                       const PipelineConfig &Config) {
+  const std::string Key = experimentCacheKey(Program, Config);
+  uint64_t Hash = 0xCBF29CE484222325ULL; // FNV-1a offset basis.
+  for (char C : Key) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001B3ULL; // FNV prime.
+  }
+  return Hash;
+}
+
+ErrorOr<CompiledFunction>
+ExperimentEngine::compileCached(const Function &Program,
+                                const PipelineConfig &Config, bool *WasHit) {
+  std::string Key = experimentCacheKey(Program, Config);
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      if (WasHit)
+        *WasHit = true;
+      return *It->second;
+    }
+  }
+  if (WasHit)
+    *WasHit = false;
+
+  ErrorOr<CompiledFunction> Result = runPipeline(Program, Config);
+  // Failures are never cached: every affected cell reports the full
+  // diagnostics rather than a "previously failed" stub.
+  if (!Result)
+    return Result;
+
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  // Two workers may race to first-compile the same key; both computed the
+  // identical result, so whichever insertion wins is fine.
+  Cache.emplace(std::move(Key),
+                std::make_shared<const CompiledFunction>(*Result));
+  return Result;
+}
+
+size_t ExperimentEngine::cacheSize() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Cache.size();
+}
+
+void ExperimentEngine::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Cache.clear();
+}
+
+CellOutcome ExperimentEngine::runCell(const ExperimentCell &Cell) {
+  BSCHED_CHECK(Cell.Program != nullptr,
+               "experiment cell without a program");
+  BSCHED_CHECK(Cell.Memory != nullptr,
+               "experiment cell without a memory system");
+
+  CellOutcome Outcome;
+  Outcome.Label = Cell.Label;
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Validate the cell's config at entry so a bad matrix row reports a
+  // config diagnostic directly instead of one wrapped per compilation.
+  Status ConfigStatus = Cell.Base.validate();
+  if (ConfigStatus.ok()) {
+    ErrorOr<SchedulerComparison> Comparison = runComparisonWith(
+        [&](const Function &F, const PipelineConfig &Config) {
+          bool Hit = false;
+          ErrorOr<CompiledFunction> Compiled = compileCached(F, Config, &Hit);
+          ++(Hit ? Outcome.CacheHits : Outcome.CacheMisses);
+          return Compiled;
+        },
+        *Cell.Program, *Cell.Memory, Cell.OptimisticLatency, Cell.Sim,
+        Cell.Candidate, Cell.Base);
+    if (Comparison)
+      Outcome.Comparison = std::move(*Comparison);
+    else
+      Outcome.Errors = Comparison.takeErrors();
+  } else {
+    Outcome.Errors = ConfigStatus.diagnostics();
+  }
+
+  const auto End = std::chrono::steady_clock::now();
+  Outcome.WallMillis =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  return Outcome;
+}
+
+EngineResult ExperimentEngine::run(const std::vector<ExperimentCell> &Cells) {
+  EngineResult Result;
+  Result.Cells.resize(Cells.size());
+
+  const auto Start = std::chrono::steady_clock::now();
+  parallelForEach(Pool, Cells.size(), [&](size_t Index) {
+    Result.Cells[Index] = runCell(Cells[Index]);
+  });
+  const auto End = std::chrono::steady_clock::now();
+
+  Result.Counters.Workers = Pool.workerCount();
+  Result.Counters.Cells = static_cast<unsigned>(Cells.size());
+  Result.Counters.WallMillis =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  for (const CellOutcome &Cell : Result.Cells) {
+    Result.Counters.Failed += !Cell.ok();
+    Result.Counters.CacheHits += Cell.CacheHits;
+    Result.Counters.CacheMisses += Cell.CacheMisses;
+    Result.Counters.CellWallMillis += Cell.WallMillis;
+  }
+  return Result;
+}

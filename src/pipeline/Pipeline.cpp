@@ -14,6 +14,8 @@
 #include "sched/BalancedWeighter.h"
 #include "sched/TraditionalWeighter.h"
 
+#include "support/StringUtils.h"
+
 #include <memory>
 
 using namespace bsched;
@@ -32,6 +34,44 @@ std::string bsched::policyName(SchedulerPolicy Policy) {
     return "unscheduled";
   }
   return "unknown";
+}
+
+ErrorOr<SchedulerPolicy> bsched::parsePolicyName(std::string_view Name) {
+  const SchedulerPolicy All[] = {
+      SchedulerPolicy::Traditional, SchedulerPolicy::Balanced,
+      SchedulerPolicy::BalancedUnionFind, SchedulerPolicy::AverageLlp,
+      SchedulerPolicy::NoScheduling};
+  std::string_view Trimmed = trim(Name);
+  std::string Known;
+  for (SchedulerPolicy P : All) {
+    if (Trimmed == policyName(P))
+      return P;
+    if (!Known.empty())
+      Known += ", ";
+    Known += policyName(P);
+  }
+  return Diagnostic{0, 0,
+                    "unknown scheduler policy '" + std::string(Trimmed) +
+                        "' (expected one of: " + Known + ")",
+                    Severity::Error, DiagCode::PipelineUnknownPolicy};
+}
+
+PipelineConfig PipelineConfig::paperDefault() { return PipelineConfig(); }
+
+PipelineConfig PipelineConfig::unlimitedRegisters() {
+  PipelineConfig Config;
+  Config.RunRegAlloc = false;
+  return Config;
+}
+
+PipelineConfig PipelineConfig::superscalar(unsigned Width) {
+  PipelineConfig Config;
+  Config.SchedOptions.IssueWidth = Width;
+  return Config;
+}
+
+Status PipelineConfig::validate() const {
+  return validatePipelineConfig(*this);
 }
 
 namespace {
@@ -68,10 +108,10 @@ void scheduleBlock(BasicBlock &BB, const Weighter &W,
   applySchedule(BB, Dag, Sched);
 }
 
-} // namespace
-
-CompiledFunction bsched::compilePipeline(const Function &Input,
-                                         const PipelineConfig &Config) {
+/// The raw two-pass compilation, with no validation of \p Config or
+/// verification of \p Input — runPipeline wraps it with both.
+CompiledFunction compileUnverified(const Function &Input,
+                                   const PipelineConfig &Config) {
   CompiledFunction Result;
   Result.Compiled = Input;
   Function &F = Result.Compiled;
@@ -106,6 +146,8 @@ CompiledFunction bsched::compilePipeline(const Function &Input,
   return Result;
 }
 
+} // namespace
+
 Status bsched::validatePipelineConfig(const PipelineConfig &Config) {
   std::vector<Diagnostic> Diags;
   auto BadConfig = [&](std::string Message) {
@@ -138,9 +180,8 @@ Status bsched::validatePipelineConfig(const PipelineConfig &Config) {
   return Status(std::move(Diags));
 }
 
-ErrorOr<CompiledFunction>
-bsched::compilePipelineChecked(const Function &Input,
-                               const PipelineConfig &Config) {
+ErrorOr<CompiledFunction> bsched::runPipeline(const Function &Input,
+                                              const PipelineConfig &Config) {
   Status ConfigStatus = validatePipelineConfig(Config);
   if (!ConfigStatus.ok())
     return ErrorOr<CompiledFunction>(ConfigStatus.diagnostics());
@@ -157,7 +198,7 @@ bsched::compilePipelineChecked(const Function &Input,
     return ErrorOr<CompiledFunction>(std::move(Diags));
   }
 
-  CompiledFunction Compiled = compilePipeline(Input, Config);
+  CompiledFunction Compiled = compileUnverified(Input, Config);
 
   // A scheduling or allocation defect that corrupts the output is reported
   // as a diagnostic, not silently simulated: the sweep records the kernel
@@ -175,3 +216,29 @@ bsched::compilePipelineChecked(const Function &Input,
   }
   return Compiled;
 }
+
+//===----------------------------------------------------------------------===
+// Deprecated forwarders (kept for out-of-tree callers; in-repo code uses
+// runPipeline).
+//===----------------------------------------------------------------------===
+
+// The forwarders implement the deprecated declarations; suppress the
+// self-reference warnings their definitions would otherwise raise.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+CompiledFunction bsched::compilePipeline(const Function &Input,
+                                         const PipelineConfig &Config) {
+  ErrorOr<CompiledFunction> Result = runPipeline(Input, Config);
+  BSCHED_CHECK(Result.has_value(),
+               Result.errorText().c_str()); // Trusted-input contract broken.
+  return std::move(*Result);
+}
+
+ErrorOr<CompiledFunction>
+bsched::compilePipelineChecked(const Function &Input,
+                               const PipelineConfig &Config) {
+  return runPipeline(Input, Config);
+}
+
+#pragma GCC diagnostic pop

@@ -28,6 +28,7 @@
 #include "support/ErrorOr.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bsched {
@@ -43,6 +44,13 @@ enum class SchedulerPolicy {
 
 /// "traditional", "balanced", ...
 std::string policyName(SchedulerPolicy Policy);
+
+/// Round-trip inverse of policyName: parses "traditional", "balanced",
+/// "balanced-uf", "average-llp" or "unscheduled" (surrounding whitespace
+/// ignored). An unknown name comes back as a PipelineUnknownPolicy
+/// diagnostic listing the accepted spellings — CLI flag parsing reports it
+/// verbatim.
+ErrorOr<SchedulerPolicy> parsePolicyName(std::string_view Name);
 
 /// Everything that parameterizes a compilation.
 struct PipelineConfig {
@@ -79,6 +87,31 @@ struct PipelineConfig {
   /// pool): renames defs to maximize register reuse distance, dissolving
   /// WAR/WAW false dependences.
   bool RenameAfterAllocation = false;
+
+  //===--------------------------------------------------------------------===
+  // Named presets — the configurations the paper's experiments are built
+  // from, so harnesses compose them instead of re-deriving knob sets.
+  //===--------------------------------------------------------------------===
+
+  /// The paper's baseline machine (section 4): balanced policy, unit op
+  /// latencies, MIPS-like register files with the FIFO spill pool, both
+  /// scheduling passes. Identical to a default-constructed config; the
+  /// name is the documentation.
+  static PipelineConfig paperDefault();
+
+  /// Scheduling without register pressure: allocation (and with it all
+  /// spill code and false dependences) disabled, so results isolate pure
+  /// schedule quality. The "unlimited registers" rows of the ablations.
+  static PipelineConfig unlimitedRegisters();
+
+  /// The section 6 superscalar extension: issue width \p Width in the
+  /// scheduler (the simulator's ProcessorModel carries its own width).
+  static PipelineConfig superscalar(unsigned Width);
+
+  /// Validates the caller-supplied knobs (nonzero issue width, positive
+  /// optimistic latency, register files large enough for the spill pool).
+  /// The experiment engine calls this at entry for every cell.
+  Status validate() const;
 };
 
 /// A compiled program plus the statistics the paper's tables report.
@@ -109,25 +142,27 @@ struct CompiledFunction {
   }
 };
 
-/// Runs the full pipeline on a copy of \p Input.
-///
-/// Trusted-input entry point: \p Input must already verify cleanly and
-/// \p Config must be valid; violations are internal-invariant territory.
-/// Untrusted callers (CLIs, sweeps over external kernels) use
-/// compilePipelineChecked instead.
-CompiledFunction compilePipeline(const Function &Input,
-                                 const PipelineConfig &Config);
-
-/// Validates the caller-supplied knobs of \p Config: nonzero issue width,
-/// a positive optimistic latency, and register files large enough for the
-/// spill pool when allocation is enabled.
-Status validatePipelineConfig(const PipelineConfig &Config);
-
-/// Checked pipeline entry point for untrusted input: validates \p Config,
+/// Runs the full pipeline on a copy of \p Input: validates \p Config,
 /// verifies \p Input, compiles, then verifies the output. Any failure is
 /// returned as diagnostics instead of corrupting or aborting the caller —
 /// this is the unit of per-kernel fault isolation in the experiment
-/// harness.
+/// engine, and the single pipeline entry point (the historical
+/// checked/unchecked split is gone; the forwarders below are deprecated).
+ErrorOr<CompiledFunction> runPipeline(const Function &Input,
+                                      const PipelineConfig &Config);
+
+/// Validates the caller-supplied knobs of \p Config; equivalent to
+/// Config.validate().
+Status validatePipelineConfig(const PipelineConfig &Config);
+
+/// Deprecated trusted-input entry point. Forwards to runPipeline and
+/// aborts (with the diagnostics) on failure instead of returning them.
+[[deprecated("use runPipeline, which returns ErrorOr<CompiledFunction>")]]
+CompiledFunction compilePipeline(const Function &Input,
+                                 const PipelineConfig &Config);
+
+/// Deprecated spelling of the unified entry point.
+[[deprecated("renamed to runPipeline")]]
 ErrorOr<CompiledFunction> compilePipelineChecked(const Function &Input,
                                                  const PipelineConfig &Config);
 

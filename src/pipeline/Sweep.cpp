@@ -7,6 +7,8 @@
 
 #include "pipeline/Sweep.h"
 
+#include "ir/IrPrinter.h"
+
 using namespace bsched;
 
 std::string SweepResult::summary() const {
@@ -30,27 +32,84 @@ SweepResult bsched::runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
                                      const MemorySystem &Memory,
                                      const SimulationConfig &SimConfig,
                                      const SweepOptions &Options) {
+  ExperimentEngine Engine(Options.Jobs);
+
+  std::vector<ExperimentCell> Cells;
+  Cells.reserve(Kernels.size());
+  for (const SweepEntry &Entry : Kernels)
+    Cells.push_back({Entry.Name, &Entry.Program, &Memory,
+                     Options.OptimisticLatency, Options.Candidate,
+                     Options.Base, SimConfig});
+
+  EngineResult Run = Engine.run(Cells);
+
   SweepResult Result;
-  Result.Kernels.reserve(Kernels.size());
-  for (const SweepEntry &Entry : Kernels) {
+  Result.Engine = Run.Counters;
+  Result.Kernels.reserve(Run.Cells.size());
+  for (CellOutcome &Cell : Run.Cells) {
     SweepKernelOutcome Outcome;
-    Outcome.Name = Entry.Name;
-    ErrorOr<SchedulerComparison> Comparison = compareSchedulersChecked(
-        Entry.Program, Memory, Options.OptimisticLatency, SimConfig,
-        Options.Candidate, Options.Base);
-    if (Comparison) {
-      Outcome.Comparison = std::move(*Comparison);
+    Outcome.Name = std::move(Cell.Label);
+    if (Cell.Comparison) {
+      Outcome.Comparison = std::move(Cell.Comparison);
     } else {
       Outcome.Errors.push_back({0, 0,
-                                "kernel '" + Entry.Name + "' failed",
+                                "kernel '" + Outcome.Name + "' failed",
                                 Severity::Error,
                                 DiagCode::SweepKernelFailed});
-      for (Diagnostic &D : Comparison.takeErrors())
+      for (Diagnostic &D : Cell.Errors)
         Outcome.Errors.push_back(std::move(D));
     }
     Result.Kernels.push_back(std::move(Outcome));
   }
   return Result;
+}
+
+namespace {
+
+bool identicalCompiled(const CompiledFunction &A, const CompiledFunction &B) {
+  return printFunction(A.Compiled) == printFunction(B.Compiled) &&
+         A.SpillPerBlock == B.SpillPerBlock &&
+         A.StaticInstructions == B.StaticInstructions &&
+         A.StaticSpills == B.StaticSpills &&
+         A.DynamicInstructions == B.DynamicInstructions &&
+         A.DynamicSpills == B.DynamicSpills;
+}
+
+bool identicalSim(const ProgramSimResult &A, const ProgramSimResult &B) {
+  return A.BootstrapRuntimes == B.BootstrapRuntimes &&
+         A.MeanRuntime == B.MeanRuntime &&
+         A.DynamicInstructions == B.DynamicInstructions &&
+         A.MeanInterlockCycles == B.MeanInterlockCycles;
+}
+
+} // namespace
+
+bool bsched::identicalSweepResults(const SweepResult &A,
+                                   const SweepResult &B) {
+  if (A.Kernels.size() != B.Kernels.size())
+    return false;
+  for (size_t I = 0; I != A.Kernels.size(); ++I) {
+    const SweepKernelOutcome &KA = A.Kernels[I];
+    const SweepKernelOutcome &KB = B.Kernels[I];
+    if (KA.Name != KB.Name || KA.ok() != KB.ok())
+      return false;
+    if (!KA.ok()) {
+      if (joinDiagnostics(KA.Errors) != joinDiagnostics(KB.Errors))
+        return false;
+      continue;
+    }
+    const SchedulerComparison &CA = *KA.Comparison;
+    const SchedulerComparison &CB = *KB.Comparison;
+    if (!identicalCompiled(CA.TraditionalCompiled, CB.TraditionalCompiled) ||
+        !identicalCompiled(CA.CandidateCompiled, CB.CandidateCompiled) ||
+        !identicalSim(CA.TraditionalSim, CB.TraditionalSim) ||
+        !identicalSim(CA.CandidateSim, CB.CandidateSim) ||
+        CA.Improvement.MeanPercent != CB.Improvement.MeanPercent ||
+        CA.Improvement.Ci95.Lo != CB.Improvement.Ci95.Lo ||
+        CA.Improvement.Ci95.Hi != CB.Improvement.Ci95.Hi)
+      return false;
+  }
+  return true;
 }
 
 std::vector<SweepEntry>

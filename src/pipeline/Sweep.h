@@ -18,7 +18,7 @@
 #ifndef BSCHED_PIPELINE_SWEEP_H
 #define BSCHED_PIPELINE_SWEEP_H
 
-#include "pipeline/Experiment.h"
+#include "pipeline/ExperimentEngine.h"
 #include "workload/PerfectClub.h"
 
 #include <optional>
@@ -39,6 +39,11 @@ struct SweepOptions {
   SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
   double OptimisticLatency = 2.0;
   PipelineConfig Base;
+
+  /// Worker count for the experiment engine: 0 picks the default
+  /// (BSCHED_JOBS, else hardware concurrency); 1 runs serially on the
+  /// calling thread. Results are bit-identical either way.
+  unsigned Jobs = 0;
 };
 
 /// Outcome of one kernel inside a sweep: the comparison on success, the
@@ -67,6 +72,11 @@ struct SweepKernelOutcome {
 struct SweepResult {
   std::vector<SweepKernelOutcome> Kernels;
 
+  /// Engine accounting for the run (worker count, per-cell wall time
+  /// totals, cache hits). Informational: timings and hit counts may vary
+  /// between runs even though the kernel outcomes never do.
+  EngineCounters Engine;
+
   unsigned numSucceeded() const {
     unsigned N = 0;
     for (const SweepKernelOutcome &K : Kernels)
@@ -93,6 +103,14 @@ SweepResult runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
                              const MemorySystem &Memory,
                              const SimulationConfig &SimConfig,
                              const SweepOptions &Options = {});
+
+/// True when two sweeps produced the same measurements: kernel for
+/// kernel, the same names, the same compiled programs (printed form and
+/// spill statistics), bit-identical bootstrap runtimes and improvement
+/// estimates, and the same diagnostics for failed kernels. Engine
+/// counters (timings, cache hits) are deliberately excluded — they are
+/// the only fields allowed to differ between a serial and a parallel run.
+bool identicalSweepResults(const SweepResult &A, const SweepResult &B);
 
 /// Builds the eight Perfect Club stand-ins as sweep entries.
 std::vector<SweepEntry>

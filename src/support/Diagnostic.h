@@ -80,6 +80,7 @@ enum class DiagCode : uint16_t {
   PipelineBadConfig = 500,
   PipelineInvalidInput = 501,
   PipelineInvalidOutput = 502,
+  PipelineUnknownPolicy = 503,
 
   // Experiment / simulation harness: 600-699.
   SimBadConfig = 600,

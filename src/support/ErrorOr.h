@@ -92,13 +92,19 @@ public:
   T *operator->() { return &*MaybeValue; }
   const T *operator->() const { return &*MaybeValue; }
 
-  T &value() {
+  T &value() & {
     BSCHED_CHECK(has_value(), "ErrorOr::value() on a failed result");
     return *MaybeValue;
   }
-  const T &value() const {
+  const T &value() const & {
     BSCHED_CHECK(has_value(), "ErrorOr::value() on a failed result");
     return *MaybeValue;
+  }
+  /// value() on a temporary moves the value out, so
+  /// `auto V = f(...).value();` costs no copy.
+  T &&value() && {
+    BSCHED_CHECK(has_value(), "ErrorOr::value() on a failed result");
+    return std::move(*MaybeValue);
   }
 
   /// Diagnostics attached to the result (failures always have some;

@@ -1,0 +1,86 @@
+//===- support/ThreadPool.h - Work-queue thread pool -----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-queue thread pool for the parallel experiment engine.
+/// Experiment cells are pure functions of their inputs (every latency
+/// stream is seeded per cell, never shared), so the pool only has to get
+/// two things right: results land at the slot of their *input* index
+/// (deterministic ordering regardless of completion order), and a pool of
+/// one worker degenerates to plain serial execution on the calling thread
+/// so the serial baseline stays exactly the code path it always was.
+///
+/// Worker count resolution: an explicit constructor argument wins; 0 means
+/// "the BSCHED_JOBS environment variable, else hardware concurrency".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_THREADPOOL_H
+#define BSCHED_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsched {
+
+/// Fixed-size worker pool draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers worker threads; 0 resolves via defaultWorkerCount().
+  /// A pool of one spawns no threads at all — tasks run inline in run() /
+  /// parallelForEach(), which keeps single-job runs bit-for-bit the serial
+  /// code path.
+  explicit ThreadPool(unsigned Workers = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of workers tasks may run on (>= 1; 1 means inline execution).
+  unsigned workerCount() const { return Workers; }
+
+  /// Enqueues \p Task. With one worker, runs it inline before returning.
+  void run(std::function<void()> Task);
+
+  /// Blocks until every task enqueued so far has finished.
+  void wait();
+
+  /// BSCHED_JOBS if set to a positive integer, else hardware concurrency
+  /// (at least 1).
+  static unsigned defaultWorkerCount();
+
+private:
+  void workerLoop();
+
+  unsigned Workers;
+  std::vector<std::thread> Threads;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable TaskReady; ///< Queue became non-empty (or stop).
+  std::condition_variable Idle;      ///< All tasks finished.
+  unsigned Pending = 0;              ///< Queued + currently running tasks.
+  bool Stop = false;
+};
+
+/// Runs Body(Index) for every Index in [0, Count) across \p Pool and blocks
+/// until all complete. Iterations are claimed dynamically (an expensive
+/// cell does not stall the others behind a static partition); callers get
+/// deterministic output by writing results into slot Index of a pre-sized
+/// vector. With a one-worker pool this is exactly a for loop.
+void parallelForEach(ThreadPool &Pool, size_t Count,
+                     const std::function<void(size_t)> &Body);
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_THREADPOOL_H

@@ -1,0 +1,270 @@
+//===- tests/EngineTest.cpp - Parallel experiment engine tests ------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// The engine's acceptance properties: parallel runs are bit-identical to
+// serial runs, the compile cache returns exactly what a fresh compile
+// would, faults stay isolated under concurrency, and the machine-readable
+// summary carries the per-cell counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ExperimentEngine.h"
+#include "pipeline/Sweep.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+SimulationConfig smallSim() {
+  SimulationConfig Sim;
+  Sim.NumRuns = 3;
+  Sim.NumResamples = 10;
+  return Sim;
+}
+
+WorkloadOptions smallWorkload() {
+  WorkloadOptions W;
+  W.UnrollFactor = 1;
+  return W;
+}
+
+/// Plants a branch to a nonexistent block (see SweepTest).
+void corruptFunction(Function &F) {
+  ASSERT_GE(F.numBlocks(), 1u);
+  std::vector<Instruction> Instrs = F.block(0).instructions();
+  Instrs.push_back(Instruction::makeJump(99));
+  F.block(0).setInstructions(std::move(Instrs));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Determinism: serial and parallel runs are bit-identical.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, SerialMatchesParallel) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  NetworkSystem Memory(3, 5);
+
+  SweepOptions Serial;
+  Serial.Jobs = 1;
+  SweepOptions Parallel;
+  Parallel.Jobs = 8;
+
+  SweepResult A = runWorkloadSweep(Entries, Memory, smallSim(), Serial);
+  SweepResult B = runWorkloadSweep(Entries, Memory, smallSim(), Parallel);
+
+  EXPECT_EQ(A.Engine.Workers, 1u);
+  EXPECT_EQ(B.Engine.Workers, 8u);
+  EXPECT_TRUE(identicalSweepResults(A, B));
+
+  // Sanity for the helper itself: a different seed produces different
+  // bootstrap runtimes, which identicalSweepResults must notice.
+  SimulationConfig Reseeded = smallSim();
+  Reseeded.Seed ^= 1;
+  SweepResult C = runWorkloadSweep(Entries, Memory, Reseeded, Serial);
+  EXPECT_FALSE(identicalSweepResults(A, C));
+}
+
+TEST(EngineTest, RepeatedParallelRunsAreIdentical) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  CacheSystem Memory(0.8, 2, 10);
+  SweepOptions Options;
+  Options.Jobs = 8;
+  SweepResult A = runWorkloadSweep(Entries, Memory, smallSim(), Options);
+  SweepResult B = runWorkloadSweep(Entries, Memory, smallSim(), Options);
+  EXPECT_TRUE(identicalSweepResults(A, B));
+}
+
+//===----------------------------------------------------------------------===
+// The compile cache.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, CacheHitCorrectness) {
+  // The same kernel against two memory systems: compilation depends only
+  // on (function, config), so the second cell's compiles must all be
+  // cache hits — and its results must equal an uncached engine's.
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem MemA(2, 2), MemB(5, 5);
+
+  std::vector<ExperimentCell> Cells;
+  Cells.push_back({"track/A", &F, &MemA, 2, SchedulerPolicy::Balanced,
+                   PipelineConfig::paperDefault(), smallSim()});
+  Cells.push_back({"track/B", &F, &MemB, 2, SchedulerPolicy::Balanced,
+                   PipelineConfig::paperDefault(), smallSim()});
+
+  ExperimentEngine Engine(1);
+  EngineResult Run = Engine.run(Cells);
+  ASSERT_TRUE(Run.Cells[0].ok());
+  ASSERT_TRUE(Run.Cells[1].ok());
+
+  // Serially, the first cell compiles traditional + balanced (2 misses)
+  // and the second reuses both (2 hits).
+  EXPECT_EQ(Run.Cells[0].CacheMisses, 2u);
+  EXPECT_EQ(Run.Cells[0].CacheHits, 0u);
+  EXPECT_EQ(Run.Cells[1].CacheMisses, 0u);
+  EXPECT_EQ(Run.Cells[1].CacheHits, 2u);
+  EXPECT_EQ(Engine.cacheSize(), 2u);
+
+  // A fresh engine (empty cache) must produce the identical outcome for
+  // the cached cell.
+  ExperimentEngine Fresh(1);
+  EngineResult Uncached = Fresh.run({Cells[1]});
+  ASSERT_TRUE(Uncached.Cells[0].ok());
+  EXPECT_EQ(Run.Cells[1].Comparison->CandidateSim.BootstrapRuntimes,
+            Uncached.Cells[0].Comparison->CandidateSim.BootstrapRuntimes);
+  EXPECT_EQ(Run.Cells[1].Comparison->Improvement.MeanPercent,
+            Uncached.Cells[0].Comparison->Improvement.MeanPercent);
+}
+
+TEST(EngineTest, CacheDistinguishesConfigs) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  ExperimentEngine Engine(1);
+
+  bool Hit = true;
+  ErrorOr<CompiledFunction> A =
+      Engine.compileCached(F, PipelineConfig::paperDefault(), &Hit);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_FALSE(Hit);
+
+  // Same content → hit, even through a distinct (equal) config object.
+  ErrorOr<CompiledFunction> B =
+      Engine.compileCached(F, PipelineConfig::paperDefault(), &Hit);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_TRUE(Hit);
+
+  // Any knob change must miss.
+  ErrorOr<CompiledFunction> C =
+      Engine.compileCached(F, PipelineConfig::unlimitedRegisters(), &Hit);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_FALSE(Hit);
+  ErrorOr<CompiledFunction> D =
+      Engine.compileCached(F, PipelineConfig::superscalar(2), &Hit);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_FALSE(Hit);
+  EXPECT_EQ(Engine.cacheSize(), 3u);
+
+  Engine.clearCache();
+  EXPECT_EQ(Engine.cacheSize(), 0u);
+
+  // The content hash follows the key.
+  EXPECT_EQ(experimentContentHash(F, PipelineConfig::paperDefault()),
+            experimentContentHash(F, PipelineConfig::paperDefault()));
+  EXPECT_NE(experimentContentHash(F, PipelineConfig::paperDefault()),
+            experimentContentHash(F, PipelineConfig::superscalar(2)));
+}
+
+//===----------------------------------------------------------------------===
+// Fault isolation under concurrency.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, FaultIsolationUnderConcurrency) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  ASSERT_EQ(Entries[4].Name, "MDG");
+  corruptFunction(Entries[4].Program);
+
+  FixedSystem Memory(10);
+  SweepOptions Options;
+  Options.Jobs = 8;
+  SweepResult R = runWorkloadSweep(Entries, Memory, smallSim(), Options);
+
+  EXPECT_EQ(R.numSucceeded(), 7u);
+  EXPECT_EQ(R.numFailed(), 1u);
+  EXPECT_EQ(R.Engine.Failed, 1u);
+  EXPECT_FALSE(R.Kernels[4].ok());
+  bool SawVerifierError = false;
+  for (const Diagnostic &D : R.Kernels[4].Errors)
+    SawVerifierError |= D.Code == DiagCode::VerifyBranchOutOfRange;
+  EXPECT_TRUE(SawVerifierError);
+
+  // And the degradation is deterministic: the serial run agrees exactly.
+  SweepOptions SerialOptions = Options;
+  SerialOptions.Jobs = 1;
+  SweepResult Serial =
+      runWorkloadSweep(Entries, Memory, smallSim(), SerialOptions);
+  EXPECT_TRUE(identicalSweepResults(R, Serial));
+}
+
+TEST(EngineTest, InvalidConfigFailsAtEntry) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  FixedSystem Memory(10);
+
+  PipelineConfig Bad = PipelineConfig::paperDefault();
+  Bad.SchedOptions.IssueWidth = 0; // validate() rejects this.
+
+  ExperimentEngine Engine(4);
+  EngineResult Run = Engine.run(
+      {{"bad", &F, &Memory, 2, SchedulerPolicy::Balanced, Bad, smallSim()},
+       {"good", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+
+  ASSERT_EQ(Run.Cells.size(), 2u);
+  EXPECT_FALSE(Run.Cells[0].ok());
+  ASSERT_FALSE(Run.Cells[0].Errors.empty());
+  EXPECT_EQ(Run.Cells[0].Errors.front().Code, DiagCode::PipelineBadConfig);
+  // The invalid cell never reached the compiler.
+  EXPECT_EQ(Run.Cells[0].CacheMisses + Run.Cells[0].CacheHits, 0u);
+  EXPECT_TRUE(Run.Cells[1].ok());
+  EXPECT_EQ(Run.Counters.Failed, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Counters and the machine-readable summary.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, SummaryJsonCarriesPerCellCounters) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem Memory(2, 2);
+  ExperimentEngine Engine(2);
+  EngineResult Run = Engine.run(
+      {{"cell \"one\"", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()},
+       {"cell-two", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+
+  EXPECT_EQ(Run.Counters.Cells, 2u);
+  EXPECT_EQ(Run.Counters.Workers, 2u);
+  EXPECT_EQ(Run.Counters.Failed, 0u);
+  // Four compilations total; at least two must have been served from the
+  // cache (under races both workers may first-compile the same key).
+  EXPECT_EQ(Run.Counters.CacheHits + Run.Counters.CacheMisses, 4u);
+  EXPECT_GE(Run.Counters.CacheHits, 1u);
+  EXPECT_GE(Run.Counters.WallMillis, 0.0);
+  EXPECT_GE(Run.Counters.CellWallMillis, 0.0);
+
+  std::string Json = Run.summaryJson();
+  EXPECT_NE(Json.find("\"workers\":2"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"cells\":2"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"per_cell\":["), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"label\":\"cell \\\"one\\\"\""), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"label\":\"cell-two\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"ok\":true"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"wall_ms\":"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"cache_hits\":"), std::string::npos) << Json;
+}
+
+//===----------------------------------------------------------------------===
+// The BSCHED_JOBS override.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, BschedJobsEnvOverridesDefaultWorkerCount) {
+  ASSERT_EQ(setenv("BSCHED_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::defaultWorkerCount(), 3u);
+  ExperimentEngine Engine; // Jobs = 0 resolves through the environment.
+  EXPECT_EQ(Engine.workerCount(), 3u);
+
+  // Malformed or out-of-range values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("BSCHED_JOBS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+  ASSERT_EQ(setenv("BSCHED_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+  ASSERT_EQ(unsetenv("BSCHED_JOBS"), 0);
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}

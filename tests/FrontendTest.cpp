@@ -220,7 +220,7 @@ kernel dot(x, y) freq 500 {
   ASSERT_TRUE(R.ok());
   PipelineConfig Config;
   Config.Policy = SchedulerPolicy::Balanced;
-  CompiledFunction C = compilePipeline(*R.Program, Config);
+  CompiledFunction C = runPipeline(*R.Program, Config).value();
   EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   EXPECT_GT(C.DynamicInstructions, 0.0);
 }

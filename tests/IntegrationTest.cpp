@@ -45,8 +45,8 @@ TEST_P(PipelineSweepTest, CompilesValidDeterministicCode) {
   Config.Policy = Policy;
   Config.OptimisticLatency = 3.0;
 
-  CompiledFunction First = compilePipeline(F, Config);
-  CompiledFunction Second = compilePipeline(F, Config);
+  CompiledFunction First = runPipeline(F, Config).value();
+  CompiledFunction Second = runPipeline(F, Config).value();
   EXPECT_TRUE(verifyClean(verifyFunction(First.Compiled)));
   EXPECT_EQ(printFunction(First.Compiled), printFunction(Second.Compiled));
   EXPECT_EQ(First.StaticSpills, Second.StaticSpills);
@@ -57,7 +57,7 @@ TEST_P(PipelineSweepTest, PreservesBlockSemantics) {
   Function F = buildBenchmark(B);
   PipelineConfig Config;
   Config.Policy = Policy;
-  CompiledFunction C = compilePipeline(F, Config);
+  CompiledFunction C = runPipeline(F, Config).value();
 
   AliasClassId Spill = C.Compiled.getOrCreateAliasClass(SpillAliasClassName);
   for (unsigned Block = 0; Block != F.numBlocks(); ++Block) {
@@ -86,7 +86,7 @@ class ProcessorSweepTest : public ::testing::TestWithParam<Benchmark> {};
 
 TEST_P(ProcessorSweepTest, RestrictedModelsNeverBeatUnlimited) {
   Function F = buildBenchmark(GetParam());
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   NetworkSystem Memory(3, 5);
 
   SimulationConfig Sim;
@@ -94,12 +94,12 @@ TEST_P(ProcessorSweepTest, RestrictedModelsNeverBeatUnlimited) {
   Sim.NumResamples = 40;
 
   Sim.Processor = ProcessorModel::unlimited();
-  double Unl = simulateProgram(C, Memory, Sim).MeanRuntime;
+  double Unl = runSimulation(C, Memory, Sim).value().MeanRuntime;
   for (ProcessorModel P :
        {ProcessorModel::maxOutstanding(8), ProcessorModel::maxOutstanding(2),
         ProcessorModel::maxLength(8), ProcessorModel::maxLength(4)}) {
     Sim.Processor = P;
-    double Restricted = simulateProgram(C, Memory, Sim).MeanRuntime;
+    double Restricted = runSimulation(C, Memory, Sim).value().MeanRuntime;
     // Limits can only add stalls (same latency streams by seed).
     EXPECT_GE(Restricted, Unl * 0.999) << P.name();
   }
@@ -107,16 +107,16 @@ TEST_P(ProcessorSweepTest, RestrictedModelsNeverBeatUnlimited) {
 
 TEST_P(ProcessorSweepTest, TighterLimitsCostMore) {
   Function F = buildBenchmark(GetParam());
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   NetworkSystem Memory(5, 5);
   SimulationConfig Sim;
   Sim.NumRuns = 10;
   Sim.NumResamples = 40;
 
   Sim.Processor = ProcessorModel::maxLength(16);
-  double Loose = simulateProgram(C, Memory, Sim).MeanRuntime;
+  double Loose = runSimulation(C, Memory, Sim).value().MeanRuntime;
   Sim.Processor = ProcessorModel::maxLength(2);
-  double Tight = simulateProgram(C, Memory, Sim).MeanRuntime;
+  double Tight = runSimulation(C, Memory, Sim).value().MeanRuntime;
   EXPECT_GE(Tight, Loose);
 }
 
@@ -136,12 +136,12 @@ TEST(TracePipelineTest, FormedRegionsScheduleAndSimulate) {
   TraceFormationResult Formed = formSuperblocks(Split);
   ASSERT_TRUE(verifyClean(verifyFunction(Formed.Formed)));
 
-  CompiledFunction C = compilePipeline(Formed.Formed, {});
+  CompiledFunction C = runPipeline(Formed.Formed, {}).value();
   EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   NetworkSystem Memory(3, 5);
   SimulationConfig Sim;
   Sim.NumRuns = 8;
   Sim.NumResamples = 30;
-  ProgramSimResult Res = simulateProgram(C, Memory, Sim);
+  ProgramSimResult Res = runSimulation(C, Memory, Sim).value();
   EXPECT_GT(Res.MeanRuntime, 0.0);
 }

@@ -33,12 +33,12 @@ SimulationConfig quickSim(ProcessorModel P = ProcessorModel::unlimited()) {
 } // namespace
 
 //===----------------------------------------------------------------------===
-// compilePipeline mechanics
+// runPipeline mechanics
 //===----------------------------------------------------------------------===
 
 TEST(PipelineTest, ProducesPhysicalCode) {
   Function F = buildBenchmark(Benchmark::FLO52Q);
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   EXPECT_TRUE(verifyClean(verifyFunction(C.Compiled)));
   for (const BasicBlock &BB : C.Compiled)
     for (const Instruction &I : BB) {
@@ -52,7 +52,7 @@ TEST(PipelineTest, ProducesPhysicalCode) {
 
 TEST(PipelineTest, CountsAreConsistent) {
   Function F = buildBenchmark(Benchmark::QCD2);
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   EXPECT_EQ(C.SpillPerBlock.size(), F.numBlocks());
   unsigned SumSpills = 0;
   for (unsigned S : C.SpillPerBlock)
@@ -68,7 +68,7 @@ TEST(PipelineTest, NoSchedulingPolicySkipsReordering) {
   PipelineConfig Config;
   Config.Policy = SchedulerPolicy::NoScheduling;
   Config.RunRegAlloc = false;
-  CompiledFunction C = compilePipeline(F, Config);
+  CompiledFunction C = runPipeline(F, Config).value();
   // Identical block contents (no RA, no reordering).
   for (unsigned B = 0; B != F.numBlocks(); ++B) {
     ASSERT_EQ(C.Compiled.block(B).size(), F.block(B).size());
@@ -82,9 +82,11 @@ TEST(PipelineTest, QcdSpillsMoreThanFlo) {
   // FLO52Q the least.
   PipelineConfig Config;
   Config.Policy = SchedulerPolicy::Balanced;
-  double Qcd =
-      compilePipeline(buildBenchmark(Benchmark::QCD2), Config).spillPercent();
-  double Flo = compilePipeline(buildBenchmark(Benchmark::FLO52Q), Config)
+  double Qcd = runPipeline(buildBenchmark(Benchmark::QCD2), Config)
+                   .value()
+                   .spillPercent();
+  double Flo = runPipeline(buildBenchmark(Benchmark::FLO52Q), Config)
+                   .value()
                    .spillPercent();
   EXPECT_GT(Qcd, Flo);
   EXPECT_GT(Qcd, 5.0);
@@ -102,7 +104,7 @@ TEST_P(PipelineSemanticsTest, CompiledCodeComputesSameMemoryImage) {
        {SchedulerPolicy::Traditional, SchedulerPolicy::Balanced}) {
     PipelineConfig Config;
     Config.Policy = Policy;
-    CompiledFunction C = compilePipeline(F, Config);
+    CompiledFunction C = runPipeline(F, Config).value();
 
     AliasClassId Spill =
         C.Compiled.getOrCreateAliasClass(SpillAliasClassName);
@@ -129,9 +131,9 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineSemanticsTest,
 
 TEST(ExperimentTest, SimulateProgramAccounting) {
   Function F = buildBenchmark(Benchmark::MDG);
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   CacheSystem Mem(0.8, 2, 10);
-  ProgramSimResult Sim = simulateProgram(C, Mem, quickSim());
+  ProgramSimResult Sim = runSimulation(C, Mem, quickSim()).value();
   EXPECT_EQ(Sim.BootstrapRuntimes.size(), 60u);
   EXPECT_GT(Sim.MeanRuntime, Sim.DynamicInstructions); // Some interlocks.
   EXPECT_GT(Sim.interlockPercent(), 0.0);
@@ -141,10 +143,10 @@ TEST(ExperimentTest, SimulateProgramAccounting) {
 
 TEST(ExperimentTest, SimulationIsDeterministic) {
   Function F = buildBenchmark(Benchmark::TRACK);
-  CompiledFunction C = compilePipeline(F, {});
+  CompiledFunction C = runPipeline(F, {}).value();
   NetworkSystem Mem(3, 2);
-  ProgramSimResult A = simulateProgram(C, Mem, quickSim());
-  ProgramSimResult B = simulateProgram(C, Mem, quickSim());
+  ProgramSimResult A = runSimulation(C, Mem, quickSim()).value();
+  ProgramSimResult B = runSimulation(C, Mem, quickSim()).value();
   EXPECT_EQ(A.BootstrapRuntimes, B.BootstrapRuntimes);
 }
 
@@ -154,7 +156,7 @@ TEST(ExperimentTest, BalancedBeatsTraditionalOnMdgHighVariance) {
   Function F = buildBenchmark(Benchmark::MDG);
   NetworkSystem Mem(2, 5);
   SchedulerComparison Cmp =
-      compareSchedulers(F, Mem, Mem.optimisticLatency(), quickSim());
+      runComparison(F, Mem, Mem.optimisticLatency(), quickSim()).value();
   EXPECT_GT(Cmp.Improvement.MeanPercent, 3.0);
   EXPECT_TRUE(Cmp.Improvement.significant());
 }
@@ -163,10 +165,9 @@ TEST(ExperimentTest, ImprovementGrowsWithVariance) {
   // Table 2 trend: N(2,5) gains exceed N(2,2) gains.
   Function F = buildBenchmark(Benchmark::MDG);
   NetworkSystem LowVar(2, 2), HighVar(2, 5);
-  SchedulerComparison Low =
-      compareSchedulers(F, LowVar, 2.0, quickSim());
+  SchedulerComparison Low = runComparison(F, LowVar, 2.0, quickSim()).value();
   SchedulerComparison High =
-      compareSchedulers(F, HighVar, 2.0, quickSim());
+      runComparison(F, HighVar, 2.0, quickSim()).value();
   EXPECT_GT(High.Improvement.MeanPercent, Low.Improvement.MeanPercent);
 }
 
@@ -174,8 +175,9 @@ TEST(ExperimentTest, ImprovementGrowsWithMissPenalty) {
   // Table 2 trend: L80(2,10) gains exceed L80(2,5) gains.
   Function F = buildBenchmark(Benchmark::ARC2D);
   CacheSystem SmallMiss(0.8, 2, 5), BigMiss(0.8, 2, 10);
-  SchedulerComparison A = compareSchedulers(F, SmallMiss, 2.0, quickSim());
-  SchedulerComparison B = compareSchedulers(F, BigMiss, 2.0, quickSim());
+  SchedulerComparison A =
+      runComparison(F, SmallMiss, 2.0, quickSim()).value();
+  SchedulerComparison B = runComparison(F, BigMiss, 2.0, quickSim()).value();
   EXPECT_GT(B.Improvement.MeanPercent, A.Improvement.MeanPercent);
 }
 
@@ -185,7 +187,7 @@ TEST(ExperimentTest, RestrictedProcessorsStillImprove) {
   for (ProcessorModel P :
        {ProcessorModel::maxOutstanding(8), ProcessorModel::maxLength(8)}) {
     SchedulerComparison Cmp =
-        compareSchedulers(F, Mem, 3.0, quickSim(P));
+        runComparison(F, Mem, 3.0, quickSim(P)).value();
     EXPECT_GT(Cmp.Improvement.MeanPercent, 0.0) << P.name();
   }
 }
@@ -196,9 +198,79 @@ TEST(ExperimentTest, AverageLlpNoBetterThanTraditional) {
   Function F = buildBenchmark(Benchmark::MDG);
   NetworkSystem Mem(2, 5);
   SchedulerComparison Balanced =
-      compareSchedulers(F, Mem, 2.0, quickSim(), SchedulerPolicy::Balanced);
-  SchedulerComparison Average = compareSchedulers(
-      F, Mem, 2.0, quickSim(), SchedulerPolicy::AverageLlp);
+      runComparison(F, Mem, 2.0, quickSim(), SchedulerPolicy::Balanced)
+          .value();
+  SchedulerComparison Average =
+      runComparison(F, Mem, 2.0, quickSim(), SchedulerPolicy::AverageLlp)
+          .value();
   EXPECT_GT(Balanced.Improvement.MeanPercent,
             Average.Improvement.MeanPercent);
+}
+
+//===----------------------------------------------------------------------===
+// Config presets, validation, and policy-name parsing
+//===----------------------------------------------------------------------===
+
+TEST(PipelineConfigTest, PaperDefaultIsTheDefaultConfig) {
+  PipelineConfig Preset = PipelineConfig::paperDefault();
+  PipelineConfig Default;
+  EXPECT_EQ(Preset.Policy, Default.Policy);
+  EXPECT_EQ(Preset.RunRegAlloc, Default.RunRegAlloc);
+  EXPECT_EQ(Preset.SchedOptions.IssueWidth, Default.SchedOptions.IssueWidth);
+  EXPECT_TRUE(Preset.validate().ok());
+}
+
+TEST(PipelineConfigTest, UnlimitedRegistersSkipsAllocation) {
+  PipelineConfig Preset = PipelineConfig::unlimitedRegisters();
+  EXPECT_FALSE(Preset.RunRegAlloc);
+  EXPECT_TRUE(Preset.validate().ok());
+  // The preset delivers what it promises: no spill code at all.
+  Function F = buildBenchmark(Benchmark::QCD2);
+  CompiledFunction C = runPipeline(F, Preset).value();
+  EXPECT_EQ(C.StaticSpills, 0u);
+}
+
+TEST(PipelineConfigTest, SuperscalarSetsIssueWidth) {
+  EXPECT_EQ(PipelineConfig::superscalar(4).SchedOptions.IssueWidth, 4u);
+  EXPECT_TRUE(PipelineConfig::superscalar(4).validate().ok());
+}
+
+TEST(PipelineConfigTest, ValidateRejectsBadKnobs) {
+  PipelineConfig Bad = PipelineConfig::superscalar(0);
+  Status S = Bad.validate();
+  EXPECT_FALSE(S.ok());
+  ASSERT_FALSE(S.diagnostics().empty());
+  EXPECT_EQ(S.diagnostics().front().Code, DiagCode::PipelineBadConfig);
+
+  // runPipeline performs the same check and degrades instead of aborting.
+  Function F = buildBenchmark(Benchmark::TRACK);
+  ErrorOr<CompiledFunction> C = runPipeline(F, Bad);
+  ASSERT_FALSE(C.has_value());
+  EXPECT_EQ(C.errors().front().Code, DiagCode::PipelineBadConfig);
+}
+
+TEST(PipelineConfigTest, ParsePolicyNameRoundTripsEveryPolicy) {
+  for (SchedulerPolicy P :
+       {SchedulerPolicy::Traditional, SchedulerPolicy::Balanced,
+        SchedulerPolicy::BalancedUnionFind, SchedulerPolicy::AverageLlp,
+        SchedulerPolicy::NoScheduling}) {
+    ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(policyName(P));
+    ASSERT_TRUE(Parsed.has_value()) << policyName(P);
+    EXPECT_EQ(*Parsed, P);
+  }
+}
+
+TEST(PipelineConfigTest, ParsePolicyNameTrimsWhitespace) {
+  ErrorOr<SchedulerPolicy> Parsed = parsePolicyName("  balanced-uf\t");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(*Parsed, SchedulerPolicy::BalancedUnionFind);
+}
+
+TEST(PipelineConfigTest, ParsePolicyNameRejectsUnknownSpelling) {
+  ErrorOr<SchedulerPolicy> Parsed = parsePolicyName("blanced");
+  ASSERT_FALSE(Parsed.has_value());
+  EXPECT_EQ(Parsed.errors().front().Code, DiagCode::PipelineUnknownPolicy);
+  // The message teaches the accepted spellings.
+  EXPECT_NE(Parsed.errorText().find("balanced"), std::string::npos);
+  EXPECT_NE(Parsed.errorText().find("traditional"), std::string::npos);
 }

@@ -358,3 +358,73 @@ TEST(BitVectorTest, EqualityAndResize) {
   EXPECT_EQ(A.count(), 0u);
   EXPECT_EQ(A.size(), 20u);
 }
+
+//===----------------------------------------------------------------------===
+// ThreadPool
+//===----------------------------------------------------------------------===
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+TEST(ThreadPoolTest, ResolvesWorkerCount) {
+  ThreadPool Serial(1);
+  EXPECT_EQ(Serial.workerCount(), 1u);
+  ThreadPool Four(4);
+  EXPECT_EQ(Four.workerCount(), 4u);
+  ThreadPool Default(0);
+  EXPECT_GE(Default.workerCount(), 1u);
+}
+
+TEST(ThreadPoolTest, RunExecutesEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Count{0};
+  for (unsigned I = 0; I != 64; ++I)
+    Pool.run([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 64u);
+}
+
+TEST(ThreadPoolTest, ParallelForEachCoversEachIndexOnce) {
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    ThreadPool Pool(Workers);
+    std::vector<std::atomic<unsigned>> Touched(97);
+    parallelForEach(Pool, Touched.size(),
+                    [&](size_t Index) { ++Touched[Index]; });
+    for (size_t I = 0; I != Touched.size(); ++I)
+      EXPECT_EQ(Touched[I].load(), 1u) << "workers " << Workers << " index "
+                                       << I;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineInIndexOrder) {
+  // The one-worker pool is the serial baseline: iterations run on the
+  // calling thread, in order.
+  ThreadPool Pool(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Order;
+  parallelForEach(Pool, 10, [&](size_t Index) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Order.push_back(Index);
+  });
+  std::vector<size_t> Expected{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, ParallelForEachHandlesEmptyRange) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  parallelForEach(Pool, 0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPoolTest, DefaultWorkerCountHonorsEnvOverride) {
+  ASSERT_EQ(setenv("BSCHED_JOBS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::defaultWorkerCount(), 5u);
+  ASSERT_EQ(setenv("BSCHED_JOBS", "-2", 1), 0);
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u); // Rejected: fallback.
+  ASSERT_EQ(unsetenv("BSCHED_JOBS"), 0);
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
