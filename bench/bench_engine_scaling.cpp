@@ -88,6 +88,39 @@ int main(int argc, char **argv) {
               "nothing to share\n(hits stay 0) and the speedup is pure "
               "worker parallelism, bounded by\nphysical cores. The matrix "
               "benches (bench_table2_unlimited etc.) are\nwhere the cache "
-              "fires: one kernel appears under many memory systems.\n");
+              "fires: one kernel appears under many memory systems.\n\n");
+
+  // Certifier overhead: the same serial sweep with translation validation
+  // on (the default — every schedule and allocation proved) and off. The
+  // delta is the price of certification; the results must be identical
+  // because certification only observes.
+  Table C("Certification overhead (serial sweep)");
+  C.setHeader({"Certify", "Wall ms", "Overhead", "Identical"});
+  SweepResult CertRuns[2];
+  double CertMs[2] = {0.0, 0.0};
+  for (int On = 1; On >= 0; --On) {
+    SweepOptions Options;
+    Options.Jobs = 1;
+    Options.Base.Certify = On != 0;
+    SweepResult R = runWorkloadSweep(Entries, Memory, Sim, Options);
+    if (R.degraded()) {
+      std::fprintf(stderr, "sweep degraded: %s\n", R.summary().c_str());
+      return 1;
+    }
+    CertRuns[On] = R;
+    CertMs[On] = R.Engine.WallMillis;
+  }
+  bool CertIdentical = identicalSweepResults(CertRuns[0], CertRuns[1]);
+  C.addRow({"off", formatDouble(CertMs[0], 0), "--", "--"});
+  C.addRow({"on", formatDouble(CertMs[1], 0),
+            formatDouble(100.0 * (CertMs[1] - CertMs[0]) /
+                             (CertMs[0] > 0.0 ? CertMs[0] : 1.0), 1) + "%",
+            CertIdentical ? "yes" : "NO"});
+  C.print(stdout);
+  if (!CertIdentical) {
+    std::fprintf(stderr,
+                 "error: certification changed the compiled results\n");
+    return 1;
+  }
   return 0;
 }

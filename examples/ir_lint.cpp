@@ -1,0 +1,149 @@
+//===- examples/ir_lint.cpp - IR lint + certification CLI -----------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// A command-line front end for the analysis layer: reads a .bsir file,
+// runs the dataflow lints (use-before-def, dead values, redundant loads)
+// on every function, and optionally compiles each function with the
+// certifying pipeline so every schedule and allocation is proved correct.
+//
+// Usage:
+//   ir_lint <file.bsir> [--certify] [--no-use-before-def]
+//           [--no-dead-value] [--no-redundant-load]
+//   ir_lint --demo        (runs on a built-in example with findings)
+//
+// Exit codes: 0 = clean, 1 = lint findings, 2 = syntax error,
+// 3 = IR verification failure, 4 = pipeline certification failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "parser/Parser.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace bsched;
+
+namespace {
+
+// Deliberately suspicious code: %i0 is read but never defined (BS700),
+// %f3 is computed and never used (BS701), and the second fload rereads
+// the location the first one just loaded (BS702).
+const char *DemoSource = R"(
+func @demo {
+block body freq 1 {
+  %f0 = fload [%i0 + 0] !a
+  %f1 = fload [%i0 + 0] !a
+  %f2 = fadd %f0, %f1
+  %f3 = fmul %f2, %f0
+  fstore %f2, [%i0 + 8] !a
+  ret
+}
+}
+)";
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.bsir> [--certify] [--no-use-before-def] "
+               "[--no-dead-value] [--no-redundant-load] | --demo\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Source;
+  const char *Path = nullptr;
+  bool Certify = false;
+  LintOptions Options;
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--demo") == 0)
+      Source = DemoSource;
+    else if (std::strcmp(argv[I], "--certify") == 0)
+      Certify = true;
+    else if (std::strcmp(argv[I], "--no-use-before-def") == 0)
+      Options.WarnUseBeforeDef = false;
+    else if (std::strcmp(argv[I], "--no-dead-value") == 0)
+      Options.WarnDeadValue = false;
+    else if (std::strcmp(argv[I], "--no-redundant-load") == 0)
+      Options.WarnRedundantLoad = false;
+    else if (argv[I][0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else
+      Path = argv[I];
+  }
+  if (argc <= 1)
+    Source = DemoSource; // No arguments: run the built-in example.
+
+  if (Source.empty()) {
+    if (!Path) {
+      usage(argv[0]);
+      return 2;
+    }
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  std::string_view Filename = Path ? Path : "<demo>";
+  ParseResult Result = parseIr(Source);
+  if (!Result.ok()) {
+    // Exit codes: 2 = lexical/syntactic failure, 3 = the text parsed but
+    // the IR failed verification (same convention as sched_explorer).
+    bool VerifyFailure = false;
+    for (const ParseDiag &D : Result.Diags) {
+      std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&
+          D.Code < DiagCode::FrontendSyntax)
+        VerifyFailure = true;
+    }
+    return VerifyFailure ? 3 : 2;
+  }
+
+  unsigned Findings = 0;
+  bool CertificationFailed = false;
+  for (const Function &F : Result.Functions) {
+    std::vector<Diagnostic> Diags = lintFunction(F, Options);
+    for (const Diagnostic &D : Diags)
+      std::printf("%s: @%s: %s\n", std::string(Filename).c_str(),
+                  F.name().c_str(), D.formatted().c_str());
+    Findings += static_cast<unsigned>(Diags.size());
+
+    if (Certify) {
+      ErrorOr<CompiledFunction> Compiled =
+          runPipeline(F, PipelineConfig::paperDefault());
+      if (!Compiled.has_value()) {
+        CertificationFailed = true;
+        for (const Diagnostic &D : Compiled.errors())
+          std::fprintf(stderr, "%s: @%s: %s\n", std::string(Filename).c_str(),
+                       F.name().c_str(), D.formatted().c_str());
+      } else {
+        std::printf("%s: @%s: certified (%u instructions, %u spills, every "
+                    "schedule and allocation proved)\n",
+                    std::string(Filename).c_str(), F.name().c_str(),
+                    Compiled->StaticInstructions, Compiled->StaticSpills);
+      }
+    }
+  }
+
+  if (CertificationFailed)
+    return 4;
+  if (Findings != 0) {
+    std::printf("%u finding(s)\n", Findings);
+    return 1;
+  }
+  std::printf("clean\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- analysis/Dataflow.cpp - Intra-block dataflow framework -------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace bsched;
+
+ReachingDefsResult bsched::computeReachingDefs(const BasicBlock &BB) {
+  ReachingDefsResult Result;
+  Result.SrcDef.assign(BB.size(), {ReachingLiveIn, ReachingLiveIn,
+                                   ReachingLiveIn});
+  Result.KilledDef.assign(BB.size(), ReachingLiveIn);
+
+  // Raw register encoding -> index of its most recent definition.
+  std::unordered_map<uint32_t, int> LastDef;
+  scanForward(BB, 0, [&](int &, unsigned Index, const Instruction &I) {
+    for (unsigned S = 0, E = static_cast<unsigned>(I.sources().size());
+         S != E; ++S) {
+      auto It = LastDef.find(I.source(S).rawBits());
+      if (It != LastDef.end())
+        Result.SrcDef[Index][S] = It->second;
+    }
+    if (I.hasDest()) {
+      auto [It, Inserted] =
+          LastDef.try_emplace(I.dest().rawBits(), static_cast<int>(Index));
+      if (!Inserted) {
+        Result.KilledDef[Index] = It->second;
+        It->second = static_cast<int>(Index);
+      }
+    }
+  });
+  return Result;
+}
+
+namespace {
+
+std::vector<Reg> sortedRegs(const std::unordered_set<uint32_t> &Raw) {
+  std::vector<uint32_t> Bits(Raw.begin(), Raw.end());
+  std::sort(Bits.begin(), Bits.end());
+  std::vector<Reg> Out;
+  Out.reserve(Bits.size());
+  for (uint32_t B : Bits)
+    Out.push_back(Reg::fromRawBits(B));
+  return Out;
+}
+
+bool containsReg(const std::vector<Reg> &Sorted, Reg R) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), R);
+}
+
+} // namespace
+
+bool LivenessResult::isLiveAfter(unsigned Index, Reg R) const {
+  return containsReg(LiveAfter[Index], R);
+}
+
+bool LivenessResult::isLiveIn(Reg R) const { return containsReg(LiveIn, R); }
+
+LivenessResult bsched::computeLiveness(const BasicBlock &BB) {
+  LivenessResult Result;
+  Result.LiveAfter.assign(BB.size(), {});
+
+  // Nothing is live past the block end (block-local value convention).
+  std::unordered_set<uint32_t> Live;
+  scanBackward(BB, 0, [&](int &, unsigned Index, const Instruction &I) {
+    Result.LiveAfter[Index] = sortedRegs(Live);
+    if (I.hasDest())
+      Live.erase(I.dest().rawBits());
+    for (Reg Src : I.sources())
+      Live.insert(Src.rawBits());
+  });
+  Result.LiveIn = sortedRegs(Live);
+  return Result;
+}
+
+bool bsched::identicalInstruction(const Instruction &A, const Instruction &B) {
+  if (A.opcode() != B.opcode() || A.imm() != B.imm() ||
+      A.aliasClass() != B.aliasClass())
+    return false;
+  // Bit-compare the FP immediate so NaN payloads cannot alias distinct
+  // instructions.
+  const double FpA = A.fpImm(), FpB = B.fpImm();
+  if (std::memcmp(&FpA, &FpB, sizeof(double)) != 0)
+    return false;
+  if (A.hasDest() && A.dest() != B.dest())
+    return false;
+  for (unsigned S = 0, E = static_cast<unsigned>(A.sources().size()); S != E;
+       ++S)
+    if (A.source(S) != B.source(S))
+      return false;
+  if (A.isLoad()) {
+    if (A.hasKnownLatency() != B.hasKnownLatency())
+      return false;
+    if (A.hasKnownLatency() && A.knownLatency() != B.knownLatency())
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,120 @@
+//===- analysis/Dataflow.h - Intra-block dataflow framework ----*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reusable dataflow framework over single basic blocks. Every
+/// client in this repository (lint analyses, the schedule and allocation
+/// certifiers) operates strictly block-at-a-time — exactly the scope both
+/// schedulers in the paper work at — so the framework is a pair of scan
+/// drivers over straight-line code plus the two classical analyses built
+/// on them:
+///
+///  - reaching definitions (forward): which instruction produced the value
+///    each source operand reads, or "live-in" when no in-block definition
+///    reaches it;
+///  - liveness (backward): which registers are still wanted after each
+///    instruction, under the repository-wide convention that values are
+///    dead at block end (workloads store live results to memory — see
+///    regalloc/LocalRegAlloc.h).
+///
+/// Both analyses are single linear passes (blocks have no internal control
+/// flow, so the fixpoint is immediate), and both return per-program-point
+/// results indexed by instruction position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_ANALYSIS_DATAFLOW_H
+#define BSCHED_ANALYSIS_DATAFLOW_H
+
+#include "ir/BasicBlock.h"
+
+#include <array>
+#include <vector>
+
+namespace bsched {
+
+/// Runs \p Transfer over every instruction of \p BB front to back,
+/// threading \p State through. Transfer is invoked as
+/// Transfer(State&, Index, Instruction); the returned value is the state
+/// after the final instruction.
+template <typename State, typename TransferFn>
+State scanForward(const BasicBlock &BB, State InitialState,
+                  TransferFn &&Transfer) {
+  for (unsigned I = 0, E = BB.size(); I != E; ++I)
+    Transfer(InitialState, I, BB[I]);
+  return InitialState;
+}
+
+/// Runs \p Transfer over every instruction of \p BB back to front; the
+/// returned value is the state before the first instruction.
+template <typename State, typename TransferFn>
+State scanBackward(const BasicBlock &BB, State InitialState,
+                   TransferFn &&Transfer) {
+  for (unsigned I = BB.size(); I-- > 0;)
+    Transfer(InitialState, I, BB[I]);
+  return InitialState;
+}
+
+/// The pseudo-definition index meaning "defined before the block" in
+/// reaching-definitions results.
+constexpr int ReachingLiveIn = -1;
+
+/// Reaching definitions for one block: per source operand, the in-block
+/// instruction that defined the value it reads.
+struct ReachingDefsResult {
+  /// SrcDef[i][k] = index of the instruction defining source operand k of
+  /// instruction i, or ReachingLiveIn when the register has no prior
+  /// in-block definition. Entries beyond instruction i's source count are
+  /// ReachingLiveIn.
+  std::vector<std::array<int, 3>> SrcDef;
+
+  /// KilledDef[i] = index of the previous definition of the register
+  /// instruction i (re)defines, or ReachingLiveIn when i's definition is
+  /// the first (or i defines nothing).
+  std::vector<int> KilledDef;
+
+  /// The reaching definition for source \p SrcIndex of instruction
+  /// \p Index (ReachingLiveIn when defined before the block).
+  int sourceDef(unsigned Index, unsigned SrcIndex) const {
+    return SrcDef[Index][SrcIndex];
+  }
+};
+
+/// Computes reaching definitions for \p BB in one forward scan.
+ReachingDefsResult computeReachingDefs(const BasicBlock &BB);
+
+/// Liveness for one block under the block-local value convention: a
+/// register is live at a point iff a later instruction of the same block
+/// reads it before any redefinition.
+struct LivenessResult {
+  /// Registers live into the block (read before any in-block definition),
+  /// sorted by raw encoding.
+  std::vector<Reg> LiveIn;
+
+  /// LiveAfter[i] = registers live immediately after instruction i,
+  /// sorted by raw encoding.
+  std::vector<std::vector<Reg>> LiveAfter;
+
+  /// True if \p R is live immediately after instruction \p Index.
+  bool isLiveAfter(unsigned Index, Reg R) const;
+
+  /// True if \p R is live into the block.
+  bool isLiveIn(Reg R) const;
+};
+
+/// Computes liveness for \p BB in one backward scan.
+LivenessResult computeLiveness(const BasicBlock &BB);
+
+/// True when \p A and \p B are the same instruction: same opcode, operands,
+/// immediates (bit-exact), alias class and known-latency annotation. The
+/// certifiers use this to prove scheduler/allocator output consists of the
+/// input's instructions.
+bool identicalInstruction(const Instruction &A, const Instruction &B);
+
+} // namespace bsched
+
+#endif // BSCHED_ANALYSIS_DATAFLOW_H

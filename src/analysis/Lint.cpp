@@ -1,0 +1,146 @@
+//===- analysis/Lint.cpp - IR lint analyses -------------------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/Dataflow.h"
+
+#include <map>
+#include <unordered_set>
+
+using namespace bsched;
+
+namespace {
+
+std::string where(const BasicBlock &BB, unsigned Index) {
+  return "block '" + BB.name() + "' instruction " + std::to_string(Index) +
+         " (" + BB[Index].str() + ")";
+}
+
+void warn(std::vector<Diagnostic> &Diags, DiagCode Code, std::string Message) {
+  Diags.push_back(
+      {0, 0, std::move(Message), Severity::Warning, Code});
+}
+
+/// One read-before-write warning per live-in register, at its first use.
+void lintUseBeforeDef(const BasicBlock &BB, const ReachingDefsResult &Defs,
+                      std::vector<Diagnostic> &Diags) {
+  std::unordered_set<uint32_t> Reported;
+  for (unsigned I = 0, E = BB.size(); I != E; ++I)
+    for (unsigned S = 0,
+                  N = static_cast<unsigned>(BB[I].sources().size());
+         S != N; ++S)
+      if (Defs.sourceDef(I, S) == ReachingLiveIn &&
+          Reported.insert(BB[I].source(S).rawBits()).second)
+        warn(Diags, DiagCode::LintUseBeforeDef,
+             BB[I].source(S).str() + " is read but never defined in " +
+                 where(BB, I) + "; the value is a block live-in");
+}
+
+void lintDeadValues(const BasicBlock &BB, const LivenessResult &Live,
+                    std::vector<Diagnostic> &Diags) {
+  for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+    const Instruction &Instr = BB[I];
+    if (!Instr.hasDest() || Live.isLiveAfter(I, Instr.dest()))
+      continue;
+    warn(Diags, DiagCode::LintDeadValue,
+         Instr.dest().str() + " defined by " + where(BB, I) +
+             " is never read afterwards; the definition is dead");
+  }
+}
+
+/// A memory location: alias class x base-value generation x offset. The
+/// generation is the reaching-definition index of the base register
+/// (ReachingLiveIn for live-in bases), so redefining the base starts a
+/// fresh location family exactly as in the dependence analyzer.
+struct Location {
+  AliasClassId Alias;
+  uint32_t BaseRaw;
+  int BaseDef;
+  int64_t Offset;
+
+  bool operator<(const Location &O) const {
+    return std::tie(Alias, BaseRaw, BaseDef, Offset) <
+           std::tie(O.Alias, O.BaseRaw, O.BaseDef, O.Offset);
+  }
+};
+
+void lintRedundantLoads(const Function &F, const BasicBlock &BB,
+                        const ReachingDefsResult &Defs,
+                        std::vector<Diagnostic> &Diags) {
+  // Locations whose value is currently available, mapped to the
+  // instruction that made it available.
+  std::map<Location, unsigned> Available;
+
+  auto LocationOf = [&](unsigned Index) {
+    const Instruction &I = BB[Index];
+    unsigned BaseSrc = I.isStore() ? 1 : 0;
+    return Location{I.aliasClass(), I.addressBase().rawBits(),
+                    Defs.sourceDef(Index, BaseSrc), I.imm()};
+  };
+
+  for (unsigned I = 0, E = BB.size(); I != E; ++I) {
+    const Instruction &Instr = BB[I];
+    if (Instr.isLoad()) {
+      Location Loc = LocationOf(I);
+      auto It = Available.find(Loc);
+      if (It != Available.end()) {
+        warn(Diags, DiagCode::LintRedundantLoad,
+             where(BB, I) + " reloads " +
+                 F.aliasClassName(Instr.aliasClass()) + "[base+" +
+                 std::to_string(Instr.imm()) +
+                 "], already available from instruction " +
+                 std::to_string(It->second));
+      } else {
+        Available.emplace(Loc, I);
+      }
+    } else if (Instr.isStore()) {
+      Location Loc = LocationOf(I);
+      // Kill every same-class location the store may alias: everything in
+      // the class except provably-disjoint same-base different-offset
+      // entries.
+      for (auto It = Available.begin(); It != Available.end();) {
+        const Location &L = It->first;
+        bool SameBase = L.BaseRaw == Loc.BaseRaw && L.BaseDef == Loc.BaseDef;
+        bool MayAlias =
+            L.Alias == Loc.Alias && (!SameBase || L.Offset == Loc.Offset);
+        It = MayAlias ? Available.erase(It) : std::next(It);
+      }
+      // The stored location's value is now available in a register.
+      Available.emplace(Loc, I);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Diagnostic> bsched::lintBlock(const Function &F,
+                                          const BasicBlock &BB,
+                                          const LintOptions &Options) {
+  std::vector<Diagnostic> Diags;
+  ReachingDefsResult Defs = computeReachingDefs(BB);
+  if (Options.WarnUseBeforeDef)
+    lintUseBeforeDef(BB, Defs, Diags);
+  if (Options.WarnDeadValue) {
+    LivenessResult Live = computeLiveness(BB);
+    lintDeadValues(BB, Live, Diags);
+  }
+  if (Options.WarnRedundantLoad)
+    lintRedundantLoads(F, BB, Defs, Diags);
+  return Diags;
+}
+
+std::vector<Diagnostic> bsched::lintFunction(const Function &F,
+                                             const LintOptions &Options) {
+  std::vector<Diagnostic> Diags;
+  for (const BasicBlock &BB : F) {
+    std::vector<Diagnostic> BlockDiags = lintBlock(F, BB, Options);
+    for (Diagnostic &D : BlockDiags)
+      Diags.push_back(std::move(D));
+  }
+  return Diags;
+}

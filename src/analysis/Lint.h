@@ -1,0 +1,57 @@
+//===- analysis/Lint.h - IR lint analyses ----------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lint analyses built on the intra-block dataflow framework. Every
+/// finding is a warning-severity \c Diagnostic with a stable BS code so
+/// tools (the ir_lint CLI, tests, the fuzz harness) can assert on exact
+/// findings:
+///
+///  - BS700 use-before-def: a register is read with no in-block
+///    definition (a live-in). Legal IR, but in the self-contained kernels
+///    this repository compiles it usually marks a missing initialization.
+///  - BS701 dead value: a defined value is never read again in its block
+///    (values are block-local by convention, so a dead definition is
+///    removable work).
+///  - BS702 redundant load: a load reads a memory location whose value is
+///    already available — an earlier load of the same location, or the
+///    register just stored to it — with no potentially-aliasing store in
+///    between. Alias reasoning matches the dependence analyzer's
+///    (dag/DagBuilder.h): distinct alias classes never alias; same-class
+///    accesses through the same base value at distinct offsets are
+///    disjoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_ANALYSIS_LINT_H
+#define BSCHED_ANALYSIS_LINT_H
+
+#include "ir/Function.h"
+#include "support/Diagnostic.h"
+
+#include <vector>
+
+namespace bsched {
+
+/// Which lint analyses run.
+struct LintOptions {
+  bool WarnUseBeforeDef = true;
+  bool WarnDeadValue = true;
+  bool WarnRedundantLoad = true;
+};
+
+/// Lints one block of \p F; findings reference \p F's alias-class names.
+std::vector<Diagnostic> lintBlock(const Function &F, const BasicBlock &BB,
+                                  const LintOptions &Options = {});
+
+/// Lints every block of \p F.
+std::vector<Diagnostic> lintFunction(const Function &F,
+                                     const LintOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_ANALYSIS_LINT_H

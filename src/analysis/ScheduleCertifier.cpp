@@ -1,0 +1,199 @@
+//===- analysis/ScheduleCertifier.cpp - Schedule certification ------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScheduleCertifier.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace bsched;
+
+namespace {
+
+std::string nodeStr(const DepDag &Dag, unsigned Node) {
+  return "node " + std::to_string(Node) + " (" +
+         Dag.instruction(Node).str() + ")";
+}
+
+/// Integer cycle requirement for a fractional gap. The scheduler defers
+/// with tolerance 1e-9, so any satisfied constraint exceeds Gap - 1e-6;
+/// the wider certifier tolerance can never reject a scheduler-produced
+/// placement.
+long requiredCycles(double Gap) {
+  return static_cast<long>(std::ceil(Gap - 1e-6));
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+bsched::certifySchedule(const BasicBlock &Input, const DepDag &Dag,
+                        const Schedule &Sched, const LatencyModel &Ops,
+                        const SchedulerOptions &Options) {
+  std::vector<Diagnostic> Diags;
+  auto Error = [&](DiagCode Code, std::string Message) {
+    Diags.push_back({0, 0, std::move(Message), Severity::Error, Code});
+  };
+
+  const unsigned N = Dag.size();
+
+  // Obligation 0 (BS714): the DAG is the input block — node i carries an
+  // exact copy of schedulable instruction i. Everything downstream reasons
+  // about DAG nodes; this ties those nodes back to the code being compiled.
+  if (N != Input.schedulableSize()) {
+    Error(DiagCode::CertifyScheduleMalformed,
+          "DAG has " + std::to_string(N) + " nodes but block '" +
+              Input.name() + "' has " +
+              std::to_string(Input.schedulableSize()) +
+              " schedulable instructions");
+    return Diags;
+  }
+  for (unsigned I = 0; I != N; ++I)
+    if (!identicalInstruction(Dag.instruction(I), Input[I]))
+      Error(DiagCode::CertifyScheduleMalformed,
+            nodeStr(Dag, I) + " does not match input instruction " +
+                std::to_string(I) + " (" + Input[I].str() + ")");
+
+  // Obligation 1 (BS710): the emitted order is a permutation of the nodes —
+  // no instruction dropped, duplicated, or invented.
+  if (Sched.Order.size() != N) {
+    Error(DiagCode::CertifyNotPermutation,
+          "schedule emits " + std::to_string(Sched.Order.size()) +
+              " instructions, block has " + std::to_string(N));
+    return Diags;
+  }
+  std::vector<int> Position(N, -1);
+  bool PermutationOk = true;
+  for (unsigned Pos = 0; Pos != N; ++Pos) {
+    unsigned Node = Sched.Order[Pos];
+    if (Node >= N) {
+      Error(DiagCode::CertifyNotPermutation,
+            "schedule position " + std::to_string(Pos) +
+                " references node " + std::to_string(Node) +
+                ", out of range for " + std::to_string(N) + " nodes");
+      PermutationOk = false;
+    } else if (Position[Node] != -1) {
+      Error(DiagCode::CertifyNotPermutation,
+            nodeStr(Dag, Node) + " emitted twice, at positions " +
+                std::to_string(Position[Node]) + " and " +
+                std::to_string(Pos));
+      PermutationOk = false;
+    } else {
+      Position[Node] = static_cast<int>(Pos);
+    }
+  }
+  for (unsigned I = 0; I != N; ++I)
+    if (Position[I] == -1 && PermutationOk) {
+      Error(DiagCode::CertifyNotPermutation,
+            nodeStr(Dag, I) + " never emitted");
+      PermutationOk = false;
+    }
+  if (!PermutationOk)
+    return Diags; // Positions are unreliable; later checks would cascade.
+
+  // Obligation 2 (BS711): every dependence edge points forward in the
+  // emitted order. This is the meaning-preservation core: RAW edges keep
+  // values flowing producer-to-consumer, WAR/WAW/memory edges keep
+  // conflicting accesses in program order.
+  for (unsigned From = 0; From != N; ++From)
+    for (const DepEdge &E : Dag.succs(From))
+      if (Position[From] >= Position[E.Other])
+        Error(DiagCode::CertifyDependenceViolated,
+              std::string(depKindName(E.Kind)) + " dependence " +
+                  nodeStr(Dag, From) + " -> " + nodeStr(Dag, E.Other) +
+                  " violated: consumer emitted at position " +
+                  std::to_string(Position[E.Other]) +
+                  ", producer at position " + std::to_string(Position[From]));
+
+  // Cycle-timing obligations need recorded issue cycles; a hand-built
+  // Schedule may omit them (ordering obligations above still certify).
+  if (Sched.IssueCycle.empty())
+    return Diags;
+
+  if (Sched.IssueCycle.size() != N) {
+    Error(DiagCode::CertifyScheduleMalformed,
+          "schedule records " + std::to_string(Sched.IssueCycle.size()) +
+              " issue cycles for " + std::to_string(N) + " nodes");
+    return Diags;
+  }
+
+  // BS714: cycles must be non-decreasing along the emitted order (an
+  // in-order machine cannot issue a later instruction in an earlier cycle).
+  for (unsigned Pos = 1; Pos != N; ++Pos) {
+    unsigned Prev = Sched.Order[Pos - 1], Cur = Sched.Order[Pos];
+    if (Sched.IssueCycle[Cur] < Sched.IssueCycle[Prev])
+      Error(DiagCode::CertifyScheduleMalformed,
+            nodeStr(Dag, Cur) + " at position " + std::to_string(Pos) +
+                " issues in cycle " + std::to_string(Sched.IssueCycle[Cur]) +
+                ", before the cycle " + std::to_string(Sched.IssueCycle[Prev]) +
+                " of its predecessor in the order");
+  }
+
+  // Obligation 4 (BS713): no cycle holds more instructions than the
+  // machine can issue.
+  unsigned MaxCycle = 0;
+  for (unsigned I = 0; I != N; ++I)
+    MaxCycle = std::max(MaxCycle, Sched.IssueCycle[I]);
+  {
+    std::vector<unsigned> PerCycle(static_cast<size_t>(MaxCycle) + 1, 0);
+    for (unsigned I = 0; I != N; ++I)
+      ++PerCycle[Sched.IssueCycle[I]];
+    for (unsigned C = 0; C <= MaxCycle; ++C)
+      if (PerCycle[C] > Options.IssueWidth)
+        Error(DiagCode::CertifyIssueWidthExceeded,
+              "cycle " + std::to_string(C) + " issues " +
+                  std::to_string(PerCycle[C]) +
+                  " instructions; issue width is " +
+                  std::to_string(Options.IssueWidth));
+  }
+
+  // Obligation 3 (BS712): cycle gaps honor the latency the weighting
+  // policy asked for (the DAG weight) and, for deterministic operations,
+  // the LatencyModel itself. Ordering-only dependences need one cycle.
+  for (unsigned From = 0; From != N; ++From)
+    for (const DepEdge &E : Dag.succs(From)) {
+      long Gap = static_cast<long>(Sched.IssueCycle[E.Other]) -
+                 static_cast<long>(Sched.IssueCycle[From]);
+      long Required = 1; // Any dependence separates issue cycles.
+      const char *Source = "ordering";
+      if (E.Kind == DepKind::Data) {
+        Required = std::max(
+            Required, requiredCycles(std::max(1.0, Dag.weight(From))));
+        Source = "DAG weight";
+        if (!Dag.isLoad(From)) {
+          long ModelCycles = requiredCycles(std::max(
+              1.0, Ops.opLatency(Dag.instruction(From).opcode())));
+          if (ModelCycles > Required) {
+            Required = ModelCycles;
+            Source = "latency model";
+          }
+        }
+      }
+      if (Gap < Required)
+        Error(DiagCode::CertifyLatencyViolated,
+              std::string(depKindName(E.Kind)) + " dependence " +
+                  nodeStr(Dag, From) + " -> " + nodeStr(Dag, E.Other) +
+                  " needs " + std::to_string(Required) +
+                  " cycle(s) (per " + Source + ") but the schedule leaves " +
+                  std::to_string(Gap));
+    }
+
+  // BS714 cross-check: on the paper's single-issue machine every cycle is
+  // one instruction or one virtual no-op, and the scheduler never pads at
+  // either end, so the no-op count is determined by the cycle span.
+  if (Options.IssueWidth == 1 && N > 0) {
+    long ExpectedNops = static_cast<long>(MaxCycle) + 1 - static_cast<long>(N);
+    if (static_cast<long>(Sched.NumVirtualNops) != ExpectedNops)
+      Error(DiagCode::CertifyScheduleMalformed,
+            "schedule reports " + std::to_string(Sched.NumVirtualNops) +
+                " virtual no-ops but the cycle span implies " +
+                std::to_string(ExpectedNops));
+  }
+
+  return Diags;
+}

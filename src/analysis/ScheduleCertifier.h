@@ -1,0 +1,53 @@
+//===- analysis/ScheduleCertifier.h - Schedule certification ---*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation for the list scheduler: given the input block, the
+/// dependence DAG built from it (with policy weights assigned) and the
+/// scheduler's output, statically prove the schedule is meaning-preserving.
+/// The obligations, each with its own stable BS diagnostic code:
+///
+///  - BS714 the DAG corresponds to the input block (node i is input
+///    instruction i) and the recorded issue cycles are well-formed;
+///  - BS710 the emitted order is a permutation of the input instructions;
+///  - BS711 every dependence edge (RAW/WAR/WAW/memory) points forward in
+///    the emitted order;
+///  - BS712 issue-cycle gaps honor both the DAG weights the policy
+///    assigned and the LatencyModel's operation latencies;
+///  - BS713 no issue cycle holds more instructions than the issue width.
+///
+/// A clean result is a machine-checked certificate that the schedule
+/// reorders without changing meaning — the static counterpart of the
+/// interpreter-equivalence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_ANALYSIS_SCHEDULECERTIFIER_H
+#define BSCHED_ANALYSIS_SCHEDULECERTIFIER_H
+
+#include "sched/LatencyModel.h"
+#include "sched/ListScheduler.h"
+#include "support/Diagnostic.h"
+
+#include <vector>
+
+namespace bsched {
+
+/// Certifies \p Sched as a valid schedule of \p Input via \p Dag. Returns
+/// the (error-severity) violations found; empty = certificate granted.
+/// Issue-cycle obligations are checked when \p Sched carries IssueCycle
+/// data (scheduleDag always records it; hand-built schedules may omit it,
+/// skipping only the cycle checks).
+std::vector<Diagnostic> certifySchedule(const BasicBlock &Input,
+                                        const DepDag &Dag,
+                                        const Schedule &Sched,
+                                        const LatencyModel &Ops,
+                                        const SchedulerOptions &Options = {});
+
+} // namespace bsched
+
+#endif // BSCHED_ANALYSIS_SCHEDULECERTIFIER_H

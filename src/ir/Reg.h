@@ -83,6 +83,10 @@ public:
   /// Returns the raw encoding (stable hash/dense-map key).
   uint32_t rawBits() const { return Bits; }
 
+  /// Rebuilds a register from rawBits() output (dense-map keys back to
+  /// operands; analysis code round-trips sets of registers this way).
+  static Reg fromRawBits(uint32_t Bits) { return Reg(Bits); }
+
 private:
   explicit Reg(uint32_t Bits) : Bits(Bits) {}
 

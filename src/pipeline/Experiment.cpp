@@ -156,54 +156,3 @@ bsched::runComparison(const Function &Program, const MemorySystem &Memory,
       Program, Memory, OptimisticLatency, SimConfig, Candidate,
       std::move(Base));
 }
-
-//===----------------------------------------------------------------------===
-// Deprecated forwarders (kept for out-of-tree callers; in-repo code uses
-// runSimulation / runComparison).
-//===----------------------------------------------------------------------===
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-ProgramSimResult bsched::simulateProgram(const CompiledFunction &Program,
-                                         const MemorySystem &Memory,
-                                         const SimulationConfig &Config) {
-  ErrorOr<ProgramSimResult> Result = runSimulation(Program, Memory, Config);
-  BSCHED_CHECK(Result.has_value(),
-               Result.errorText().c_str()); // Trusted-input contract broken.
-  return std::move(*Result);
-}
-
-ErrorOr<ProgramSimResult>
-bsched::simulateProgramChecked(const CompiledFunction &Program,
-                               const MemorySystem &Memory,
-                               const SimulationConfig &Config) {
-  return runSimulation(Program, Memory, Config);
-}
-
-SchedulerComparison bsched::compareSchedulers(const Function &Program,
-                                              const MemorySystem &Memory,
-                                              double OptimisticLatency,
-                                              const SimulationConfig &SimConfig,
-                                              SchedulerPolicy Candidate,
-                                              PipelineConfig Base) {
-  ErrorOr<SchedulerComparison> Result =
-      runComparison(Program, Memory, OptimisticLatency, SimConfig, Candidate,
-                    std::move(Base));
-  BSCHED_CHECK(Result.has_value(),
-               Result.errorText().c_str()); // Trusted-input contract broken.
-  return std::move(*Result);
-}
-
-ErrorOr<SchedulerComparison>
-bsched::compareSchedulersChecked(const Function &Program,
-                                 const MemorySystem &Memory,
-                                 double OptimisticLatency,
-                                 const SimulationConfig &SimConfig,
-                                 SchedulerPolicy Candidate,
-                                 PipelineConfig Base) {
-  return runComparison(Program, Memory, OptimisticLatency, SimConfig,
-                       Candidate, std::move(Base));
-}
-
-#pragma GCC diagnostic pop

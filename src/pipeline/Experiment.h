@@ -58,8 +58,7 @@ struct ProgramSimResult {
 /// Simulates \p Program (a compiled function) on \p Memory: validates
 /// \p Config and verifies \p Program, then simulates. Failures come back
 /// as diagnostics instead of undefined behaviour under NDEBUG. The single
-/// simulation entry point (the historical checked/unchecked split is gone;
-/// the forwarders below are deprecated).
+/// simulation entry point.
 ErrorOr<ProgramSimResult> runSimulation(const CompiledFunction &Program,
                                         const MemorySystem &Memory,
                                         const SimulationConfig &Config);
@@ -67,20 +66,6 @@ ErrorOr<ProgramSimResult> runSimulation(const CompiledFunction &Program,
 /// Validates the caller-supplied simulation knobs (nonzero run and
 /// resample counts, a sane processor model).
 Status validateSimulationConfig(const SimulationConfig &Config);
-
-/// Deprecated trusted-input entry point. Forwards to runSimulation and
-/// aborts (with the diagnostics) on failure instead of returning them.
-[[deprecated("use runSimulation, which returns ErrorOr<ProgramSimResult>")]]
-ProgramSimResult simulateProgram(const CompiledFunction &Program,
-                                 const MemorySystem &Memory,
-                                 const SimulationConfig &Config);
-
-/// Deprecated spelling of the unified entry point.
-[[deprecated("renamed to runSimulation")]]
-ErrorOr<ProgramSimResult>
-simulateProgramChecked(const CompiledFunction &Program,
-                       const MemorySystem &Memory,
-                       const SimulationConfig &Config);
 
 /// The full comparison the paper's tables are built from: one program,
 /// one memory system, one processor; traditional (at a given optimistic
@@ -118,26 +103,6 @@ runComparisonWith(const CompileFn &Compile, const Function &Program,
                   const SimulationConfig &SimConfig,
                   SchedulerPolicy Candidate = SchedulerPolicy::Balanced,
                   PipelineConfig Base = {});
-
-/// Deprecated trusted-input entry point. Forwards to runComparison and
-/// aborts (with the diagnostics) on failure instead of returning them.
-[[deprecated("use runComparison, which returns ErrorOr<SchedulerComparison>")]]
-SchedulerComparison compareSchedulers(const Function &Program,
-                                      const MemorySystem &Memory,
-                                      double OptimisticLatency,
-                                      const SimulationConfig &SimConfig,
-                                      SchedulerPolicy Candidate =
-                                          SchedulerPolicy::Balanced,
-                                      PipelineConfig Base = {});
-
-/// Deprecated spelling of the unified entry point.
-[[deprecated("renamed to runComparison")]]
-ErrorOr<SchedulerComparison>
-compareSchedulersChecked(const Function &Program, const MemorySystem &Memory,
-                         double OptimisticLatency,
-                         const SimulationConfig &SimConfig,
-                         SchedulerPolicy Candidate = SchedulerPolicy::Balanced,
-                         PipelineConfig Base = {});
 
 } // namespace bsched
 

@@ -126,6 +126,7 @@ std::string bsched::experimentCacheKey(const Function &Program,
   Flag(Config.SecondSchedulingPass);
   Flag(Config.HonorKnownLatency);
   Flag(Config.RenameAfterAllocation);
+  Flag(Config.Certify);
   return Key;
 }
 

@@ -7,6 +7,8 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "analysis/AllocationCertifier.h"
+#include "analysis/ScheduleCertifier.h"
 #include "ir/IrVerifier.h"
 #include "regalloc/RegisterRenaming.h"
 
@@ -17,6 +19,7 @@
 #include "support/StringUtils.h"
 
 #include <memory>
+#include <optional>
 
 using namespace bsched;
 
@@ -99,42 +102,91 @@ std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
   return nullptr;
 }
 
-/// One scheduling pass over \p BB in place.
-void scheduleBlock(BasicBlock &BB, const Weighter &W,
-                   const PipelineConfig &Config) {
+/// One scheduling pass over \p BB in place. When certifying, the schedule
+/// is validated *before* it is applied; on failure the block is left
+/// untouched and the violations are returned.
+std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
+                                      const PipelineConfig &Config) {
   DepDag Dag = buildDag(BB, Config.DagOptions);
   W.assignWeights(Dag);
   Schedule Sched = scheduleDag(Dag, Config.SchedOptions);
+  if (Config.Certify) {
+    std::vector<Diagnostic> Violations =
+        certifySchedule(BB, Dag, Sched, Config.Ops, Config.SchedOptions);
+    if (!Violations.empty())
+      return Violations;
+  }
   applySchedule(BB, Dag, Sched);
+  return {};
 }
 
 /// The raw two-pass compilation, with no validation of \p Config or
-/// verification of \p Input — runPipeline wraps it with both.
-CompiledFunction compileUnverified(const Function &Input,
-                                   const PipelineConfig &Config) {
+/// verification of \p Input — runPipeline wraps it with both. Per-stage
+/// certificates (Config.Certify) are the only failure mode; a failed one
+/// aborts the kernel with the stage's violations wrapped in a
+/// PipelineCertificationFailed diagnostic.
+ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
+                                            const PipelineConfig &Config) {
   CompiledFunction Result;
   Result.Compiled = Input;
   Function &F = Result.Compiled;
 
   std::unique_ptr<Weighter> W = makeWeighter(Config);
 
+  auto CertFailed = [&](const BasicBlock &BB, const char *Stage,
+                        std::vector<Diagnostic> Violations) {
+    std::vector<Diagnostic> Diags;
+    Diags.push_back({0, 0,
+                     std::string(Stage) + " certification failed for block '" +
+                         BB.name() + "' of function '" + F.name() + "'",
+                     Severity::Error, DiagCode::PipelineCertificationFailed});
+    for (Diagnostic &D : Violations)
+      Diags.push_back(std::move(D));
+    return ErrorOr<CompiledFunction>(std::move(Diags));
+  };
+
   for (BasicBlock &BB : F) {
     // Pass 1: schedule over virtual registers.
-    if (W)
-      scheduleBlock(BB, *W, Config);
+    if (W) {
+      std::vector<Diagnostic> Violations = scheduleBlock(BB, *W, Config);
+      if (!Violations.empty())
+        return CertFailed(BB, "first-pass schedule", std::move(Violations));
+    }
 
     // Register allocation inserts spill code and renames to physical.
     unsigned Spills = 0;
     if (Config.RunRegAlloc) {
+      // Snapshot the pre-allocation block: the allocation certificate
+      // re-executes the rewrite against it.
+      std::optional<BasicBlock> PreAlloc;
+      if (Config.Certify)
+        PreAlloc.emplace(BB);
+
       RegAllocResult Alloc = allocateRegisters(F, BB, Config.Target);
       Spills = Alloc.spillInstructions();
 
+      if (Config.Certify) {
+        std::vector<Diagnostic> Violations = certifyAllocation(
+            *PreAlloc, BB, Alloc, Config.Target,
+            F.getOrCreateAliasClass(SpillAliasClassName));
+        if (!Violations.empty())
+          return CertFailed(BB, "register-allocation",
+                            std::move(Violations));
+      }
+
+      // Renaming rewrites physical registers wholesale, so it runs after
+      // the allocation certificate; the reordered result is still covered
+      // by the second-pass schedule certificate below.
       if (Config.RenameAfterAllocation)
         renameRegisters(BB, Config.Target);
 
       // Pass 2: integrate the spill code into the schedule.
-      if (W && Config.SecondSchedulingPass)
-        scheduleBlock(BB, *W, Config);
+      if (W && Config.SecondSchedulingPass) {
+        std::vector<Diagnostic> Violations = scheduleBlock(BB, *W, Config);
+        if (!Violations.empty())
+          return CertFailed(BB, "second-pass schedule",
+                            std::move(Violations));
+      }
     }
     Result.SpillPerBlock.push_back(Spills);
 
@@ -198,7 +250,10 @@ ErrorOr<CompiledFunction> bsched::runPipeline(const Function &Input,
     return ErrorOr<CompiledFunction>(std::move(Diags));
   }
 
-  CompiledFunction Compiled = compileUnverified(Input, Config);
+  ErrorOr<CompiledFunction> CompiledOr = compileUnverified(Input, Config);
+  if (!CompiledOr.has_value())
+    return CompiledOr;
+  CompiledFunction Compiled = std::move(*CompiledOr);
 
   // A scheduling or allocation defect that corrupts the output is reported
   // as a diagnostic, not silently simulated: the sweep records the kernel
@@ -216,29 +271,3 @@ ErrorOr<CompiledFunction> bsched::runPipeline(const Function &Input,
   }
   return Compiled;
 }
-
-//===----------------------------------------------------------------------===
-// Deprecated forwarders (kept for out-of-tree callers; in-repo code uses
-// runPipeline).
-//===----------------------------------------------------------------------===
-
-// The forwarders implement the deprecated declarations; suppress the
-// self-reference warnings their definitions would otherwise raise.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-CompiledFunction bsched::compilePipeline(const Function &Input,
-                                         const PipelineConfig &Config) {
-  ErrorOr<CompiledFunction> Result = runPipeline(Input, Config);
-  BSCHED_CHECK(Result.has_value(),
-               Result.errorText().c_str()); // Trusted-input contract broken.
-  return std::move(*Result);
-}
-
-ErrorOr<CompiledFunction>
-bsched::compilePipelineChecked(const Function &Input,
-                               const PipelineConfig &Config) {
-  return runPipeline(Input, Config);
-}
-
-#pragma GCC diagnostic pop

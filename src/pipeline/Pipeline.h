@@ -88,6 +88,16 @@ struct PipelineConfig {
   /// WAR/WAW false dependences.
   bool RenameAfterAllocation = false;
 
+  /// Certify every transformation (translation validation): each schedule
+  /// is proved to be a dependence- and latency-respecting permutation of
+  /// its block, and each allocation to preserve def-use chains modulo
+  /// spill code (analysis/ScheduleCertifier.h, AllocationCertifier.h). A
+  /// failed certificate aborts the kernel with a
+  /// PipelineCertificationFailed diagnostic carrying the violations
+  /// instead of emitting miscompiled code. On by default — the cost is a
+  /// few linear scans per block (see bench_engine_scaling).
+  bool Certify = true;
+
   //===--------------------------------------------------------------------===
   // Named presets — the configurations the paper's experiments are built
   // from, so harnesses compose them instead of re-deriving knob sets.
@@ -143,28 +153,17 @@ struct CompiledFunction {
 };
 
 /// Runs the full pipeline on a copy of \p Input: validates \p Config,
-/// verifies \p Input, compiles, then verifies the output. Any failure is
-/// returned as diagnostics instead of corrupting or aborting the caller —
-/// this is the unit of per-kernel fault isolation in the experiment
-/// engine, and the single pipeline entry point (the historical
-/// checked/unchecked split is gone; the forwarders below are deprecated).
+/// verifies \p Input, compiles (certifying every schedule and allocation
+/// unless \p Config.Certify is off), then verifies the output. Any failure
+/// is returned as diagnostics instead of corrupting or aborting the
+/// caller — this is the unit of per-kernel fault isolation in the
+/// experiment engine, and the single pipeline entry point.
 ErrorOr<CompiledFunction> runPipeline(const Function &Input,
                                       const PipelineConfig &Config);
 
 /// Validates the caller-supplied knobs of \p Config; equivalent to
 /// Config.validate().
 Status validatePipelineConfig(const PipelineConfig &Config);
-
-/// Deprecated trusted-input entry point. Forwards to runPipeline and
-/// aborts (with the diagnostics) on failure instead of returning them.
-[[deprecated("use runPipeline, which returns ErrorOr<CompiledFunction>")]]
-CompiledFunction compilePipeline(const Function &Input,
-                                 const PipelineConfig &Config);
-
-/// Deprecated spelling of the unified entry point.
-[[deprecated("renamed to runPipeline")]]
-ErrorOr<CompiledFunction> compilePipelineChecked(const Function &Input,
-                                                 const PipelineConfig &Config);
 
 } // namespace bsched
 

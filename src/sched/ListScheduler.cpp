@@ -101,6 +101,7 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
   constexpr double Eps = 1e-9;
   std::vector<unsigned> ReverseOrder;
   ReverseOrder.reserve(N);
+  std::vector<unsigned> PlacedSlot(N, 0); // Reverse slot each node landed in.
   double ReverseSlot = 0.0;
   unsigned SlotsUsedThisCycle = 0;
 
@@ -124,6 +125,7 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
 
     unsigned Node = static_cast<unsigned>(Best);
     ReverseOrder.push_back(Node);
+    PlacedSlot[Node] = static_cast<unsigned>(ReverseSlot + Eps);
     Scheduled[Node] = true;
     Pending.erase(std::find(Pending.begin(), Pending.end(), Node));
 
@@ -146,6 +148,16 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
   }
 
   Result.Order.assign(ReverseOrder.rbegin(), ReverseOrder.rend());
+
+  // Convert reverse slots to forward issue cycles: the node placed deepest
+  // (largest reverse slot) issues first, at cycle 0.
+  unsigned MaxSlot = 0;
+  for (unsigned Slot : PlacedSlot)
+    MaxSlot = std::max(MaxSlot, Slot);
+  Result.IssueCycle.resize(N);
+  for (unsigned I = 0; I != N; ++I)
+    Result.IssueCycle[I] = MaxSlot - PlacedSlot[I];
+
   assert(isValidSchedule(Dag, Result) && "scheduler produced invalid order");
   return Result;
 }

@@ -30,6 +30,13 @@ struct Schedule {
   /// interlocks), but the count is a useful diagnostic: it measures how
   /// much latency the schedule could not cover with real instructions.
   unsigned NumVirtualNops = 0;
+
+  /// Issue cycle of each DAG node (indexed by node, not by order position),
+  /// counted forward from 0 at the first emitted instruction. At issue
+  /// width 1 each instruction gets its own cycle; wider machines share.
+  /// scheduleDag always fills this; hand-built schedules may leave it
+  /// empty, in which case the certifier skips cycle-timing checks.
+  std::vector<unsigned> IssueCycle;
 };
 
 /// Returns true if \p Sched is a valid schedule of \p Dag: a permutation of

@@ -81,10 +81,30 @@ enum class DiagCode : uint16_t {
   PipelineInvalidInput = 501,
   PipelineInvalidOutput = 502,
   PipelineUnknownPolicy = 503,
+  PipelineCertificationFailed = 504,
 
   // Experiment / simulation harness: 600-699.
   SimBadConfig = 600,
   SweepKernelFailed = 601,
+
+  // Dataflow analysis & lint: 700-709.
+  LintUseBeforeDef = 700,
+  LintDeadValue = 701,
+  LintRedundantLoad = 702,
+
+  // Schedule certifier: 710-719.
+  CertifyNotPermutation = 710,
+  CertifyDependenceViolated = 711,
+  CertifyLatencyViolated = 712,
+  CertifyIssueWidthExceeded = 713,
+  CertifyScheduleMalformed = 714,
+
+  // Allocation certifier: 720-729.
+  CertifyAllocShapeMismatch = 720,
+  CertifyAllocWrongValue = 721,
+  CertifyAllocRegisterBound = 722,
+  CertifyAllocBadSpill = 723,
+  CertifyAllocMissingInstruction = 724,
 };
 
 /// Renders \p Code as "BS201".

@@ -231,12 +231,22 @@ TEST(EngineTest, SummaryJsonCarriesPerCellCounters) {
   EXPECT_EQ(Run.Counters.Cells, 2u);
   EXPECT_EQ(Run.Counters.Workers, 2u);
   EXPECT_EQ(Run.Counters.Failed, 0u);
-  // Four compilations total; at least two must have been served from the
-  // cache (under races both workers may first-compile the same key).
+  // Four compilations total. The first run's hit count is informational
+  // only: with both workers racing on identical cells, each may
+  // first-compile the same key (anywhere from 0 to 2 hits), so only the
+  // accounting identity is deterministic here.
   EXPECT_EQ(Run.Counters.CacheHits + Run.Counters.CacheMisses, 4u);
-  EXPECT_GE(Run.Counters.CacheHits, 1u);
   EXPECT_GE(Run.Counters.WallMillis, 0.0);
   EXPECT_GE(Run.Counters.CellWallMillis, 0.0);
+
+  // Rerunning on the now-warm cache is deterministic: every compile hits.
+  EngineResult Again = Engine.run(
+      {{"cell \"one\"", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()},
+       {"cell-two", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+  EXPECT_EQ(Again.Counters.CacheHits, 4u);
+  EXPECT_EQ(Again.Counters.CacheMisses, 0u);
 
   std::string Json = Run.summaryJson();
   EXPECT_NE(Json.find("\"workers\":2"), std::string::npos) << Json;

@@ -25,11 +25,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "frontend/KernelLang.h"
 #include "ir/Interpreter.h"
 #include "ir/IrPrinter.h"
 #include "ir/IrVerifier.h"
 #include "parser/Parser.h"
+#include "pipeline/Pipeline.h"
 #include "support/Rng.h"
 #include "workload/KernelGen.h"
 
@@ -145,6 +147,31 @@ void fail(uint64_t Iter, const char *Mode, const std::string &Detail,
                Input.c_str());
 }
 
+/// Pushes an accepted function through the lints (crash-freedom; findings
+/// are legitimate) and the certifying pipeline: every schedule must be a
+/// dependence- and latency-respecting permutation and every allocation
+/// must preserve def-use chains, or the iteration fails. Functions
+/// carrying physical registers are skipped — the parser accepts them but
+/// physical numbering belongs to the allocator.
+void certifyCompile(uint64_t Iter, const char *Mode, const Function &F,
+                    const std::string &Input) {
+  for (const BasicBlock &BB : F)
+    for (const Instruction &I : BB) {
+      for (Reg S : I.sources())
+        if (S.isValid() && !S.isVirtual())
+          return;
+      if (I.hasDest() && !I.dest().isVirtual())
+        return;
+    }
+  lintFunction(F);
+  ErrorOr<CompiledFunction> Compiled = runPipeline(F, PipelineConfig());
+  if (!Compiled.has_value())
+    fail(Iter, Mode,
+         "certifying pipeline rejected an accepted program: " +
+             Compiled.errorText(),
+         Input);
+}
+
 /// print -> parse -> verify -> interpret must reproduce the generated
 /// program exactly.
 void runRoundTrip(uint64_t Iter, Rng &R) {
@@ -178,8 +205,12 @@ void runRoundTrip(uint64_t Iter, Rng &R) {
     fail(Iter, "roundtrip", "instruction counts diverge", Printed);
     return;
   }
-  if (A.memoryImage() != B.memoryImage())
+  if (A.memoryImage() != B.memoryImage()) {
     fail(Iter, "roundtrip", "memory images diverge after reparse", Printed);
+    return;
+  }
+
+  certifyCompile(Iter, "roundtrip", Original, Printed);
 }
 
 /// Mutated IR text may be rejected, but must never crash the parser, and
@@ -197,12 +228,14 @@ void runMutate(uint64_t Iter, Rng &R) {
            Mutant);
       return;
     }
-  // Accepted programs must also print and interpret without incident.
+  // Accepted programs must also print, interpret, and compile under full
+  // certification without incident.
   for (const Function &F : Result.Functions) {
     printFunction(F);
     Interpreter I;
     for (const BasicBlock &BB : F)
       I.run(BB);
+    certifyCompile(Iter, "mutate", F, Mutant);
   }
 }
 
@@ -230,11 +263,14 @@ void runKernelLang(uint64_t Iter, Rng &R) {
   KernelLangResult Result = compileKernelLang(Mutant);
   if (!Result.ok())
     return;
-  if (!verifyClean(verifyFunction(*Result.Program)))
+  if (!verifyClean(verifyFunction(*Result.Program))) {
     fail(Iter, "kernel-lang",
          "frontend accepted a program that fails verification: " +
              joinDiagnostics(verifyFunction(*Result.Program)),
          Mutant);
+    return;
+  }
+  certifyCompile(Iter, "kernel-lang", *Result.Program, Mutant);
 }
 
 } // namespace
