@@ -18,10 +18,13 @@
 
 #include "pipeline/ExperimentEngine.h"
 #include "sim/MemorySystem.h"
+#include "support/Json.h"
 #include "workload/PerfectClub.h"
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -95,6 +98,31 @@ inline EngineResult runEngineMatrix(const std::vector<ExperimentCell> &Cells) {
               C.Workers, C.Cells, C.Failed, C.CacheHits, C.CacheMisses,
               C.WallMillis);
   return Result;
+}
+
+/// Writes the finished JSON document \p W to `BENCH_<name>.json` in the
+/// working directory and prints where it went. Every benchmark emits one
+/// of these so CI and EXPERIMENTS.md updates can diff machine-readable
+/// numbers instead of scraping the human tables.
+inline bool writeBenchArtifact(const std::string &Name, const JsonWriter &W) {
+  std::string Path = "BENCH_" + Name + ".json";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (Out)
+    Out << W.str() << '\n';
+  if (!Out) {
+    std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
+    return false;
+  }
+  std::printf("[artifact] wrote %s\n", Path.c_str());
+  return true;
+}
+
+/// Counter lookup in a merged snapshot; 0 when absent (BSCHED_NO_OBS
+/// builds, or metric collection disabled).
+inline uint64_t counterOrZero(const MetricSnapshot &Snapshot,
+                              const std::string &Name) {
+  auto It = Snapshot.Counters.find(Name);
+  return It == Snapshot.Counters.end() ? 0 : It->second;
 }
 
 } // namespace bsched::bench

@@ -10,27 +10,41 @@
 // EXPERIMENTS.md; on an N-core host the sweep should approach Nx until it
 // runs out of kernels.
 //
-// Run: build/bench/bench_engine_scaling [workers...]   (default 1 2 4 8)
+// Run: build/bench/bench_engine_scaling [workers...] [--trace-out=FILE]
+//                                       (workers default 1 2 4 8)
+//
+// Also measures the observability layer's own cost (per-cell metric
+// collection on vs. off on the serial sweep), writes the machine-readable
+// BENCH_engine_scaling.json artifact, and — with --trace-out — emits a
+// Chrome trace of one serial sweep plus the top phases by total time.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+#include "obs/Trace.h"
 #include "pipeline/Sweep.h"
 #include "support/Table.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace bsched;
 using namespace bsched::bench;
 
 int main(int argc, char **argv) {
   std::vector<unsigned> WorkerCounts;
+  std::string TraceOut;
   for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--trace-out=", 12) == 0) {
+      TraceOut = argv[I] + 12;
+      continue;
+    }
     int N = std::atoi(argv[I]);
     if (N < 1) {
-      std::fprintf(stderr, "usage: %s [workers...]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [workers...] [--trace-out=FILE]\n",
+                   argv[0]);
       return 1;
     }
     WorkerCounts.push_back(static_cast<unsigned>(N));
@@ -49,6 +63,14 @@ int main(int argc, char **argv) {
 
   Table T("Experiment engine scaling");
   T.setHeader({"Workers", "Wall ms", "Speedup", "Cache hits", "Identical"});
+
+  struct ScalingRow {
+    unsigned Workers;
+    double WallMs;
+    double Speedup;
+    uint64_t CacheHits;
+  };
+  std::vector<ScalingRow> ScalingRows;
 
   SweepResult Baseline;
   double BaselineMs = 0.0;
@@ -75,6 +97,9 @@ int main(int argc, char **argv) {
               formatDouble(BaselineMs / R.Engine.WallMillis, 2) + "x",
               std::to_string(R.Engine.CacheHits),
               Identical ? "yes" : "NO"});
+    ScalingRows.push_back({R.Engine.Workers, R.Engine.WallMillis,
+                           BaselineMs / R.Engine.WallMillis,
+                           R.Engine.CacheHits});
     if (!Identical) {
       T.print(stdout);
       std::fprintf(stderr,
@@ -122,5 +147,106 @@ int main(int argc, char **argv) {
                  "error: certification changed the compiled results\n");
     return 1;
   }
+
+  // Observability overhead: the same serial sweep with per-cell metric
+  // collection off (the layer compiled in but idle — every instrument
+  // handle null) and on (the engine's default: per-cell registries,
+  // snapshots, merges). Results must be identical because metrics only
+  // observe; the delta is the price of collection itself. EXPERIMENTS.md
+  // records this number plus the idle-vs-BSCHED_NO_OBS comparison.
+  std::printf("\n");
+  Table O("Observability overhead (serial sweep)");
+  O.setHeader({"Cell metrics", "Wall ms", "Overhead", "Identical"});
+  SweepResult ObsRuns[2];
+  double ObsMs[2] = {0.0, 0.0};
+  for (int On = 0; On <= 1; ++On) {
+    SweepOptions Options;
+    Options.Jobs = 1;
+    Options.CellMetrics = On != 0;
+    SweepResult R = runWorkloadSweep(Entries, Memory, Sim, Options);
+    if (R.degraded()) {
+      std::fprintf(stderr, "sweep degraded: %s\n", R.summary().c_str());
+      return 1;
+    }
+    ObsRuns[On] = std::move(R);
+    ObsMs[On] = ObsRuns[On].Engine.WallMillis;
+  }
+  bool ObsIdentical = identicalSweepResults(ObsRuns[0], ObsRuns[1]);
+  double ObsOverheadPct = 100.0 * (ObsMs[1] - ObsMs[0]) /
+                          (ObsMs[0] > 0.0 ? ObsMs[0] : 1.0);
+  O.addRow({"off (idle)", formatDouble(ObsMs[0], 0), "--", "--"});
+  O.addRow({"on", formatDouble(ObsMs[1], 0),
+            formatDouble(ObsOverheadPct, 1) + "%",
+            ObsIdentical ? "yes" : "NO"});
+  O.print(stdout);
+  if (!ObsIdentical) {
+    std::fprintf(stderr,
+                 "error: metric collection changed the compiled results\n");
+    return 1;
+  }
+
+  // With --trace-out, one more serial sweep records every pipeline phase
+  // into a Chrome trace (open in ui.perfetto.dev) and the top phases by
+  // total time are printed — what scripts/profile.sh drives.
+  if (!TraceOut.empty()) {
+    TraceRecorder Trace;
+    SweepOptions Options;
+    Options.Jobs = 1;
+    Options.Obs.Trace = &Trace;
+    SweepResult R = runWorkloadSweep(Entries, Memory, Sim, Options);
+    if (R.degraded()) {
+      std::fprintf(stderr, "sweep degraded: %s\n", R.summary().c_str());
+      return 1;
+    }
+    std::string Error;
+    if (!Trace.writeFile(TraceOut, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("\n[trace] wrote %s (load it in ui.perfetto.dev)\n",
+                TraceOut.c_str());
+    std::printf("Top phases by total time:\n");
+    for (const PhaseTotal &P : Trace.topPhases(5))
+      std::printf("  %-10s %10.1f ms over %llu spans\n", P.Name.c_str(),
+                  static_cast<double>(P.TotalUs) / 1000.0,
+                  static_cast<unsigned long long>(P.Count));
+  }
+
+  // Machine-readable artifact of everything above.
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value("engine_scaling");
+  W.key("config").beginObject();
+  W.key("kernels").value(Entries.size());
+  W.key("memory_system").value(Memory.name());
+  W.key("runs_per_block").value(Sim.NumRuns);
+  W.endObject();
+  W.key("scaling").beginArray();
+  for (const ScalingRow &Row : ScalingRows) {
+    W.beginObject();
+    W.key("workers").value(Row.Workers);
+    W.key("wall_ms").valueFixed(Row.WallMs, 3);
+    W.key("speedup").valueFixed(Row.Speedup, 3);
+    W.key("cache_hits").value(Row.CacheHits);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("certify_overhead").beginObject();
+  W.key("off_wall_ms").valueFixed(CertMs[0], 3);
+  W.key("on_wall_ms").valueFixed(CertMs[1], 3);
+  W.key("overhead_percent")
+      .valueFixed(100.0 * (CertMs[1] - CertMs[0]) /
+                      (CertMs[0] > 0.0 ? CertMs[0] : 1.0),
+                  2);
+  W.endObject();
+  W.key("obs_overhead").beginObject();
+  W.key("idle_wall_ms").valueFixed(ObsMs[0], 3);
+  W.key("collecting_wall_ms").valueFixed(ObsMs[1], 3);
+  W.key("overhead_percent").valueFixed(ObsOverheadPct, 2);
+  W.endObject();
+  W.key("cycles").value(
+      counterOrZero(ObsRuns[1].Metrics, "bsched.sim.cycles"));
+  W.endObject();
+  writeBenchArtifact("engine_scaling", W);
   return 0;
 }

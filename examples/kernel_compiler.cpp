@@ -9,13 +9,22 @@
 // scheduling pipeline under both policies, and evaluated on uncertain-
 // latency memory systems — source code in, Table-2-style numbers out.
 //
-// Run: build/examples/kernel_compiler
+// Run: build/examples/kernel_compiler [--candidate <policy>] [--json]
+//                                     [--trace-out=FILE]
+//
+// --json replaces the human tables with one machine-readable JSON document
+// on stdout (per system: runtimes, improvement, CI; plus the merged metric
+// snapshot). --trace-out writes a Chrome trace-event file of the pipeline
+// phases (parse/dag/sched/regalloc/certify/sim), loadable in Perfetto.
 //
 //===----------------------------------------------------------------------===//
 
 #include "frontend/KernelLang.h"
 #include "ir/IrPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pipeline/Experiment.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -67,6 +76,8 @@ int main(int argc, char **argv) {
   // --candidate <policy> picks the scheduler compared against
   // traditional; the spelling is whatever policyName prints.
   SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
+  bool JsonMode = false;
+  std::string TraceOut;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--candidate" && I + 1 < argc) {
@@ -76,13 +87,31 @@ int main(int argc, char **argv) {
         return ExitUsageError;
       }
       Candidate = *Parsed;
+    } else if (Arg == "--json") {
+      JsonMode = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(std::string_view("--trace-out=").size());
+    } else if (Arg == "--trace-out" && I + 1 < argc) {
+      TraceOut = argv[++I];
     } else {
-      std::fprintf(stderr, "usage: %s [--candidate <policy>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--candidate <policy>] [--json] "
+                   "[--trace-out=FILE]\n",
+                   argv[0]);
       return ExitUsageError;
     }
   }
 
-  KernelLangResult Compiled = compileKernelLang(Source);
+  // One registry and one trace for the whole run; both are merged/written
+  // at the end. With BSCHED_NO_OBS builds these collect nothing.
+  MetricRegistry Metrics;
+  TraceRecorder Trace;
+
+  KernelLangResult Compiled = [&] {
+    ScopedSpan Parse(&Trace, "parse", "pipeline",
+                     "{\"source\":\"<kernel-lang>\"}");
+    return compileKernelLang(Source);
+  }();
   if (!Compiled.ok()) {
     for (const Diagnostic &D : Compiled.Diags)
       std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
@@ -90,11 +119,13 @@ int main(int argc, char **argv) {
   }
 
   const Function &Program = *Compiled.Program;
-  std::printf("Compiled %u kernels, %u instructions, %u arrays.\n\n",
-              Program.numBlocks(), Program.totalInstructions(),
-              static_cast<unsigned>(Compiled.Arrays.size()));
-  std::printf("Lowered IR of kernel 'dot':\n%s\n",
-              printBlock(Program.block(1)).c_str());
+  if (!JsonMode) {
+    std::printf("Compiled %u kernels, %u instructions, %u arrays.\n\n",
+                Program.numBlocks(), Program.totalInstructions(),
+                static_cast<unsigned>(Compiled.Arrays.size()));
+    std::printf("Lowered IR of kernel 'dot':\n%s\n",
+                printBlock(Program.block(1)).c_str());
+  }
 
   struct SystemSpec {
     std::unique_ptr<MemorySystem> Memory;
@@ -107,24 +138,68 @@ int main(int argc, char **argv) {
   Systems.push_back({std::make_unique<MixedSystem>(0.8, 2, 30, 5), 2});
 
   SimulationConfig Sim;
+  Sim.Obs = {&Metrics, &Trace};
+  PipelineConfig Base;
+  Base.Obs = {&Metrics, &Trace};
+
+  JsonWriter W;
+  if (JsonMode) {
+    W.beginObject();
+    W.key("candidate").value(policyName(Candidate));
+    W.key("kernels").value(Program.numBlocks());
+    W.key("instructions").value(Program.totalInstructions());
+    W.key("arrays").value(Compiled.Arrays.size());
+    W.key("systems").beginArray();
+  }
+
   Table T(policyName(Candidate) + " vs traditional on the compiled program");
   T.setHeader({"System", "Trad runtime", "Cand runtime", "Imp%", "95% CI"});
   for (SystemSpec &S : Systems) {
     ErrorOr<SchedulerComparison> CmpOr =
-        runComparison(Program, *S.Memory, S.OptLat, Sim, Candidate);
+        runComparison(Program, *S.Memory, S.OptLat, Sim, Candidate, Base);
     if (!CmpOr) {
       for (const Diagnostic &D : CmpOr.errors())
         std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
       return ExitPipelineError;
     }
     const SchedulerComparison &Cmp = *CmpOr;
-    T.addRow({S.Memory->name(),
-              formatDouble(Cmp.TraditionalSim.MeanRuntime / 1000.0, 1) + "k",
-              formatDouble(Cmp.CandidateSim.MeanRuntime / 1000.0, 1) + "k",
-              formatPercent(Cmp.Improvement.MeanPercent),
-              "[" + formatPercent(Cmp.Improvement.Ci95.Lo) + ", " +
-                  formatPercent(Cmp.Improvement.Ci95.Hi) + "]"});
+    if (JsonMode) {
+      W.beginObject();
+      W.key("system").value(S.Memory->name());
+      W.key("traditional_runtime").value(Cmp.TraditionalSim.MeanRuntime);
+      W.key("candidate_runtime").value(Cmp.CandidateSim.MeanRuntime);
+      W.key("improvement_percent").value(Cmp.Improvement.MeanPercent);
+      W.key("ci95").beginObject();
+      W.key("lo").value(Cmp.Improvement.Ci95.Lo);
+      W.key("hi").value(Cmp.Improvement.Ci95.Hi);
+      W.endObject();
+      W.endObject();
+    } else {
+      T.addRow({S.Memory->name(),
+                formatDouble(Cmp.TraditionalSim.MeanRuntime / 1000.0, 1) + "k",
+                formatDouble(Cmp.CandidateSim.MeanRuntime / 1000.0, 1) + "k",
+                formatPercent(Cmp.Improvement.MeanPercent),
+                "[" + formatPercent(Cmp.Improvement.Ci95.Lo) + ", " +
+                    formatPercent(Cmp.Improvement.Ci95.Hi) + "]"});
+    }
   }
+
+  if (!TraceOut.empty()) {
+    std::string Error;
+    if (!Trace.writeFile(TraceOut, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return ExitUsageError;
+    }
+  }
+
+  if (JsonMode) {
+    W.endArray();
+    W.key("metrics").rawValue(Metrics.snapshot().toJson());
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
+  }
+
   T.print(stdout);
   std::printf("\nEverything above — parsing, lowering with load reuse, "
               "dependence\nanalysis, weights, scheduling, register "

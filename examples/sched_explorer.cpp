@@ -10,7 +10,12 @@
 //
 // Usage:
 //   sched_explorer <file.bsir> [--dot] [--latency N] [--policy <name>]
+//                  [--json]
 //   sched_explorer --demo          (runs on a built-in example)
+//
+// --json replaces the human tables with one machine-readable JSON
+// document on stdout (per block: DAG stats, per-load weights per policy,
+// the schedules), for diffing explorations across PRs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +28,7 @@
 #include "sched/BalancedWeighter.h"
 #include "sched/ListScheduler.h"
 #include "sched/TraditionalWeighter.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -53,6 +59,83 @@ block body freq 1 {
 }
 )";
 
+struct PolicySpec {
+  const char *Name;
+  std::unique_ptr<Weighter> W;
+};
+
+/// The four weighters the explorer compares, optionally restricted to
+/// one by --policy (spellings shared with parsePolicyName).
+std::vector<PolicySpec> makePolicies(double TraditionalLatency,
+                                     std::optional<SchedulerPolicy> Only) {
+  std::vector<PolicySpec> Policies;
+  Policies.push_back(
+      {"traditional",
+       std::make_unique<TraditionalWeighter>(TraditionalLatency)});
+  Policies.push_back({"balanced", std::make_unique<BalancedWeighter>()});
+  Policies.push_back(
+      {"balanced-uf",
+       std::make_unique<BalancedWeighter>(LatencyModel(),
+                                          ChancesMethod::UnionFindLevels)});
+  Policies.push_back({"average-llp", std::make_unique<AverageWeighter>()});
+  if (Only)
+    std::erase_if(Policies, [&](const PolicySpec &P) {
+      return policyName(*Only) != P.Name;
+    });
+  return Policies;
+}
+
+/// One block of the --json document: DAG stats, per-load weights per
+/// policy, and the schedules.
+void exploreBlockJson(JsonWriter &W, const BasicBlock &BB,
+                      double TraditionalLatency,
+                      std::optional<SchedulerPolicy> Only) {
+  std::vector<PolicySpec> Policies = makePolicies(TraditionalLatency, Only);
+  DepDag Dag = buildDag(BB);
+
+  W.beginObject();
+  W.key("name").value(BB.name());
+  W.key("frequency").value(BB.frequency());
+  W.key("instructions").value(BB.size());
+  W.key("dag").beginObject();
+  W.key("nodes").value(Dag.size());
+  W.key("edges").value(Dag.numEdges());
+  W.key("loads").value(Dag.loadNodes().size());
+  W.key("critical_path").value(criticalPathLength(Dag));
+  W.endObject();
+
+  W.key("policies").beginArray();
+  for (const PolicySpec &P : Policies) {
+    DepDag Tmp = buildDag(BB);
+    P.W->assignWeights(Tmp);
+    Schedule Sched = scheduleDag(Tmp);
+
+    W.beginObject();
+    W.key("policy").value(P.Name);
+    W.key("virtual_nops").value(Sched.NumVirtualNops);
+    W.key("load_weights").beginArray();
+    for (unsigned I = 0; I != Tmp.size(); ++I) {
+      if (!Tmp.isLoad(I))
+        continue;
+      W.beginObject();
+      W.key("node").value(I);
+      W.key("instruction").value(Tmp.instruction(I).str());
+      W.key("weight").value(Tmp.weight(I));
+      W.endObject();
+    }
+    W.endArray();
+    W.key("schedule").beginArray();
+    BasicBlock Copy = BB;
+    applySchedule(Copy, Tmp, Sched);
+    for (const Instruction &I : Copy)
+      W.value(I.str());
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
 void exploreBlock(const Function &F, const BasicBlock &BB,
                   double TraditionalLatency, bool EmitDot,
                   std::optional<SchedulerPolicy> Only) {
@@ -65,27 +148,7 @@ void exploreBlock(const Function &F, const BasicBlock &BB,
               Dag.size(), Dag.numEdges(), Dag.loadNodes().size(),
               criticalPathLength(Dag));
 
-  struct PolicySpec {
-    const char *Name;
-    std::unique_ptr<Weighter> W;
-  };
-  std::vector<PolicySpec> Policies;
-  Policies.push_back(
-      {"traditional",
-       std::make_unique<TraditionalWeighter>(TraditionalLatency)});
-  Policies.push_back({"balanced", std::make_unique<BalancedWeighter>()});
-  Policies.push_back(
-      {"balanced-uf",
-       std::make_unique<BalancedWeighter>(LatencyModel(),
-                                          ChancesMethod::UnionFindLevels)});
-  Policies.push_back({"average-llp", std::make_unique<AverageWeighter>()});
-
-  // --policy restricts the exploration to one weighter; the spellings
-  // are shared with parsePolicyName.
-  if (Only)
-    std::erase_if(Policies, [&](const PolicySpec &P) {
-      return policyName(*Only) != P.Name;
-    });
+  std::vector<PolicySpec> Policies = makePolicies(TraditionalLatency, Only);
   if (Policies.empty()) {
     std::printf("(no weighter to explore for policy '%s')\n\n",
                 policyName(*Only).c_str());
@@ -140,6 +203,7 @@ void exploreBlock(const Function &F, const BasicBlock &BB,
 int main(int argc, char **argv) {
   std::string Source;
   bool EmitDot = false;
+  bool JsonMode = false;
   double TraditionalLatency = 2.0;
   std::optional<SchedulerPolicy> Only;
   const char *Path = nullptr;
@@ -149,6 +213,8 @@ int main(int argc, char **argv) {
       Source = DemoSource;
     else if (std::strcmp(argv[I], "--dot") == 0)
       EmitDot = true;
+    else if (std::strcmp(argv[I], "--json") == 0)
+      JsonMode = true;
     else if (std::strcmp(argv[I], "--latency") == 0 && I + 1 < argc)
       TraditionalLatency = std::atof(argv[++I]);
     else if (std::strcmp(argv[I], "--policy") == 0 && I + 1 < argc) {
@@ -168,7 +234,7 @@ int main(int argc, char **argv) {
     if (!Path) {
       std::fprintf(stderr,
                    "usage: %s <file.bsir> [--dot] [--latency N] "
-                   "[--policy <name>] | --demo\n",
+                   "[--policy <name>] [--json] | --demo\n",
                    argv[0]);
       return 2;
     }
@@ -195,6 +261,26 @@ int main(int argc, char **argv) {
         VerifyFailure = true;
     }
     return VerifyFailure ? 3 : 2;
+  }
+
+  if (JsonMode) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("traditional_latency").value(TraditionalLatency);
+    W.key("functions").beginArray();
+    for (const Function &F : Result.Functions) {
+      W.beginObject();
+      W.key("name").value(F.name());
+      W.key("blocks").beginArray();
+      for (const BasicBlock &BB : F)
+        exploreBlockJson(W, BB, TraditionalLatency, Only);
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
   }
 
   for (const Function &F : Result.Functions) {

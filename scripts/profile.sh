@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Profiles a full Perfect Club sweep through the observability layer:
+# builds the default preset, runs bench_engine_scaling with phase tracing
+# on, and prints the top phases by total time. The Chrome trace it writes
+# (trace.json by default) loads in ui.perfetto.dev or chrome://tracing;
+# every span is one pipeline phase (parse/dag/sched/regalloc/certify/sim)
+# of one kernel. See README.md "Profiling a run".
+#
+# Usage: scripts/profile.sh [trace-output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACE_OUT="${1:-trace.json}"
+
+echo "== build (preset default) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target bench_engine_scaling
+
+echo "== profile: serial sweep with tracing =="
+build/bench/bench_engine_scaling 1 --trace-out="$TRACE_OUT"
+
+echo
+echo "profile: open $TRACE_OUT in ui.perfetto.dev for the timeline;"
+echo "the BENCH_engine_scaling.json artifact holds the wall-time numbers."

@@ -1,0 +1,36 @@
+//===- obs/Obs.h - Observability context -----------------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pair of pointers the pipeline threads through itself: a metric
+/// registry and a trace recorder, both optional. Every layer that
+/// records (pipeline, scheduler, simulator, engine) accepts an
+/// `ObsContext` and treats null members as "don't record" — the default,
+/// so existing call sites pay nothing. The context is deliberately
+/// excluded from experiment cache keys: observing a run must not change
+/// what it computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_OBS_OBS_H
+#define BSCHED_OBS_OBS_H
+
+namespace bsched {
+
+class MetricRegistry;
+class TraceRecorder;
+
+/// Where a run should record. Copyable, value-semantic; both members are
+/// borrowed and must outlive the run that uses them.
+struct ObsContext {
+  MetricRegistry *Metrics = nullptr;
+  TraceRecorder *Trace = nullptr;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_OBS_OBS_H

@@ -8,7 +8,12 @@
 #include "pipeline/Experiment.h"
 
 #include "ir/IrVerifier.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/Simulator.h"
+#include "support/Json.h"
+
+#include <optional>
 
 using namespace bsched;
 
@@ -25,6 +30,23 @@ ProgramSimResult simulateVerified(const CompiledFunction &Program,
   ProgramSimResult Result;
   Result.BootstrapRuntimes.assign(Config.NumResamples, 0.0);
 
+  std::string SimArgs;
+  if (Config.Obs.Trace) {
+    JsonWriter Args;
+    Args.beginObject();
+    Args.key("function").value(Program.Compiled.name());
+    Args.key("processor").value(Config.Processor.name());
+    Args.endObject();
+    SimArgs = Args.str();
+  }
+  ScopedSpan SimSpan(Config.Obs.Trace, "sim", "phase", std::move(SimArgs));
+
+  // Metric handles resolved once per program, outside the run loop.
+  std::optional<SimInstruments> Instruments;
+  if (Config.Obs.Metrics)
+    Instruments.emplace(*Config.Obs.Metrics);
+  SimInstruments *Obs = Instruments ? &*Instruments : nullptr;
+
   const Function &F = Program.Compiled;
   for (unsigned BlockIndex = 0; BlockIndex != F.numBlocks(); ++BlockIndex) {
     const BasicBlock &BB = F.block(BlockIndex);
@@ -38,7 +60,7 @@ ProgramSimResult simulateVerified(const CompiledFunction &Program,
       Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ULL * (BlockIndex + 1)) ^
             (0xD1B54A32D192ED03ULL * (Run + 1)));
       BlockSimResult Sim = simulateBlock(BB, Config.Processor, Memory, R,
-                                         Config.Ops);
+                                         Config.Ops, Obs);
       Samples.push_back(static_cast<double>(Sim.Cycles));
       InterlockSum += static_cast<double>(Sim.InterlockCycles);
     }

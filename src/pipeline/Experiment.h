@@ -32,6 +32,13 @@ struct SimulationConfig {
   unsigned NumResamples = 100; ///< Bootstrap sample means per block.
   uint64_t Seed = 0xB5C0FFEE;  ///< Root of all latency streams.
   LatencyModel Ops;            ///< Non-load latencies for the simulator.
+
+  /// Observability sinks (DESIGN.md §3g): when Obs.Metrics is set the
+  /// simulator records `bsched.sim.*` counters and the load-latency /
+  /// outstanding-load histograms; when Obs.Trace is set each program
+  /// simulation gets a "sim" span. Excluded from experiment cache keys —
+  /// observation never changes the simulated cycles.
+  ObsContext Obs;
 };
 
 /// A simulated program: bootstrap runtimes plus component accounting.

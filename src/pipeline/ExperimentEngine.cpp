@@ -8,6 +8,7 @@
 #include "pipeline/ExperimentEngine.h"
 
 #include "ir/IrPrinter.h"
+#include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
@@ -21,74 +22,34 @@ std::string CellOutcome::firstError() const {
   return {};
 }
 
-namespace {
-
-void appendJsonString(std::string &Out, const std::string &Text) {
-  Out += '"';
-  for (char C : Text) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  Out += '"';
-}
-
-void appendMillis(std::string &Out, double Millis) {
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.3f", Millis);
-  Out += Buf;
-}
-
-} // namespace
-
 std::string EngineResult::summaryJson() const {
-  std::string Out = "{\"workers\":" + std::to_string(Counters.Workers) +
-                    ",\"cells\":" + std::to_string(Counters.Cells) +
-                    ",\"failed\":" + std::to_string(Counters.Failed) +
-                    ",\"cache_hits\":" + std::to_string(Counters.CacheHits) +
-                    ",\"cache_misses\":" +
-                    std::to_string(Counters.CacheMisses) + ",\"wall_ms\":";
-  appendMillis(Out, Counters.WallMillis);
-  Out += ",\"cell_wall_ms\":";
-  appendMillis(Out, Counters.CellWallMillis);
-  Out += ",\"per_cell\":[";
-  bool First = true;
+  JsonWriter W;
+  W.beginObject();
+  W.key("workers").value(Counters.Workers);
+  W.key("cells").value(Counters.Cells);
+  W.key("failed").value(Counters.Failed);
+  W.key("cache_hits").value(Counters.CacheHits);
+  W.key("cache_misses").value(Counters.CacheMisses);
+  W.key("wall_ms").valueFixed(Counters.WallMillis, 3);
+  W.key("cell_wall_ms").valueFixed(Counters.CellWallMillis, 3);
+  W.key("per_cell").beginArray();
   for (const CellOutcome &Cell : Cells) {
-    if (!First)
-      Out += ',';
-    First = false;
-    Out += "{\"label\":";
-    appendJsonString(Out, Cell.Label);
-    Out += Cell.ok() ? ",\"ok\":true" : ",\"ok\":false";
-    Out += ",\"wall_ms\":";
-    appendMillis(Out, Cell.WallMillis);
-    Out += ",\"cache_hits\":" + std::to_string(Cell.CacheHits) +
-           ",\"cache_misses\":" + std::to_string(Cell.CacheMisses) +
-           ",\"error\":";
-    appendJsonString(Out, Cell.firstError());
-    Out += '}';
+    W.beginObject();
+    W.key("label").value(Cell.Label);
+    W.key("ok").value(Cell.ok());
+    W.key("wall_ms").valueFixed(Cell.WallMillis, 3);
+    W.key("cache_hits").value(Cell.CacheHits);
+    W.key("cache_misses").value(Cell.CacheMisses);
+    W.key("error").value(Cell.firstError());
+    if (!Cell.Metrics.empty())
+      W.key("metrics").rawValue(Cell.Metrics.toJson());
+    W.endObject();
   }
-  Out += "]}";
-  return Out;
+  W.endArray();
+  if (!Metrics.empty())
+    W.key("metrics").rawValue(Metrics.toJson());
+  W.endObject();
+  return W.str();
 }
 
 std::string bsched::experimentCacheKey(const Function &Program,
@@ -143,7 +104,13 @@ uint64_t bsched::experimentContentHash(const Function &Program,
 
 ErrorOr<CompiledFunction>
 ExperimentEngine::compileCached(const Function &Program,
-                                const PipelineConfig &Config, bool *WasHit) {
+                                const PipelineConfig &Config, bool *WasHit,
+                                MetricRegistry *CellMetrics) {
+  // The metric sink for this request: explicit per-cell registry if the
+  // caller passed one, else whatever the config carries. (The key below
+  // never includes Obs — observation cannot change what is cached.)
+  MetricRegistry *Sink = CellMetrics ? CellMetrics : Config.Obs.Metrics;
+
   std::string Key = experimentCacheKey(Program, Config);
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
@@ -151,23 +118,42 @@ ExperimentEngine::compileCached(const Function &Program,
     if (It != Cache.end()) {
       if (WasHit)
         *WasHit = true;
-      return *It->second;
+      // Replay the stored compile metrics so a warm-cache run reports the
+      // same totals as a cold one.
+      if (Sink)
+        Sink->mergeSnapshot(It->second.CompileMetrics);
+      return *It->second.Compiled;
     }
   }
   if (WasHit)
     *WasHit = false;
 
-  ErrorOr<CompiledFunction> Result = runPipeline(Program, Config);
+  // Compile into a private registry: the snapshot is stored with the
+  // entry and merged exactly once per request (here and on every future
+  // hit), so totals are independent of cache state and worker count.
+  // Recorded even when this request has no sink — a later observed
+  // request may hit this entry and must replay the full compile metrics.
+  MetricRegistry CompileReg(2);
+  PipelineConfig CompileConfig = Config;
+  CompileConfig.Obs.Metrics = &CompileReg;
+
+  ErrorOr<CompiledFunction> Result = runPipeline(Program, CompileConfig);
   // Failures are never cached: every affected cell reports the full
   // diagnostics rather than a "previously failed" stub.
   if (!Result)
     return Result;
 
+  MetricSnapshot CompileMetrics = CompileReg.snapshot();
+  if (Sink)
+    Sink->mergeSnapshot(CompileMetrics);
+
   std::lock_guard<std::mutex> Lock(CacheMutex);
   // Two workers may race to first-compile the same key; both computed the
-  // identical result, so whichever insertion wins is fine.
+  // identical result (and identical metrics), so whichever insertion wins
+  // is fine.
   Cache.emplace(std::move(Key),
-                std::make_shared<const CompiledFunction>(*Result));
+                CacheEntry{std::make_shared<const CompiledFunction>(*Result),
+                           std::move(CompileMetrics)});
   return Result;
 }
 
@@ -192,19 +178,38 @@ CellOutcome ExperimentEngine::runCell(const ExperimentCell &Cell) {
 
   const auto Start = std::chrono::steady_clock::now();
 
+  // A private registry per cell: workers record without sharing anything,
+  // and the snapshot is attributable to exactly this cell. A cell runs on
+  // one worker, so two shards suffice.
+  std::optional<MetricRegistry> CellReg;
+  if (CollectCellMetrics)
+    CellReg.emplace(2);
+
+  // The engine owns the cell's observability wiring: compile metrics flow
+  // through compileCached's replaying cache into the cell registry,
+  // simulation metrics record into it directly, and all spans go to the
+  // engine trace.
+  PipelineConfig Base = Cell.Base;
+  Base.Obs.Metrics = nullptr;
+  Base.Obs.Trace = Obs.Trace;
+  SimulationConfig Sim = Cell.Sim;
+  Sim.Obs.Metrics = CellReg ? &*CellReg : nullptr;
+  Sim.Obs.Trace = Obs.Trace;
+
   // Validate the cell's config at entry so a bad matrix row reports a
   // config diagnostic directly instead of one wrapped per compilation.
-  Status ConfigStatus = Cell.Base.validate();
+  Status ConfigStatus = Base.validate();
   if (ConfigStatus.ok()) {
     ErrorOr<SchedulerComparison> Comparison = runComparisonWith(
         [&](const Function &F, const PipelineConfig &Config) {
           bool Hit = false;
-          ErrorOr<CompiledFunction> Compiled = compileCached(F, Config, &Hit);
+          ErrorOr<CompiledFunction> Compiled =
+              compileCached(F, Config, &Hit, CellReg ? &*CellReg : nullptr);
           ++(Hit ? Outcome.CacheHits : Outcome.CacheMisses);
           return Compiled;
         },
-        *Cell.Program, *Cell.Memory, Cell.OptimisticLatency, Cell.Sim,
-        Cell.Candidate, Cell.Base);
+        *Cell.Program, *Cell.Memory, Cell.OptimisticLatency, Sim,
+        Cell.Candidate, Base);
     if (Comparison)
       Outcome.Comparison = std::move(*Comparison);
     else
@@ -212,6 +217,9 @@ CellOutcome ExperimentEngine::runCell(const ExperimentCell &Cell) {
   } else {
     Outcome.Errors = ConfigStatus.diagnostics();
   }
+
+  if (CellReg)
+    Outcome.Metrics = CellReg->snapshot();
 
   const auto End = std::chrono::steady_clock::now();
   Outcome.WallMillis =
@@ -238,6 +246,25 @@ EngineResult ExperimentEngine::run(const std::vector<ExperimentCell> &Cells) {
     Result.Counters.CacheHits += Cell.CacheHits;
     Result.Counters.CacheMisses += Cell.CacheMisses;
     Result.Counters.CellWallMillis += Cell.WallMillis;
+    // Fold per-cell snapshots in input order: the merged totals are as
+    // deterministic as the cells themselves, whatever the worker count.
+    Result.Metrics.merge(Cell.Metrics);
+  }
+
+  // The engine-level sink gets everything the run learned, plus the
+  // informational counters that are deliberately NOT in Result.Metrics
+  // (cache behaviour varies run to run; the deterministic snapshot must
+  // not).
+  if (Obs.Metrics) {
+    Obs.Metrics->mergeSnapshot(Result.Metrics);
+    Obs.Metrics->counter("bsched.engine.cells").add(Result.Counters.Cells);
+    Obs.Metrics->counter("bsched.engine.failed_cells")
+        .add(Result.Counters.Failed);
+    Obs.Metrics->counter("bsched.engine.cache_hits")
+        .add(Result.Counters.CacheHits);
+    Obs.Metrics->counter("bsched.engine.cache_misses")
+        .add(Result.Counters.CacheMisses);
+    Obs.Metrics->gauge("bsched.engine.workers").set(Result.Counters.Workers);
   }
   return Result;
 }

@@ -29,6 +29,7 @@
 #ifndef BSCHED_PIPELINE_EXPERIMENTENGINE_H
 #define BSCHED_PIPELINE_EXPERIMENTENGINE_H
 
+#include "obs/Metrics.h"
 #include "pipeline/Experiment.h"
 #include "support/ThreadPool.h"
 
@@ -65,6 +66,14 @@ struct CellOutcome {
   unsigned CacheHits = 0;   ///< Compilations served from the engine cache.
   unsigned CacheMisses = 0; ///< Compilations actually run for this cell.
 
+  /// The cell's merged metric snapshot (compile + simulation), recorded
+  /// into a private per-cell registry so parallel cells never share
+  /// counters. Cache hits replay the hit entry's stored compile metrics,
+  /// making this snapshot — like the measurements — a pure function of
+  /// the cell's inputs: identical serial or parallel, cold or warm cache.
+  /// Empty when collection is disabled (or under BSCHED_NO_OBS).
+  MetricSnapshot Metrics;
+
   bool ok() const { return Comparison.has_value(); }
 
   /// First error diagnostic, formatted; empty when the cell succeeded.
@@ -87,9 +96,14 @@ struct EngineResult {
   std::vector<CellOutcome> Cells;
   EngineCounters Counters;
 
-  /// The machine-readable summary: one JSON object with the run counters
-  /// and a per_cell array of {label, ok, wall_ms, cache_hits,
-  /// cache_misses, error}.
+  /// Every cell's snapshot folded together in input order. Deterministic
+  /// for the same reason the cell snapshots are; the informational engine
+  /// counters (cache hits, wall times) stay out of it.
+  MetricSnapshot Metrics;
+
+  /// The machine-readable summary: one JSON object with the run counters,
+  /// a per_cell array of {label, ok, wall_ms, cache_hits, cache_misses,
+  /// error [, metrics]}, and the merged "metrics" snapshot when present.
   std::string summaryJson() const;
 };
 
@@ -99,9 +113,22 @@ struct EngineResult {
 /// calls, so repeated matrices over the same kernels recompile nothing.
 class ExperimentEngine {
 public:
-  explicit ExperimentEngine(unsigned Jobs = 0) : Pool(Jobs) {}
+  /// \p Obs supplies the engine-level observability sinks: Obs.Trace
+  /// receives every compile/sim span of the run, Obs.Metrics the merged
+  /// per-cell snapshots plus the informational `bsched.engine.*` counters
+  /// (those stay out of EngineResult::Metrics, which is deterministic).
+  explicit ExperimentEngine(unsigned Jobs = 0, ObsContext Obs = {})
+      : Pool(Jobs), Obs(Obs) {}
 
   unsigned workerCount() const { return Pool.workerCount(); }
+
+  /// Per-cell metric collection (on by default): each cell records into a
+  /// private registry whose snapshot lands in CellOutcome::Metrics.
+  /// Turning it off is the runtime kill switch bench_engine_scaling uses
+  /// to price the enabled-but-idle overhead; BSCHED_NO_OBS is the
+  /// compile-time one.
+  void setCollectCellMetrics(bool Enabled) { CollectCellMetrics = Enabled; }
+  bool collectCellMetrics() const { return CollectCellMetrics; }
 
   /// Runs every cell (validating its config at entry), fanning across the
   /// pool. Outcome I corresponds to Cells[I] whatever the execution order.
@@ -111,9 +138,17 @@ public:
   /// (Program, Config) content or compiles and caches it. Failures are
   /// never cached (each caller gets the full diagnostics). Thread-safe;
   /// \p WasHit (optional) reports whether the cache served the result.
+  ///
+  /// Compilation metrics are recorded into a private registry and stored
+  /// with the cache entry; exactly one copy of that snapshot is merged
+  /// into \p CellMetrics (when non-null, else Config.Obs.Metrics) per
+  /// call, hit or miss. Compilation is deterministic, so racing
+  /// first-compiles store identical snapshots and every caller observes
+  /// the same totals as a serial run.
   ErrorOr<CompiledFunction> compileCached(const Function &Program,
                                           const PipelineConfig &Config,
-                                          bool *WasHit = nullptr);
+                                          bool *WasHit = nullptr,
+                                          MetricRegistry *CellMetrics = nullptr);
 
   /// Distinct (function, config) keys currently cached.
   size_t cacheSize() const;
@@ -122,12 +157,18 @@ public:
   void clearCache();
 
 private:
+  struct CacheEntry {
+    std::shared_ptr<const CompiledFunction> Compiled;
+    MetricSnapshot CompileMetrics;
+  };
+
   CellOutcome runCell(const ExperimentCell &Cell);
 
   ThreadPool Pool;
+  ObsContext Obs;
+  bool CollectCellMetrics = true;
   mutable std::mutex CacheMutex;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledFunction>>
-      Cache;
+  std::unordered_map<std::string, CacheEntry> Cache;
 };
 
 /// The exact content key the compile cache memoizes on: the printed

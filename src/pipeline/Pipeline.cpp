@@ -10,12 +10,15 @@
 #include "analysis/AllocationCertifier.h"
 #include "analysis/ScheduleCertifier.h"
 #include "ir/IrVerifier.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "regalloc/RegisterRenaming.h"
 
 #include "sched/AverageWeighter.h"
 #include "sched/BalancedWeighter.h"
 #include "sched/TraditionalWeighter.h"
 
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <memory>
@@ -79,6 +82,28 @@ Status PipelineConfig::validate() const {
 
 namespace {
 
+/// Pipeline metric handles, resolved once per runPipeline call so the
+/// per-block loop records without touching the registration mutex.
+struct PipelineInstruments {
+  explicit PipelineInstruments(MetricRegistry &Reg)
+      : Kernels(Reg.counter("bsched.pipeline.kernels")),
+        Blocks(Reg.counter("bsched.pipeline.blocks")),
+        DagNodes(Reg.counter("bsched.dag.nodes")),
+        DagEdges(Reg.counter("bsched.dag.edges")),
+        SpillInstructions(Reg.counter("bsched.regalloc.spill_instructions")),
+        ScheduleCerts(Reg.counter("bsched.analysis.schedule_certificates")),
+        AllocationCerts(
+            Reg.counter("bsched.analysis.allocation_certificates")) {}
+
+  Counter Kernels;
+  Counter Blocks;
+  Counter DagNodes;
+  Counter DagEdges;
+  Counter SpillInstructions;
+  Counter ScheduleCerts;
+  Counter AllocationCerts;
+};
+
 std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
   switch (Config.Policy) {
   case SchedulerPolicy::Traditional:
@@ -106,11 +131,34 @@ std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
 /// is validated *before* it is applied; on failure the block is left
 /// untouched and the violations are returned.
 std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
-                                      const PipelineConfig &Config) {
-  DepDag Dag = buildDag(BB, Config.DagOptions);
-  W.assignWeights(Dag);
-  Schedule Sched = scheduleDag(Dag, Config.SchedOptions);
+                                      const PipelineConfig &Config,
+                                      PipelineInstruments *Metrics) {
+  DepDag Dag = [&] {
+    ScopedSpan Span(Config.Obs.Trace, "dag");
+    DepDag D = buildDag(BB, Config.DagOptions);
+    W.assignWeights(D);
+    return D;
+  }();
+  if (Metrics) {
+    Metrics->DagNodes.add(Dag.size());
+    uint64_t Edges = 0;
+    for (unsigned I = 0; I != Dag.size(); ++I)
+      Edges += Dag.succs(I).size();
+    Metrics->DagEdges.add(Edges);
+  }
+
+  SchedulerOptions SchedOptions = Config.SchedOptions;
+  if (!SchedOptions.Metrics)
+    SchedOptions.Metrics = Config.Obs.Metrics;
+  Schedule Sched = [&] {
+    ScopedSpan Span(Config.Obs.Trace, "sched");
+    return scheduleDag(Dag, SchedOptions);
+  }();
+
   if (Config.Certify) {
+    ScopedSpan Span(Config.Obs.Trace, "certify");
+    if (Metrics)
+      Metrics->ScheduleCerts.add();
     std::vector<Diagnostic> Violations =
         certifySchedule(BB, Dag, Sched, Config.Ops, Config.SchedOptions);
     if (!Violations.empty())
@@ -131,6 +179,25 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
   Result.Compiled = Input;
   Function &F = Result.Compiled;
 
+  std::optional<PipelineInstruments> Instruments;
+  if (Config.Obs.Metrics)
+    Instruments.emplace(*Config.Obs.Metrics);
+  PipelineInstruments *Metrics = Instruments ? &*Instruments : nullptr;
+  if (Metrics)
+    Metrics->Kernels.add();
+
+  std::string CompileArgs;
+  if (Config.Obs.Trace) {
+    JsonWriter Args;
+    Args.beginObject();
+    Args.key("function").value(F.name());
+    Args.key("policy").value(policyName(Config.Policy));
+    Args.endObject();
+    CompileArgs = Args.str();
+  }
+  ScopedSpan CompileSpan(Config.Obs.Trace, "compile", "pipeline",
+                         std::move(CompileArgs));
+
   std::unique_ptr<Weighter> W = makeWeighter(Config);
 
   auto CertFailed = [&](const BasicBlock &BB, const char *Stage,
@@ -146,9 +213,13 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
   };
 
   for (BasicBlock &BB : F) {
+    if (Metrics)
+      Metrics->Blocks.add();
+
     // Pass 1: schedule over virtual registers.
     if (W) {
-      std::vector<Diagnostic> Violations = scheduleBlock(BB, *W, Config);
+      std::vector<Diagnostic> Violations =
+          scheduleBlock(BB, *W, Config, Metrics);
       if (!Violations.empty())
         return CertFailed(BB, "first-pass schedule", std::move(Violations));
     }
@@ -162,10 +233,18 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       if (Config.Certify)
         PreAlloc.emplace(BB);
 
-      RegAllocResult Alloc = allocateRegisters(F, BB, Config.Target);
+      RegAllocResult Alloc = [&] {
+        ScopedSpan Span(Config.Obs.Trace, "regalloc");
+        return allocateRegisters(F, BB, Config.Target);
+      }();
       Spills = Alloc.spillInstructions();
+      if (Metrics && Spills != 0)
+        Metrics->SpillInstructions.add(Spills);
 
       if (Config.Certify) {
+        ScopedSpan Span(Config.Obs.Trace, "certify");
+        if (Metrics)
+          Metrics->AllocationCerts.add();
         std::vector<Diagnostic> Violations = certifyAllocation(
             *PreAlloc, BB, Alloc, Config.Target,
             F.getOrCreateAliasClass(SpillAliasClassName));
@@ -182,7 +261,8 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
 
       // Pass 2: integrate the spill code into the schedule.
       if (W && Config.SecondSchedulingPass) {
-        std::vector<Diagnostic> Violations = scheduleBlock(BB, *W, Config);
+        std::vector<Diagnostic> Violations =
+            scheduleBlock(BB, *W, Config, Metrics);
         if (!Violations.empty())
           return CertFailed(BB, "second-pass schedule",
                             std::move(Violations));

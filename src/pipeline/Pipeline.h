@@ -22,6 +22,7 @@
 
 #include "dag/DagBuilder.h"
 #include "ir/Function.h"
+#include "obs/Obs.h"
 #include "regalloc/LocalRegAlloc.h"
 #include "sched/LatencyModel.h"
 #include "sched/ListScheduler.h"
@@ -97,6 +98,15 @@ struct PipelineConfig {
   /// instead of emitting miscompiled code. On by default — the cost is a
   /// few linear scans per block (see bench_engine_scaling).
   bool Certify = true;
+
+  /// Observability sinks (DESIGN.md §3g): when Obs.Metrics is set the
+  /// pipeline records `bsched.pipeline.*`, `bsched.dag.*`,
+  /// `bsched.sched.*`, `bsched.regalloc.*` and `bsched.analysis.*`
+  /// counters; when Obs.Trace is set each kernel gets compile/dag/sched/
+  /// regalloc/certify spans. Null members (the default) cost nothing.
+  /// Excluded from experiment cache keys — observing a compilation never
+  /// changes its result.
+  ObsContext Obs;
 
   //===--------------------------------------------------------------------===
   // Named presets — the configurations the paper's experiments are built

@@ -32,7 +32,8 @@ SweepResult bsched::runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
                                      const MemorySystem &Memory,
                                      const SimulationConfig &SimConfig,
                                      const SweepOptions &Options) {
-  ExperimentEngine Engine(Options.Jobs);
+  ExperimentEngine Engine(Options.Jobs, Options.Obs);
+  Engine.setCollectCellMetrics(Options.CellMetrics);
 
   std::vector<ExperimentCell> Cells;
   Cells.reserve(Kernels.size());
@@ -45,10 +46,12 @@ SweepResult bsched::runWorkloadSweep(const std::vector<SweepEntry> &Kernels,
 
   SweepResult Result;
   Result.Engine = Run.Counters;
+  Result.Metrics = std::move(Run.Metrics);
   Result.Kernels.reserve(Run.Cells.size());
   for (CellOutcome &Cell : Run.Cells) {
     SweepKernelOutcome Outcome;
     Outcome.Name = std::move(Cell.Label);
+    Outcome.Metrics = std::move(Cell.Metrics);
     if (Cell.Comparison) {
       Outcome.Comparison = std::move(Cell.Comparison);
     } else {

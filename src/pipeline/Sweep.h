@@ -44,6 +44,16 @@ struct SweepOptions {
   /// (BSCHED_JOBS, else hardware concurrency); 1 runs serially on the
   /// calling thread. Results are bit-identical either way.
   unsigned Jobs = 0;
+
+  /// Observability sinks for the run (DESIGN.md §3g): Obs.Trace receives
+  /// every compile/sim span, Obs.Metrics the merged snapshot plus the
+  /// informational engine counters. Null members cost nothing.
+  ObsContext Obs;
+
+  /// Collect per-kernel metric snapshots (see
+  /// ExperimentEngine::setCollectCellMetrics). On by default; the
+  /// benchmarks turn it off to price the observability overhead.
+  bool CellMetrics = true;
 };
 
 /// Outcome of one kernel inside a sweep: the comparison on success, the
@@ -52,6 +62,10 @@ struct SweepKernelOutcome {
   std::string Name;
   std::optional<SchedulerComparison> Comparison;
   std::vector<Diagnostic> Errors;
+
+  /// The kernel's metric snapshot (see CellOutcome::Metrics):
+  /// deterministic, empty when collection is off.
+  MetricSnapshot Metrics;
 
   bool ok() const { return Comparison.has_value(); }
 
@@ -76,6 +90,10 @@ struct SweepResult {
   /// totals, cache hits). Informational: timings and hit counts may vary
   /// between runs even though the kernel outcomes never do.
   EngineCounters Engine;
+
+  /// Every kernel's snapshot merged in input order (deterministic; see
+  /// EngineResult::Metrics).
+  MetricSnapshot Metrics;
 
   unsigned numSucceeded() const {
     unsigned N = 0;

@@ -7,6 +7,8 @@
 
 #include "sched/ListScheduler.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 
 using namespace bsched;
@@ -54,6 +56,15 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
   Result.Order.reserve(N);
   if (N == 0)
     return Result;
+
+  Counter Passes;
+  Histogram ReadyOccupancy;
+  if (Options.Metrics) {
+    Passes = Options.Metrics->counter("bsched.sched.passes");
+    ReadyOccupancy = Options.Metrics->histogram(
+        "bsched.sched.ready_list_occupancy", {1, 2, 4, 8, 16, 32, 64});
+  }
+  Passes.add();
 
   std::vector<double> Priority = computePriorities(Dag);
   std::vector<int> PressureDelta(N);
@@ -107,6 +118,8 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
 
   while (ReverseOrder.size() != N) {
     // Pick the best ready candidate from the pending list.
+    if (Options.Metrics)
+      ReadyOccupancy.record(Pending.size());
     int Best = -1;
     for (unsigned Candidate : Pending) {
       if (ReadyAt[Candidate] > ReverseSlot + Eps)
@@ -157,6 +170,10 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
   Result.IssueCycle.resize(N);
   for (unsigned I = 0; I != N; ++I)
     Result.IssueCycle[I] = MaxSlot - PlacedSlot[I];
+
+  if (Options.Metrics && Result.NumVirtualNops != 0)
+    Options.Metrics->counter("bsched.sched.virtual_nops")
+        .add(Result.NumVirtualNops);
 
   assert(isValidSchedule(Dag, Result) && "scheduler produced invalid order");
   return Result;

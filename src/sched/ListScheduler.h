@@ -30,11 +30,18 @@
 
 namespace bsched {
 
+class MetricRegistry;
+
 /// Options for the shared list scheduler.
 struct SchedulerOptions {
   /// Instructions per issue slot (1 = the paper's machine; >1 models the
   /// section 6 superscalar extension).
   unsigned IssueWidth = 1;
+
+  /// Optional metric sink (DESIGN.md §3g). When set, each pass records
+  /// `bsched.sched.passes`, `bsched.sched.virtual_nops`, and a
+  /// `bsched.sched.ready_list_occupancy` histogram sampled at every pick.
+  MetricRegistry *Metrics = nullptr;
 };
 
 /// Computes the priority of every node: weight plus the maximum successor

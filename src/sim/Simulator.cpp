@@ -66,11 +66,14 @@ uint64_t advancePastOutstandingLimit(uint64_t T,
 BlockSimResult bsched::simulateBlock(const BasicBlock &BB,
                                      const ProcessorModel &Processor,
                                      const MemorySystem &Memory, Rng &R,
-                                     const LatencyModel &Ops) {
+                                     const LatencyModel &Ops,
+                                     SimInstruments *Obs) {
   assert(Processor.IssueWidth >= 1 && "issue width must be positive");
   BlockSimResult Result;
   if (BB.empty())
     return Result;
+
+  uint64_t NumLoads = 0;
 
   std::unordered_map<uint32_t, uint64_t> RegReady;
   std::vector<OutstandingLoad> Loads;
@@ -118,6 +121,16 @@ BlockSimResult bsched::simulateBlock(const BasicBlock &BB,
                                              : Memory.sampleLatency(R);
       uint64_t Complete = T + Latency;
       RegReady[I.dest().rawBits()] = Complete;
+      ++NumLoads;
+      if (Obs) {
+        Obs->LoadLatency.record(Latency);
+        // In-flight count at issue, before this load joins the list
+        // (completed entries linger until the lazy prune — filter them).
+        uint64_t InFlight = 0;
+        for (const OutstandingLoad &L : Loads)
+          InFlight += L.Complete > T;
+        Obs->OutstandingLoads.record(InFlight);
+      }
       Loads.push_back({T, Complete});
     } else if (I.hasDest()) {
       uint64_t Latency = static_cast<uint64_t>(
@@ -135,5 +148,12 @@ BlockSimResult bsched::simulateBlock(const BasicBlock &BB,
 
   Result.Cycles = CurrentCycle + 1;
   Result.InterlockCycles = Result.Cycles - CyclesWithIssue;
+  if (Obs) {
+    Obs->BlockRuns.add();
+    Obs->Cycles.add(Result.Cycles);
+    Obs->InterlockCycles.add(Result.InterlockCycles);
+    Obs->Instructions.add(Result.Instructions);
+    Obs->Loads.add(NumLoads);
+  }
   return Result;
 }

@@ -24,6 +24,7 @@
 #define BSCHED_SIM_SIMULATOR_H
 
 #include "ir/BasicBlock.h"
+#include "obs/Metrics.h"
 #include "sched/LatencyModel.h"
 #include "sim/MemorySystem.h"
 #include "sim/Processor.h"
@@ -44,13 +45,41 @@ struct BlockSimResult {
   }
 };
 
+/// Pre-resolved metric handles for the simulator's hot loop (DESIGN.md
+/// §3g). Construct once per simulation and pass to every simulateBlock
+/// call; resolving names per block run would put a mutex on the hot path.
+struct SimInstruments {
+  explicit SimInstruments(MetricRegistry &Reg)
+      : BlockRuns(Reg.counter("bsched.sim.block_runs")),
+        Cycles(Reg.counter("bsched.sim.cycles")),
+        InterlockCycles(Reg.counter("bsched.sim.interlock_cycles")),
+        Instructions(Reg.counter("bsched.sim.instructions")),
+        Loads(Reg.counter("bsched.sim.loads")),
+        LoadLatency(Reg.histogram(
+            "bsched.sim.load_latency_cycles",
+            {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128})),
+        OutstandingLoads(Reg.histogram(
+            "bsched.sim.outstanding_loads",
+            {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32})) {}
+
+  Counter BlockRuns;       ///< Simulated block executions.
+  Counter Cycles;          ///< Total simulated cycles.
+  Counter InterlockCycles; ///< Cycles in which nothing issued.
+  Counter Instructions;    ///< Instructions issued.
+  Counter Loads;           ///< Dynamic loads issued.
+  Histogram LoadLatency;   ///< Sampled latency of each dynamic load.
+  Histogram OutstandingLoads; ///< In-flight loads when each load issues.
+};
+
 /// Simulates one execution of \p BB on \p Processor with latencies drawn
 /// from \p Memory via \p R. \p Ops supplies non-load operation latencies
-/// (unit by default, as in the paper).
+/// (unit by default, as in the paper). \p Obs, when non-null, receives
+/// per-run counters and per-load histogram samples.
 BlockSimResult simulateBlock(const BasicBlock &BB,
                              const ProcessorModel &Processor,
                              const MemorySystem &Memory, Rng &R,
-                             const LatencyModel &Ops = LatencyModel());
+                             const LatencyModel &Ops = LatencyModel(),
+                             SimInstruments *Obs = nullptr);
 
 } // namespace bsched
 

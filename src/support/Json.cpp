@@ -1,0 +1,84 @@
+//===- support/Json.cpp - Incremental JSON writer ---------------------------=/
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace bsched;
+
+JsonWriter &JsonWriter::value(double V) {
+  preValue();
+  if (!std::isfinite(V)) {
+    // JSON has no NaN/Inf literals; null is the conventional stand-in.
+    Out += "null";
+    return *this;
+  }
+  char Buf[40];
+  // %.17g round-trips every double but prints 0.1 as 0.10000000000000001;
+  // try shorter forms first and keep the shortest that round-trips.
+  for (int Precision : {15, 16, 17}) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, V);
+    double Back = 0.0;
+    std::sscanf(Buf, "%lf", &Back);
+    if (Back == V)
+      break;
+  }
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::valueFixed(double V, int Decimals) {
+  preValue();
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return *this;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  Out += Buf;
+  return *this;
+}
+
+void JsonWriter::appendEscaped(std::string_view Text) {
+  Out += '"';
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string JsonWriter::escape(std::string_view Text) {
+  JsonWriter W;
+  W.value(Text);
+  return W.str();
+}

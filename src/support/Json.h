@@ -1,0 +1,182 @@
+//===- support/Json.h - Incremental JSON writer ----------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small incremental JSON writer shared by every machine-readable
+/// output in the project: the experiment engine's run summaries, the
+/// observability layer's metric snapshots and Chrome trace export, the
+/// `--json` modes of the example CLIs, and the benchmark artifact files.
+/// One escaping implementation instead of one per caller.
+///
+/// Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("cells").value(uint64_t(8));
+///   W.key("rows").beginArray().value("a").value(1.5).endArray();
+///   W.endObject();
+///   std::string Doc = W.str();
+/// \endcode
+///
+/// Commas and quoting are handled by the writer; misuse (a key outside an
+/// object, unbalanced begin/end) trips a BSCHED_CHECK rather than emitting
+/// silently malformed output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_JSON_H
+#define BSCHED_SUPPORT_JSON_H
+
+#include "support/Check.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace bsched {
+
+/// Incremental writer producing one JSON document.
+class JsonWriter {
+public:
+  JsonWriter &beginObject() {
+    preValue();
+    Out += '{';
+    Stack.push_back({Kind::Object, false});
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    BSCHED_CHECK(!Stack.empty() && Stack.back().K == Kind::Object,
+                 "endObject outside an object");
+    BSCHED_CHECK(!HaveKey, "endObject with a dangling key");
+    Stack.pop_back();
+    Out += '}';
+    return *this;
+  }
+
+  JsonWriter &beginArray() {
+    preValue();
+    Out += '[';
+    Stack.push_back({Kind::Array, false});
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    BSCHED_CHECK(!Stack.empty() && Stack.back().K == Kind::Array,
+                 "endArray outside an array");
+    Stack.pop_back();
+    Out += ']';
+    return *this;
+  }
+
+  /// Writes the member key for the next value. Only valid inside an object.
+  JsonWriter &key(std::string_view K) {
+    BSCHED_CHECK(!Stack.empty() && Stack.back().K == Kind::Object,
+                 "key outside an object");
+    BSCHED_CHECK(!HaveKey, "two keys in a row");
+    if (Stack.back().NeedComma)
+      Out += ',';
+    appendEscaped(K);
+    Out += ':';
+    HaveKey = true;
+    return *this;
+  }
+
+  JsonWriter &value(std::string_view V) {
+    preValue();
+    appendEscaped(V);
+    return *this;
+  }
+
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(const std::string &V) {
+    return value(std::string_view(V));
+  }
+
+  JsonWriter &value(bool V) {
+    preValue();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter &value(double V);
+
+  /// Integral values (except bool, which has its own overload).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter &value(T V) {
+    preValue();
+    if constexpr (std::is_signed_v<T>)
+      Out += std::to_string(static_cast<long long>(V));
+    else
+      Out += std::to_string(static_cast<unsigned long long>(V));
+    return *this;
+  }
+
+  /// Writes \p V with a fixed number of digits after the point ("wall_ms"
+  /// style fields where stable width matters more than full precision).
+  JsonWriter &valueFixed(double V, int Decimals);
+
+  /// Splices \p Json — which must itself be a complete JSON value — into
+  /// the document verbatim. Used to embed one writer's document (a metric
+  /// snapshot, an engine summary) inside another.
+  JsonWriter &rawValue(std::string_view Json) {
+    BSCHED_CHECK(!Json.empty(), "rawValue requires a non-empty JSON value");
+    preValue();
+    Out += Json;
+    return *this;
+  }
+
+  /// The finished document. Checks that every begin has been ended.
+  const std::string &str() const {
+    BSCHED_CHECK(Stack.empty(), "JsonWriter::str with unclosed containers");
+    BSCHED_CHECK(!Out.empty(), "JsonWriter::str before any value");
+    return Out;
+  }
+
+  /// Escapes \p Text as a quoted JSON string (shared by callers that
+  /// build fragments by hand).
+  static std::string escape(std::string_view Text);
+
+private:
+  enum class Kind : char { Object, Array };
+  struct Frame {
+    Kind K;
+    bool NeedComma; ///< Container already holds a member.
+  };
+
+  /// Comma/position bookkeeping before any value (including containers).
+  void preValue() {
+    if (Stack.empty()) {
+      BSCHED_CHECK(Out.empty(), "multiple top-level JSON values");
+      return;
+    }
+    Frame &Top = Stack.back();
+    if (Top.K == Kind::Object) {
+      // key() already wrote the separator for this member.
+      BSCHED_CHECK(HaveKey, "object member without a key");
+      HaveKey = false;
+    } else {
+      if (Top.NeedComma)
+        Out += ',';
+    }
+    Top.NeedComma = true;
+  }
+
+  void appendEscaped(std::string_view Text);
+
+  std::string Out;
+  std::vector<Frame> Stack;
+  bool HaveKey = false;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_JSON_H

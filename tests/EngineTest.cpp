@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "pipeline/ExperimentEngine.h"
 #include "pipeline/Sweep.h"
 
@@ -258,6 +259,148 @@ TEST(EngineTest, SummaryJsonCarriesPerCellCounters) {
   EXPECT_NE(Json.find("\"ok\":true"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"wall_ms\":"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"cache_hits\":"), std::string::npos) << Json;
+}
+
+//===----------------------------------------------------------------------===
+// Observability: per-cell metrics are deterministic and land in the
+// summary (DESIGN.md §3g). These tests also pass under BSCHED_NO_OBS,
+// where every snapshot is empty on both sides of each comparison; the
+// assertions that require actual samples are guarded.
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, MetricSnapshotSerialMatchesParallel) {
+  std::vector<SweepEntry> Entries = perfectClubSweepEntries(smallWorkload());
+  NetworkSystem Memory(3, 5);
+
+  SweepOptions Serial;
+  Serial.Jobs = 1;
+  SweepOptions Parallel;
+  Parallel.Jobs = 8;
+
+  SweepResult A = runWorkloadSweep(Entries, Memory, smallSim(), Serial);
+  SweepResult B = runWorkloadSweep(Entries, Memory, smallSim(), Parallel);
+
+  // The merged totals and every per-kernel snapshot are exact across
+  // worker counts — sharded registries merge to the serial counts, and
+  // the compile cache replays stored compile metrics on every hit.
+  EXPECT_EQ(A.Metrics, B.Metrics);
+  ASSERT_EQ(A.Kernels.size(), B.Kernels.size());
+  for (size_t I = 0; I != A.Kernels.size(); ++I)
+    EXPECT_EQ(A.Kernels[I].Metrics, B.Kernels[I].Metrics)
+        << A.Kernels[I].Name;
+
+#ifndef BSCHED_NO_OBS
+  // The snapshot carries the simulator's stall accounting and latency
+  // distribution for every kernel.
+  EXPECT_GT(A.Metrics.Counters.at("bsched.sim.block_runs"), 0u);
+  EXPECT_GT(A.Metrics.Counters.at("bsched.sim.cycles"), 0u);
+  ASSERT_TRUE(A.Metrics.Counters.count("bsched.sim.interlock_cycles"));
+  const HistogramData &Latency =
+      A.Metrics.Histograms.at("bsched.sim.load_latency_cycles");
+  EXPECT_GT(Latency.Count, 0u);
+  EXPECT_GT(A.Metrics.Counters.at("bsched.pipeline.kernels"), 0u);
+  EXPECT_GT(A.Metrics.Counters.at("bsched.sched.passes"), 0u);
+  for (const SweepKernelOutcome &K : A.Kernels)
+    EXPECT_GT(K.Metrics.Counters.at("bsched.sim.loads"), 0u) << K.Name;
+#endif
+}
+
+TEST(EngineTest, WarmCacheReplaysCompileMetrics) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem Memory(2, 2);
+  ExperimentEngine Engine(1);
+  std::vector<ExperimentCell> Cells{
+      {"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
+       PipelineConfig::paperDefault(), smallSim()}};
+
+  EngineResult Cold = Engine.run(Cells);
+  EngineResult Warm = Engine.run(Cells);
+  ASSERT_EQ(Warm.Counters.CacheMisses, 0u);
+  ASSERT_EQ(Warm.Counters.CacheHits, 2u);
+
+  // Cache hits replay the stored compile metrics, so a warm run reports
+  // exactly the totals of a cold one.
+  EXPECT_EQ(Cold.Metrics, Warm.Metrics);
+#ifndef BSCHED_NO_OBS
+  EXPECT_GT(Warm.Metrics.Counters.at("bsched.pipeline.kernels"), 0u);
+  EXPECT_GT(Warm.Metrics.Counters.at("bsched.dag.nodes"), 0u);
+#endif
+}
+
+TEST(EngineTest, SummaryJsonCarriesMetricSnapshot) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem Memory(2, 2);
+  ExperimentEngine Engine(1);
+  EngineResult Run = Engine.run(
+      {{"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+  std::string Json = Run.summaryJson();
+#ifndef BSCHED_NO_OBS
+  EXPECT_NE(Json.find("\"metrics\":"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("bsched.sim.load_latency_cycles"), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("bsched.sim.interlock_cycles"), std::string::npos)
+      << Json;
+#else
+  EXPECT_EQ(Json.find("\"metrics\":"), std::string::npos) << Json;
+#endif
+}
+
+TEST(EngineTest, CellMetricsCanBeDisabled) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem Memory(2, 2);
+  ExperimentEngine Engine(1);
+  Engine.setCollectCellMetrics(false);
+  EngineResult Run = Engine.run(
+      {{"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+  EXPECT_TRUE(Run.Metrics.empty());
+  for (const CellOutcome &Cell : Run.Cells)
+    EXPECT_TRUE(Cell.Metrics.empty());
+  EXPECT_EQ(Run.summaryJson().find("\"metrics\":"), std::string::npos);
+
+  // Collection state never changes the measurements themselves.
+  ExperimentEngine Observed(1);
+  EngineResult WithMetrics = Observed.run(
+      {{"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
+        PipelineConfig::paperDefault(), smallSim()}});
+  ASSERT_TRUE(Run.Cells[0].ok());
+  ASSERT_TRUE(WithMetrics.Cells[0].ok());
+  EXPECT_EQ(Run.Cells[0].Comparison->CandidateSim.BootstrapRuntimes,
+            WithMetrics.Cells[0].Comparison->CandidateSim.BootstrapRuntimes);
+}
+
+TEST(EngineTest, EngineObsContextReceivesRunTotals) {
+  Function F = buildBenchmark(Benchmark::TRACK, smallWorkload());
+  NetworkSystem Memory(2, 2);
+  MetricRegistry EngineReg;
+  TraceRecorder Trace;
+  ExperimentEngine Engine(1, ObsContext{&EngineReg, &Trace});
+  Engine.run({{"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
+               PipelineConfig::paperDefault(), smallSim()}});
+
+#ifndef BSCHED_NO_OBS
+  MetricSnapshot Snap = EngineReg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("bsched.engine.cells"), 1u);
+  EXPECT_EQ(Snap.Counters.at("bsched.engine.failed_cells"), 0u);
+  EXPECT_GT(Snap.Counters.at("bsched.sim.cycles"), 0u);
+
+  // The trace covers both compilation phases and the simulation, per
+  // kernel: compile -> dag/sched/certify/regalloc, then sim.
+  std::vector<TraceEvent> Events = Trace.events();
+  auto Has = [&](const char *Name) {
+    for (const TraceEvent &E : Events)
+      if (E.Name == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("compile"));
+  EXPECT_TRUE(Has("dag"));
+  EXPECT_TRUE(Has("sched"));
+  EXPECT_TRUE(Has("regalloc"));
+  EXPECT_TRUE(Has("certify"));
+  EXPECT_TRUE(Has("sim"));
+#endif
 }
 
 //===----------------------------------------------------------------------===

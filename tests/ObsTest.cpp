@@ -1,0 +1,415 @@
+//===- tests/ObsTest.cpp - Unit tests for the observability layer --------===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the observability contracts of DESIGN.md §3g: merges across N
+/// workers are exact, histogram bucket edges are upper-inclusive, trace
+/// JSON is schema-valid and strictly nested per thread, and a
+/// BSCHED_NO_OBS build compiles against the same API and returns empty
+/// snapshots. Recording-dependent assertions are guarded so the suite
+/// passes under both builds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace bsched;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// A minimal JSON syntax checker — enough to assert the writer and the
+// trace exporter emit well-formed documents without a JSON dependency.
+//===----------------------------------------------------------------------===
+
+struct JsonChecker {
+  std::string_view Text;
+  size_t Pos = 0;
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\') {
+        ++Pos;
+        if (Pos == Text.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    return Pos != Start;
+  }
+
+  bool value() {
+    skipWs();
+    if (Pos == Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      if (consume('}'))
+        return true;
+      do {
+        skipWs();
+        if (!string() || !consume(':') || !value())
+          return false;
+      } while (consume(','));
+      return consume('}');
+    }
+    case '[': {
+      ++Pos;
+      if (consume(']'))
+        return true;
+      do {
+        if (!value())
+          return false;
+      } while (consume(','));
+      return consume(']');
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+bool isValidJson(std::string_view Text) { return JsonChecker{Text}.valid(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// MetricRegistry
+//===----------------------------------------------------------------------===
+
+TEST(ObsTest, EmptyRegistrySnapshots) {
+  MetricRegistry Reg;
+  MetricSnapshot Snap = Reg.snapshot();
+  EXPECT_TRUE(Snap.empty());
+  EXPECT_TRUE(isValidJson(Snap.toJson()));
+}
+
+TEST(ObsTest, HandlesAreInertWhenDefaultConstructed) {
+  // Must not crash: the "observability off" path of every instrumented
+  // call site.
+  Counter C;
+  Gauge G;
+  Histogram H;
+  C.add();
+  C.add(7);
+  G.set(3.5);
+  H.record(12);
+}
+
+#ifndef BSCHED_NO_OBS
+
+TEST(ObsTest, CounterAddsAndSnapshots) {
+  MetricRegistry Reg;
+  Counter C = Reg.counter("bsched.test.counter");
+  C.add();
+  C.add(9);
+  MetricSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("bsched.test.counter"), 10u);
+  // Re-registration returns the same slot.
+  Reg.counter("bsched.test.counter").add(5);
+  EXPECT_EQ(Reg.snapshot().Counters.at("bsched.test.counter"), 15u);
+}
+
+TEST(ObsTest, GaugeReportsHighWaterMark) {
+  MetricRegistry Reg;
+  Gauge G = Reg.gauge("bsched.test.gauge");
+  EXPECT_TRUE(Reg.snapshot().Gauges.empty()); // Registered but never set.
+  G.set(4.0);
+  G.set(2.5); // Last-set within one shard.
+  EXPECT_EQ(Reg.snapshot().Gauges.at("bsched.test.gauge"), 2.5);
+}
+
+TEST(ObsTest, HistogramBucketEdgesAreUpperInclusive) {
+  MetricRegistry Reg;
+  Histogram H = Reg.histogram("bsched.test.hist", {2, 4, 8});
+  H.record(0); // <= 2
+  H.record(2); // == edge 2 lands in its bucket, not the next.
+  H.record(3); // <= 4
+  H.record(4); // == edge 4
+  H.record(8); // == edge 8
+  H.record(9); // overflow
+  HistogramData Data = Reg.snapshot().Histograms.at("bsched.test.hist");
+  ASSERT_EQ(Data.UpperEdges, (std::vector<uint64_t>{2, 4, 8}));
+  ASSERT_EQ(Data.Counts.size(), 4u); // Edges + overflow.
+  EXPECT_EQ(Data.Counts[0], 2u);
+  EXPECT_EQ(Data.Counts[1], 2u);
+  EXPECT_EQ(Data.Counts[2], 1u);
+  EXPECT_EQ(Data.Counts[3], 1u);
+  EXPECT_EQ(Data.Count, 6u);
+  EXPECT_EQ(Data.Sum, 26u);
+  EXPECT_EQ(Data.Min, 0u);
+  EXPECT_EQ(Data.Max, 9u);
+}
+
+TEST(ObsTest, RegistryMergeAcrossWorkersIsExact) {
+  // N workers hammer the same counter and histogram; the snapshot must
+  // equal the serial total exactly, whatever the shard mapping.
+  MetricRegistry Reg;
+  Counter C = Reg.counter("bsched.test.parallel");
+  Histogram H = Reg.histogram("bsched.test.parallel_hist", {10, 100});
+  constexpr size_t Tasks = 64;
+  constexpr uint64_t AddsPerTask = 1000;
+  ThreadPool Pool(4);
+  parallelForEach(Pool, Tasks, [&](size_t Index) {
+    for (uint64_t I = 0; I != AddsPerTask; ++I)
+      C.add();
+    H.record(Index); // 0..63: 10 land <=10 (0..10 minus none missing).
+  });
+  MetricSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("bsched.test.parallel"), Tasks * AddsPerTask);
+  HistogramData Data = Snap.Histograms.at("bsched.test.parallel_hist");
+  EXPECT_EQ(Data.Count, Tasks);
+  EXPECT_EQ(Data.Counts[0], 11u); // Values 0..10.
+  EXPECT_EQ(Data.Counts[1], 53u); // Values 11..63.
+  EXPECT_EQ(Data.Counts[2], 0u);
+  EXPECT_EQ(Data.Min, 0u);
+  EXPECT_EQ(Data.Max, Tasks - 1);
+  EXPECT_EQ(Data.Sum, Tasks * (Tasks - 1) / 2);
+}
+
+TEST(ObsTest, SnapshotMergeSemantics) {
+  MetricRegistry A;
+  A.counter("bsched.test.c").add(3);
+  A.gauge("bsched.test.g").set(1.0);
+  A.histogram("bsched.test.h", {5}).record(2);
+
+  MetricRegistry B;
+  B.counter("bsched.test.c").add(4);
+  B.counter("bsched.test.only_b").add(1);
+  B.gauge("bsched.test.g").set(7.5);
+  B.histogram("bsched.test.h", {5}).record(9);
+
+  MetricSnapshot Merged = A.snapshot();
+  Merged.merge(B.snapshot());
+  EXPECT_EQ(Merged.Counters.at("bsched.test.c"), 7u);       // Adds.
+  EXPECT_EQ(Merged.Counters.at("bsched.test.only_b"), 1u);  // Union.
+  EXPECT_EQ(Merged.Gauges.at("bsched.test.g"), 7.5);        // Max.
+  HistogramData H = Merged.Histograms.at("bsched.test.h");
+  EXPECT_EQ(H.Count, 2u);
+  EXPECT_EQ(H.Counts[0], 1u);
+  EXPECT_EQ(H.Counts[1], 1u);
+  EXPECT_EQ(H.Min, 2u);
+  EXPECT_EQ(H.Max, 9u);
+}
+
+TEST(ObsTest, MergeSnapshotIntoRegistryRoundTrips) {
+  MetricRegistry Source;
+  Source.counter("bsched.test.c").add(11);
+  Source.gauge("bsched.test.g").set(2.0);
+  Source.histogram("bsched.test.h", {1, 2}).record(1);
+  MetricSnapshot Snap = Source.snapshot();
+
+  MetricRegistry Target;
+  Target.mergeSnapshot(Snap);
+  Target.mergeSnapshot(Snap);
+  MetricSnapshot Twice = Target.snapshot();
+  EXPECT_EQ(Twice.Counters.at("bsched.test.c"), 22u);
+  EXPECT_EQ(Twice.Gauges.at("bsched.test.g"), 2.0);
+  EXPECT_EQ(Twice.Histograms.at("bsched.test.h").Count, 2u);
+
+  // One fold reproduces the source exactly.
+  MetricRegistry Clone;
+  Clone.mergeSnapshot(Snap);
+  EXPECT_EQ(Clone.snapshot(), Snap);
+}
+
+TEST(ObsTest, SnapshotJsonIsValidAndComplete) {
+  MetricRegistry Reg;
+  Reg.counter("bsched.test.c\"quoted\"").add(1);
+  Reg.gauge("bsched.test.g").set(0.5);
+  Reg.histogram("bsched.test.h", {3}).record(4);
+  std::string Json = Reg.snapshot().toJson();
+  EXPECT_TRUE(isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("counters"), std::string::npos);
+  EXPECT_NE(Json.find("gauges"), std::string::npos);
+  EXPECT_NE(Json.find("histograms"), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// TraceRecorder / ScopedSpan
+//===----------------------------------------------------------------------===
+
+TEST(ObsTest, TraceJsonIsSchemaValid) {
+  TraceRecorder Trace;
+  {
+    ScopedSpan Outer(&Trace, "outer", "phase");
+    ScopedSpan Inner(&Trace, "inner", "phase", R"({"block":"b0"})");
+  }
+  std::string Json = Trace.toJson();
+  EXPECT_TRUE(isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find(R"("args":{"block":"b0"})"), std::string::npos);
+
+  std::vector<TraceEvent> Events = Trace.events();
+  ASSERT_EQ(Events.size(), 2u);
+  for (const TraceEvent &E : Events) {
+    EXPECT_FALSE(E.Name.empty());
+    EXPECT_STREQ(E.Cat, "phase");
+  }
+}
+
+TEST(ObsTest, SpansNestStrictlyPerThread) {
+  TraceRecorder Trace;
+  ThreadPool Pool(4);
+  parallelForEach(Pool, 16, [&](size_t Index) {
+    ScopedSpan Outer(&Trace, "outer:" + std::to_string(Index));
+    {
+      ScopedSpan Mid(&Trace, "mid:" + std::to_string(Index));
+      ScopedSpan Leaf(&Trace, "leaf:" + std::to_string(Index));
+    }
+    ScopedSpan Tail(&Trace, "tail:" + std::to_string(Index));
+  });
+
+  // RAII destruction order guarantees that on any one thread, spans form
+  // a containment forest: two events either nest or are disjoint, never
+  // partially overlapping.
+  std::vector<TraceEvent> Events = Trace.events();
+  EXPECT_EQ(Events.size(), 16u * 4);
+  for (size_t I = 0; I != Events.size(); ++I) {
+    for (size_t J = I + 1; J != Events.size(); ++J) {
+      const TraceEvent &A = Events[I];
+      const TraceEvent &B = Events[J];
+      if (A.Tid != B.Tid)
+        continue;
+      uint64_t AEnd = A.TsUs + A.DurUs, BEnd = B.TsUs + B.DurUs;
+      bool Disjoint = AEnd <= B.TsUs || BEnd <= A.TsUs;
+      bool ANestsInB = A.TsUs >= B.TsUs && AEnd <= BEnd;
+      bool BNestsInA = B.TsUs >= A.TsUs && BEnd <= AEnd;
+      EXPECT_TRUE(Disjoint || ANestsInB || BNestsInA)
+          << A.Name << " [" << A.TsUs << "," << AEnd << ") vs " << B.Name
+          << " [" << B.TsUs << "," << BEnd << ") on tid " << A.Tid;
+    }
+  }
+}
+
+TEST(ObsTest, TopPhasesRanksByTotalTime) {
+  TraceRecorder Trace;
+  Trace.record({"slow", "phase", 0, 0, 500, ""});
+  Trace.record({"fast", "phase", 0, 0, 10, ""});
+  Trace.record({"slow", "phase", 1, 100, 300, ""});
+  std::vector<PhaseTotal> Top = Trace.topPhases(5);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].Name, "slow");
+  EXPECT_EQ(Top[0].TotalUs, 800u);
+  EXPECT_EQ(Top[0].Count, 2u);
+  EXPECT_EQ(Top[1].Name, "fast");
+  EXPECT_EQ(Trace.topPhases(1).size(), 1u);
+}
+
+TEST(ObsTest, TraceWriteFileRoundTrips) {
+  TraceRecorder Trace;
+  { ScopedSpan Span(&Trace, "phase-a"); }
+  std::string Path = ::testing::TempDir() + "bsched_obs_trace_test.json";
+  std::string Error;
+  ASSERT_TRUE(Trace.writeFile(Path, &Error)) << Error;
+  std::ifstream In(Path);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(isValidJson(Contents)) << Contents;
+  EXPECT_NE(Contents.find("phase-a"), std::string::npos);
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(Trace.writeFile("/nonexistent-dir/trace.json", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+#else // BSCHED_NO_OBS
+
+TEST(ObsTest, NoObsBuildRecordsNothing) {
+  // The whole API compiles and links; recording is a no-op and every
+  // export comes back empty.
+  MetricRegistry Reg;
+  Reg.counter("bsched.test.c").add(5);
+  Reg.gauge("bsched.test.g").set(1.0);
+  Reg.histogram("bsched.test.h", {1, 2}).record(1);
+  MetricSnapshot Snap = Reg.snapshot();
+  EXPECT_TRUE(Snap.empty());
+
+  MetricSnapshot Other;
+  Other.Counters["bsched.test.external"] = 3;
+  Reg.mergeSnapshot(Other);
+  EXPECT_TRUE(Reg.snapshot().empty());
+
+  TraceRecorder Trace;
+  { ScopedSpan Span(&Trace, "phase"); }
+  EXPECT_TRUE(Trace.events().empty());
+  EXPECT_TRUE(isValidJson(Trace.toJson()));
+}
+
+#endif // BSCHED_NO_OBS
+
+TEST(ObsTest, ObsContextDefaultsToNull) {
+  ObsContext Obs;
+  EXPECT_EQ(Obs.Metrics, nullptr);
+  EXPECT_EQ(Obs.Trace, nullptr);
+}

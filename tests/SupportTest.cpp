@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -427,4 +428,61 @@ TEST(ThreadPoolTest, DefaultWorkerCountHonorsEnvOverride) {
   EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u); // Rejected: fallback.
   ASSERT_EQ(unsetenv("BSCHED_JOBS"), 0);
   EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// JsonWriter
+//===----------------------------------------------------------------------===
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("cells").value(8u);
+  W.key("ok").value(true);
+  W.key("rows").beginArray().value("a").value(2).endArray();
+  W.key("nested").beginObject().key("x").value(-3).endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            R"({"cells":8,"ok":true,"rows":["a",2],"nested":{"x":-3}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter W;
+  W.value(std::string_view("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(W.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  EXPECT_EQ(JsonWriter::escape("plain"), "\"plain\"");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripShortest) {
+  {
+    JsonWriter W;
+    W.value(0.1);
+    EXPECT_EQ(W.str(), "0.1");
+  }
+  {
+    JsonWriter W;
+    W.value(1.0 / 3.0);
+    double Back = std::stod(W.str());
+    EXPECT_EQ(Back, 1.0 / 3.0);
+  }
+  {
+    JsonWriter W;
+    W.value(std::nan(""));
+    EXPECT_EQ(W.str(), "null"); // JSON has no NaN literal.
+  }
+}
+
+TEST(JsonWriterTest, ValueFixedAndRawValue) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("wall_ms").valueFixed(1.23456, 3);
+  W.key("sub").rawValue(R"({"a":1})");
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"wall_ms":1.235,"sub":{"a":1}})");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter W;
+  W.value(42);
+  EXPECT_EQ(W.str(), "42");
 }
