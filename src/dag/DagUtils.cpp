@@ -10,7 +10,6 @@
 #include "support/UnionFind.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 using namespace bsched;
 
@@ -23,17 +22,82 @@ bsched::connectedComponents(const DepDag &Dag, const BitVector &Subset) {
         UF.unite(Node, E.Other);
   });
 
-  std::unordered_map<unsigned, unsigned> RootToComponent;
+  // Map each set representative to a dense component index in order of
+  // first appearance (components end up ordered by their smallest node).
+  std::vector<unsigned> RootToComponent(Dag.size(), ~0u);
   std::vector<std::vector<unsigned>> Components;
   Subset.forEachSetBit([&](unsigned Node) {
     unsigned Root = UF.find(Node);
-    auto [It, Inserted] = RootToComponent.try_emplace(
-        Root, static_cast<unsigned>(Components.size()));
-    if (Inserted)
+    if (RootToComponent[Root] == ~0u) {
+      RootToComponent[Root] = static_cast<unsigned>(Components.size());
       Components.emplace_back();
-    Components[It->second].push_back(Node);
+    }
+    Components[RootToComponent[Root]].push_back(Node);
   });
   return Components;
+}
+
+void DagScratch::ensureSize(unsigned N) {
+  if (Parent.size() >= N)
+    return;
+  Parent.resize(N);
+  Rank.resize(N);
+  UfStamp.resize(N, 0);
+  CompOf.resize(N);
+  CompStamp.resize(N, 0);
+  Levels.resize(N);
+  BestTo.resize(N);
+  MinLevel.resize(N);
+  MaxLevel.resize(N);
+  LoadCount.resize(N);
+}
+
+unsigned bsched::connectedComponents(const DepDag &Dag,
+                                     const BitVector &Subset,
+                                     DagScratch &Scratch) {
+  Scratch.ensureSize(Dag.size());
+  ++Scratch.Epoch; // Invalidates every stamped entry at once.
+
+  Subset.forEachSetBit([&](unsigned Node) {
+    for (const DepEdge &E : Dag.succs(Node))
+      if (Subset.test(E.Other))
+        Scratch.unite(Node, E.Other);
+  });
+
+  // Counting pass: dense component ids in order of first appearance, and
+  // per-component sizes accumulated into the CSR offset array. A set
+  // representative is always a subset node, so stamping CompOf at the root
+  // seeds the id for every later member of its set.
+  Scratch.CompStart.assign(1, 0);
+  unsigned SubsetCount = 0;
+  Subset.forEachSetBit([&](unsigned Node) {
+    unsigned Root = Scratch.find(Node);
+    unsigned C;
+    if (Scratch.CompStamp[Root] != Scratch.Epoch) {
+      C = static_cast<unsigned>(Scratch.CompStart.size()) - 1;
+      Scratch.CompStamp[Root] = Scratch.Epoch;
+      Scratch.CompOf[Root] = C;
+      Scratch.CompStart.push_back(0);
+    } else {
+      C = Scratch.CompOf[Root];
+    }
+    Scratch.CompStamp[Node] = Scratch.Epoch;
+    Scratch.CompOf[Node] = C;
+    ++Scratch.CompStart[C + 1];
+    ++SubsetCount;
+  });
+  for (size_t C = 1; C != Scratch.CompStart.size(); ++C)
+    Scratch.CompStart[C] += Scratch.CompStart[C - 1];
+
+  // Placement pass: ascending bit order fills each component's CSR range
+  // in ascending node order.
+  Scratch.CompNodes.resize(SubsetCount);
+  Scratch.Cursor.assign(Scratch.CompStart.begin(),
+                        Scratch.CompStart.end() - 1);
+  Subset.forEachSetBit([&](unsigned Node) {
+    Scratch.CompNodes[Scratch.Cursor[Scratch.CompOf[Node]]++] = Node;
+  });
+  return Scratch.componentCount();
 }
 
 namespace {
@@ -49,7 +113,7 @@ unsigned longestCountedPath(const DepDag &Dag,
   for (unsigned Node : Component)
     InComponent.set(Node);
 
-  std::unordered_map<unsigned, unsigned> BestTo; // Node -> max count there.
+  std::vector<unsigned> BestTo(Dag.size(), 0); // Node -> max count there.
   unsigned Best = 0;
   for (unsigned Node : Component) {
     unsigned Here = BestTo[Node] + (Counts(Node) ? 1 : 0);
@@ -78,6 +142,87 @@ unsigned bsched::longestLoadPath(const DepDag &Dag,
   });
 }
 
+unsigned bsched::longestLoadPathIn(const DepDag &Dag, DagScratch &Scratch,
+                                   unsigned C,
+                                   const std::vector<char> &CountedLoads) {
+  std::span<const unsigned> Component = Scratch.component(C);
+  // Components partition the subset, so zeroing only this component's DP
+  // cells makes the flat array as good as freshly cleared.
+  for (unsigned Node : Component)
+    Scratch.BestTo[Node] = 0;
+
+  unsigned Best = 0;
+  for (unsigned Node : Component) {
+    unsigned Here = Scratch.BestTo[Node] + (CountedLoads[Node] ? 1 : 0);
+    Scratch.BestTo[Node] = Here;
+    Best = std::max(Best, Here);
+    for (const DepEdge &E : Dag.succs(Node))
+      if (Scratch.inComponent(E.Other, C))
+        Scratch.BestTo[E.Other] = std::max(Scratch.BestTo[E.Other], Here);
+  }
+  return Best;
+}
+
+void bsched::uniteComponentStats(const DepDag &Dag, const BitVector &Subset,
+                                 DagScratch &Scratch,
+                                 const std::vector<char> &CountedLoads) {
+  Scratch.ensureSize(Dag.size());
+  ++Scratch.Epoch;
+
+  // One descending sweep does everything. Edges point to higher indices,
+  // so when the sweep reaches a node every subset successor already holds
+  // its final level and a live singleton/set — the node's own level is
+  // complete after scanning its successors, at which point it becomes an
+  // explicitly stamped singleton (find() never lazily re-creates one and
+  // loses the aggregates) and unions into its successors' sets.
+  for (unsigned Node = Dag.size(); Node-- > 0;) {
+    if (!Subset.test(Node))
+      continue;
+
+    unsigned Level = 1;
+    for (const DepEdge &E : Dag.succs(Node))
+      if (Subset.test(E.Other))
+        Level = std::max(Level, Scratch.Levels[E.Other] + 1);
+    Scratch.Levels[Node] = Level;
+
+    Scratch.UfStamp[Node] = Scratch.Epoch;
+    Scratch.Parent[Node] = Node;
+    Scratch.Rank[Node] = 0;
+    Scratch.MinLevel[Node] = Level;
+    Scratch.MaxLevel[Node] = Level;
+    Scratch.LoadCount[Node] = CountedLoads[Node] ? 1u : 0u;
+
+    // Union with each subset successor, folding the smaller-rank root's
+    // aggregates into the survivor. The successor list is still cache-hot
+    // from the level scan.
+    for (const DepEdge &E : Dag.succs(Node)) {
+      if (!Subset.test(E.Other))
+        continue;
+      unsigned RootA = Scratch.find(Node);
+      unsigned RootB = Scratch.find(E.Other);
+      if (RootA == RootB)
+        continue;
+      if (Scratch.Rank[RootA] < Scratch.Rank[RootB])
+        std::swap(RootA, RootB);
+      Scratch.Parent[RootB] = RootA;
+      if (Scratch.Rank[RootA] == Scratch.Rank[RootB])
+        ++Scratch.Rank[RootA];
+      Scratch.MinLevel[RootA] =
+          std::min(Scratch.MinLevel[RootA], Scratch.MinLevel[RootB]);
+      Scratch.MaxLevel[RootA] =
+          std::max(Scratch.MaxLevel[RootA], Scratch.MaxLevel[RootB]);
+      Scratch.LoadCount[RootA] += Scratch.LoadCount[RootB];
+    }
+  }
+}
+
+unsigned bsched::componentChances(DagScratch &Scratch, unsigned Node) {
+  unsigned Root = Scratch.find(Node);
+  unsigned PathLength =
+      Scratch.MaxLevel[Root] - Scratch.MinLevel[Root] + 1;
+  return std::min(PathLength, Scratch.LoadCount[Root]);
+}
+
 std::vector<unsigned> bsched::levelsFromLeaves(const DepDag &Dag) {
   unsigned N = Dag.size();
   std::vector<unsigned> Levels(N, 1);
@@ -99,6 +244,25 @@ bsched::levelsFromLeavesWithin(const DepDag &Dag, const BitVector &Subset) {
         Levels[I] = std::max(Levels[I], Levels[E.Other] + 1);
   }
   return Levels;
+}
+
+const std::vector<unsigned> &
+bsched::levelsFromLeavesWithin(const DepDag &Dag, const BitVector &Subset,
+                               DagScratch &Scratch) {
+  Scratch.ensureSize(Dag.size());
+  // A reverse sweep writes a subset node's level before any predecessor
+  // reads it, and only subset levels are ever read, so stale entries from
+  // the previous call need no clearing.
+  for (unsigned I = Dag.size(); I-- > 0;) {
+    if (!Subset.test(I))
+      continue;
+    unsigned Level = 1;
+    for (const DepEdge &E : Dag.succs(I))
+      if (Subset.test(E.Other))
+        Level = std::max(Level, Scratch.Levels[E.Other] + 1);
+    Scratch.Levels[I] = Level;
+  }
+  return Scratch.Levels;
 }
 
 double bsched::criticalPathLength(const DepDag &Dag) {

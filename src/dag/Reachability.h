@@ -11,6 +11,15 @@
 /// (section 3, step 3: G_ind = G - (Pred(i) u Succ(i))); computing all rows
 /// once as bit vectors makes that subtraction a few word operations.
 ///
+/// The rows live in two flat word arrays (one cache-resident allocation
+/// per direction instead of one vector per node), and the closure is
+/// reusable: `compute()` re-derives the rows for another DAG in the same
+/// storage, so a weighter scratch amortizes the allocation across every
+/// block of a compilation. Because node order is topological, Pred*(i) is
+/// exactly the set of j with i in Succ*(j); `StorePreds = false` drops the
+/// dense Pred matrix (halving closure memory) and derives predecessor bits
+/// from the Succ rows on demand.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BSCHED_DAG_REACHABILITY_H
@@ -19,6 +28,7 @@
 #include "dag/DepDag.h"
 #include "support/BitVector.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace bsched {
@@ -26,18 +36,39 @@ namespace bsched {
 /// Dense transitive closure of a DepDag.
 class TransitiveClosure {
 public:
+  /// An empty closure; call compute() before use.
+  TransitiveClosure() = default;
+
   /// Computes Pred*/Succ* rows for every node of \p Dag. O(n^2 / 64) words.
-  explicit TransitiveClosure(const DepDag &Dag);
+  /// With \p StorePreds false only the Succ matrix is materialized.
+  explicit TransitiveClosure(const DepDag &Dag, bool StorePreds = true) {
+    compute(Dag, StorePreds);
+  }
+
+  /// Recomputes the closure for \p Dag, reusing the row storage (no
+  /// allocation when \p Dag is no larger than any previously computed DAG).
+  void compute(const DepDag &Dag, bool StorePreds = true);
+
+  /// Number of nodes in the closed DAG.
+  unsigned size() const { return N; }
+
+  /// True if the dense Pred matrix is materialized.
+  bool storesPreds() const { return HavePreds; }
 
   /// All strict transitive successors of \p Node.
-  const BitVector &succsOf(unsigned Node) const { return Succ[Node]; }
+  BitVector succsOf(unsigned Node) const;
 
-  /// All strict transitive predecessors of \p Node.
-  const BitVector &predsOf(unsigned Node) const { return Pred[Node]; }
+  /// All strict transitive predecessors of \p Node. Works in both storage
+  /// modes; without the Pred matrix the row is derived from the Succ
+  /// columns (O(n) bit tests — a cold-path query, not the kernel).
+  BitVector predsOf(unsigned Node) const;
 
   /// True if \p From reaches \p To through one or more edges.
   bool reaches(unsigned From, unsigned To) const {
-    return Succ[From].test(To);
+    assert(From < N && To < N && "closure query out of range");
+    return (SuccWords[size_t(From) * WordsPerRow + (To >> 6)] >>
+            (To & 63)) &
+           1;
   }
 
   /// The set of nodes *independent* of \p Node: everything except the node
@@ -45,9 +76,24 @@ public:
   /// This is the node set of the paper's G_ind.
   BitVector independentOf(unsigned Node) const;
 
+  /// In-place variant of independentOf: \p Out is resized to the DAG and
+  /// overwritten without allocating (when its capacity suffices). This is
+  /// the hot-path entry used by the balanced-weighting kernel.
+  void independentOf(unsigned Node, BitVector &Out) const;
+
 private:
-  std::vector<BitVector> Succ;
-  std::vector<BitVector> Pred;
+  const uint64_t *succRow(unsigned Node) const {
+    return SuccWords.data() + size_t(Node) * WordsPerRow;
+  }
+  const uint64_t *predRow(unsigned Node) const {
+    return PredWords.data() + size_t(Node) * WordsPerRow;
+  }
+
+  unsigned N = 0;
+  unsigned WordsPerRow = 0;
+  bool HavePreds = false;
+  std::vector<uint64_t> SuccWords; ///< N rows of WordsPerRow words.
+  std::vector<uint64_t> PredWords; ///< Same shape; empty if !HavePreds.
 };
 
 } // namespace bsched

@@ -17,9 +17,11 @@
 #include "sched/AverageWeighter.h"
 #include "sched/BalancedWeighter.h"
 #include "sched/TraditionalWeighter.h"
+#include "sched/WeighterScratch.h"
 
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
 #include <optional>
@@ -93,7 +95,12 @@ struct PipelineInstruments {
         SpillInstructions(Reg.counter("bsched.regalloc.spill_instructions")),
         ScheduleCerts(Reg.counter("bsched.analysis.schedule_certificates")),
         AllocationCerts(
-            Reg.counter("bsched.analysis.allocation_certificates")) {}
+            Reg.counter("bsched.analysis.allocation_certificates")),
+        WeighterBlocks(Reg.counter("bsched.sched.weighter_blocks")),
+        WeighterScratchReuses(
+            Reg.counter("bsched.sched.weighter_scratch_reuses")),
+        WeighterParallelBlocks(
+            Reg.counter("bsched.sched.weighter_parallel_blocks")) {}
 
   Counter Kernels;
   Counter Blocks;
@@ -102,6 +109,16 @@ struct PipelineInstruments {
   Counter SpillInstructions;
   Counter ScheduleCerts;
   Counter AllocationCerts;
+  /// Per-block weighting runs; WeighterScratchReuses counts the subset
+  /// served by an already-warm scratch (the difference is the number of
+  /// cold scratch allocations), and WeighterParallelBlocks the subset
+  /// weighted by the block-parallel prepass. Scratch-reuse counts depend
+  /// on which worker claims which block, so they are the one pipeline
+  /// metric exempt from the serial-vs-parallel determinism guarantee when
+  /// WeighterPool is set.
+  Counter WeighterBlocks;
+  Counter WeighterScratchReuses;
+  Counter WeighterParallelBlocks;
 };
 
 std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
@@ -127,18 +144,36 @@ std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
   return nullptr;
 }
 
+/// Builds and weights the pass DAG of \p BB — the unit the block-parallel
+/// prepass fans out. \p Scratch is the calling thread's workspace.
+DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
+                        const PipelineConfig &Config,
+                        PipelineInstruments *Metrics,
+                        WeighterScratch &Scratch) {
+  ScopedSpan Span(Config.Obs.Trace, "dag");
+  if (Metrics) {
+    Metrics->WeighterBlocks.add();
+    if (Scratch.warm())
+      Metrics->WeighterScratchReuses.add();
+  }
+  DepDag D = buildDag(BB, Config.DagOptions);
+  W.assignWeights(D, Scratch);
+  return D;
+}
+
 /// One scheduling pass over \p BB in place. When certifying, the schedule
 /// is validated *before* it is applied; on failure the block is left
-/// untouched and the violations are returned.
+/// untouched and the violations are returned. \p Prebuilt, when non-null,
+/// is the block's already-weighted pass-1 DAG from the parallel prepass;
+/// it is consumed (moved from).
 std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
                                       const PipelineConfig &Config,
-                                      PipelineInstruments *Metrics) {
-  DepDag Dag = [&] {
-    ScopedSpan Span(Config.Obs.Trace, "dag");
-    DepDag D = buildDag(BB, Config.DagOptions);
-    W.assignWeights(D);
-    return D;
-  }();
+                                      PipelineInstruments *Metrics,
+                                      WeighterScratch &Scratch,
+                                      DepDag *Prebuilt = nullptr) {
+  DepDag Dag = Prebuilt
+                   ? std::move(*Prebuilt)
+                   : buildWeightedDag(BB, W, Config, Metrics, Scratch);
   if (Metrics) {
     Metrics->DagNodes.add(Dag.size());
     uint64_t Edges = 0;
@@ -200,6 +235,37 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
 
   std::unique_ptr<Weighter> W = makeWeighter(Config);
 
+  // One weighting workspace per compile: pass-1 and pass-2 weighting of
+  // every block reuse the same buffers (WeighterScratch is all
+  // generation-counted or overwritten state, so reuse never changes
+  // results).
+  WeighterScratch Scratch;
+
+  // Block-parallel pass-1 weighting (opt-in via Config.WeighterPool): the
+  // pass-1 DAG of a block is a pure function of that block — nothing
+  // scheduled, allocated, or renamed in an earlier block can change it —
+  // so all blocks build and weight concurrently. The fold back is
+  // deterministic: results land at their block's slot and the serial loop
+  // below consumes them in block order, making the compiled function
+  // bit-identical to the serial path.
+  std::vector<std::optional<DepDag>> PreDags;
+  ThreadPool *Pool = Config.WeighterPool;
+  if (W && Pool && Pool->workerCount() > 1 && F.numBlocks() > 1) {
+    ScopedSpan Span(Config.Obs.Trace, "parallel-weight");
+    PreDags.resize(F.numBlocks());
+    parallelForEach(*Pool, F.numBlocks(), [&](size_t BlockIndex) {
+      // Workers keep a long-lived scratch each; blocks are claimed
+      // dynamically, so which scratch serves which block varies run to
+      // run — harmless, since scratch state never leaks into results.
+      thread_local WeighterScratch WorkerScratch;
+      if (Metrics)
+        Metrics->WeighterParallelBlocks.add();
+      PreDags[BlockIndex].emplace(
+          buildWeightedDag(F.block(static_cast<unsigned>(BlockIndex)), *W,
+                           Config, Metrics, WorkerScratch));
+    });
+  }
+
   auto CertFailed = [&](const BasicBlock &BB, const char *Stage,
                         std::vector<Diagnostic> Violations) {
     std::vector<Diagnostic> Diags;
@@ -212,14 +278,19 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
     return ErrorOr<CompiledFunction>(std::move(Diags));
   };
 
+  unsigned BlockIndex = 0;
   for (BasicBlock &BB : F) {
     if (Metrics)
       Metrics->Blocks.add();
 
-    // Pass 1: schedule over virtual registers.
+    // Pass 1: schedule over virtual registers (consuming the prepass DAG
+    // when one was built).
     if (W) {
+      DepDag *Prebuilt = BlockIndex < PreDags.size() && PreDags[BlockIndex]
+                             ? &*PreDags[BlockIndex]
+                             : nullptr;
       std::vector<Diagnostic> Violations =
-          scheduleBlock(BB, *W, Config, Metrics);
+          scheduleBlock(BB, *W, Config, Metrics, Scratch, Prebuilt);
       if (!Violations.empty())
         return CertFailed(BB, "first-pass schedule", std::move(Violations));
     }
@@ -259,15 +330,17 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       if (Config.RenameAfterAllocation)
         renameRegisters(BB, Config.Target);
 
-      // Pass 2: integrate the spill code into the schedule.
+      // Pass 2: integrate the spill code into the schedule. Always serial:
+      // the DAG depends on the spill code allocation just produced.
       if (W && Config.SecondSchedulingPass) {
         std::vector<Diagnostic> Violations =
-            scheduleBlock(BB, *W, Config, Metrics);
+            scheduleBlock(BB, *W, Config, Metrics, Scratch);
         if (!Violations.empty())
           return CertFailed(BB, "second-pass schedule",
                             std::move(Violations));
       }
     }
+    ++BlockIndex;
     Result.SpillPerBlock.push_back(Spills);
 
     Result.StaticInstructions += BB.size();

@@ -34,6 +34,8 @@
 
 namespace bsched {
 
+class ThreadPool;
+
 /// Which load-weight policy drives both scheduling passes.
 enum class SchedulerPolicy {
   Traditional,       ///< Fixed implementation-defined latency.
@@ -107,6 +109,19 @@ struct PipelineConfig {
   /// Excluded from experiment cache keys — observing a compilation never
   /// changes its result.
   ObsContext Obs;
+
+  /// Optional borrowed worker pool for block-parallel first-pass weighting
+  /// (DESIGN.md §3h). When set and the pool has more than one worker, the
+  /// pass-1 DAG build + weighting of every block runs across the pool
+  /// (each worker with its own WeighterScratch) and the per-block results
+  /// are folded back in block order, so the compiled output is
+  /// bit-identical to the serial path. Null (the default) or a one-worker
+  /// pool keeps weighting exactly the serial code path. The second
+  /// (post-RA) pass is inherently serial — it consumes each block's spill
+  /// code as allocation produces it. Not part of the compiled result, so
+  /// excluded from experiment cache keys; the experiment engine leaves
+  /// this null (it already parallelizes across cells).
+  ThreadPool *WeighterPool = nullptr;
 
   //===--------------------------------------------------------------------===
   // Named presets — the configurations the paper's experiments are built

@@ -9,9 +9,11 @@
 
 #include "dag/DagUtils.h"
 #include "dag/Reachability.h"
+#include "sched/WeighterScratch.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
+#include <span>
 
 using namespace bsched;
 
@@ -22,7 +24,7 @@ namespace {
 /// min/max per set, the longest path length is (max - min + 1). That
 /// counts *nodes*; clamp to the number of loads in the component so the
 /// estimate never exceeds what any path could contain.
-unsigned chancesByLevels(const std::vector<unsigned> &Component,
+unsigned chancesByLevels(std::span<const unsigned> Component,
                          const std::vector<unsigned> &Levels,
                          unsigned NumLoadsInComponent) {
   unsigned MinLevel = ~0u, MaxLevel = 0;
@@ -36,14 +38,14 @@ unsigned chancesByLevels(const std::vector<unsigned> &Component,
 
 /// Marks which nodes count as *uncertain* loads: known-latency loads are
 /// excluded when the opt-out is honoured (section 6).
-std::vector<char> uncertainLoads(const DepDag &Dag, bool HonorKnown) {
-  std::vector<char> Uncertain(Dag.size(), 0);
+void uncertainLoads(const DepDag &Dag, bool HonorKnown,
+                    std::vector<char> &Uncertain) {
+  Uncertain.assign(Dag.size(), 0);
   for (unsigned I = 0, E = Dag.size(); I != E; ++I) {
     const Instruction &Instr = Dag.instruction(I);
     Uncertain[I] =
         Instr.isLoad() && !(HonorKnown && Instr.hasKnownLatency());
   }
-  return Uncertain;
 }
 
 /// Initial node weight before contributions are added.
@@ -58,69 +60,121 @@ double initialWeight(const Instruction &Instr, const LatencyModel &Model,
 
 } // namespace
 
-BalancedWeighter::Breakdown
-BalancedWeighter::computeBreakdown(DepDag &Dag) const {
+/// Accumulates weights into \p Scratch.Weights and reports every
+/// contribution through \p RecordShare; the breakdown path materializes
+/// its O(n^2) matrix there while the hot path passes a no-op. Per-node
+/// addition order is identical to the retained reference implementation
+/// (ascending contributor, one share per node per contributor), so the
+/// accumulated doubles are bit-identical to it.
+template <typename RecordFnT>
+void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
+                                 RecordFnT RecordShare) const {
   unsigned N = Dag.size();
-  Breakdown Result;
-  Result.Contribution.assign(N, std::vector<double>(N, 0.0));
-  Result.Weights.assign(N, 0.0);
+  ++Scratch.Uses;
 
   // Step 1 (Figure 6): initialize uncertain-load weights to 1; non-loads
   // and known-latency loads keep their fixed latencies.
-  std::vector<char> Uncertain = uncertainLoads(Dag, HonorKnownLatency);
+  uncertainLoads(Dag, HonorKnownLatency, Scratch.Uncertain);
+  Scratch.Weights.resize(N);
   for (unsigned I = 0; I != N; ++I)
-    Result.Weights[I] =
+    Scratch.Weights[I] =
         initialWeight(Dag.instruction(I), Model, HonorKnownLatency);
 
-  TransitiveClosure Closure(Dag);
+  Scratch.Closure.compute(Dag);
 
   // Steps 2-7: every instruction distributes its issue slots over the
-  // loads it could hide behind.
+  // loads it could hide behind. A share's value depends only on its
+  // component's Chances, and each uncertain node receives exactly one
+  // share per contributing instruction, so iteration order within a
+  // contributor never changes the accumulated doubles — both branches
+  // below stay bit-identical to the reference implementation.
   for (unsigned I = 0; I != N; ++I) {
-    BitVector Independent = Closure.independentOf(I);
-    if (!Independent.any())
+    Scratch.Closure.independentOf(I, Scratch.Independent);
+    if (!Scratch.Independent.any())
       continue;
 
-    std::vector<unsigned> Levels;
-    if (Method == ChancesMethod::UnionFindLevels)
-      Levels = levelsFromLeavesWithin(Dag, Independent);
-
     double Slots = Model.issueSlots(Dag.instruction(I)) / SlotsPerCycle;
-    for (const std::vector<unsigned> &Component :
-         connectedComponents(Dag, Independent)) {
+    if (Method == ChancesMethod::UnionFindLevels) {
+      // The paper's O(n a(n)) route, fused: one descending sweep levels
+      // the subset and unions the induced edges while aggregating per-set
+      // (min, max, loads), then every uncertain node takes its component's
+      // share — no component lists materialized.
+      uniteComponentStats(Dag, Scratch.Independent, Scratch.Dag,
+                          Scratch.Uncertain);
+      Scratch.Independent.forEachSetBit([&](unsigned Node) {
+        if (!Scratch.Uncertain[Node])
+          return;
+        unsigned Chances = componentChances(Scratch.Dag, Node);
+        assert(Chances >= 1 && "uncertain load with no chances");
+        double Share = Slots / static_cast<double>(Chances);
+        RecordShare(I, Node, Share);
+        Scratch.Weights[Node] += Share;
+      });
+      continue;
+    }
+
+    unsigned NumComponents =
+        connectedComponents(Dag, Scratch.Independent, Scratch.Dag);
+    for (unsigned C = 0; C != NumComponents; ++C) {
+      std::span<const unsigned> Component = Scratch.Dag.component(C);
       unsigned NumLoads = 0;
       for (unsigned Node : Component)
-        NumLoads += Uncertain[Node];
+        NumLoads += Scratch.Uncertain[Node];
       if (NumLoads == 0)
         continue;
 
       unsigned Chances =
-          Method == ChancesMethod::ExactLongestPath
-              ? longestLoadPath(Dag, Component, Uncertain)
-              : chancesByLevels(Component, Levels, NumLoads);
+          longestLoadPathIn(Dag, Scratch.Dag, C, Scratch.Uncertain);
       assert(Chances >= 1 && "component with loads must have chances");
 
       double Share = Slots / static_cast<double>(Chances);
       for (unsigned Node : Component) {
-        if (!Uncertain[Node])
+        if (!Scratch.Uncertain[Node])
           continue;
-        Result.Contribution[I][Node] = Share;
-        Result.Weights[Node] += Share;
+        RecordShare(I, Node, Share);
+        Scratch.Weights[Node] += Share;
       }
     }
   }
 
   for (unsigned I = 0; I != N; ++I)
-    Dag.setWeight(I, Result.Weights[I]);
+    Dag.setWeight(I, Scratch.Weights[I]);
+}
+
+BalancedWeighter::Breakdown
+BalancedWeighter::computeBreakdown(DepDag &Dag) const {
+  unsigned N = Dag.size();
+  Breakdown Result;
+  Result.Contribution.assign(N, std::vector<double>(N, 0.0));
+
+  WeighterScratch Scratch;
+  runKernel(Dag, Scratch,
+            [&](unsigned Contributor, unsigned Load, double Share) {
+              Result.Contribution[Contributor][Load] = Share;
+            });
+  Result.Weights = std::move(Scratch.Weights);
   return Result;
 }
 
 void BalancedWeighter::assignWeights(DepDag &Dag) const {
+  WeighterScratch Scratch;
+  assignWeights(Dag, Scratch);
+}
+
+void BalancedWeighter::assignWeights(DepDag &Dag,
+                                     WeighterScratch &Scratch) const {
+  runKernel(Dag, Scratch, [](unsigned, unsigned, double) {});
+}
+
+void BalancedWeighter::assignWeightsReference(DepDag &Dag) const {
   unsigned N = Dag.size();
 
-  // Same algorithm as computeBreakdown but without materializing the
-  // O(n^2) contribution matrix (this is the hot path for the pipeline).
-  std::vector<char> Uncertain = uncertainLoads(Dag, HonorKnownLatency);
+  // The pre-optimization kernel, kept verbatim as the differential-test
+  // oracle: same algorithm, but every analysis allocates its own state
+  // (fresh BitVector per G_ind, fresh union-find and vector-of-vectors per
+  // component partition, fresh Levels vector per instruction).
+  std::vector<char> Uncertain;
+  uncertainLoads(Dag, HonorKnownLatency, Uncertain);
   std::vector<double> Weights(N);
   for (unsigned I = 0; I != N; ++I)
     Weights[I] = initialWeight(Dag.instruction(I), Model, HonorKnownLatency);

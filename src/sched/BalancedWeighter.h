@@ -63,6 +63,21 @@ public:
   }
 
   void assignWeights(DepDag &Dag) const override;
+
+  /// The hot-path entry: same result as assignWeights(Dag), but all
+  /// per-instruction working state (transitive closure, G_ind bit vector,
+  /// component partition, level/path DP arrays, weight accumulators) lives
+  /// in \p Scratch and is reused — zero heap allocations once the scratch
+  /// has warmed up to the largest block seen. One scratch per thread; the
+  /// weighter itself stays immutable and shareable.
+  void assignWeights(DepDag &Dag, WeighterScratch &Scratch) const override;
+
+  /// The retained pre-optimization implementation (allocating analyses,
+  /// identical results bit-for-bit). It is the oracle of the randomized
+  /// differential test and of bench_perf_scaling's before/after columns;
+  /// not for production use.
+  void assignWeightsReference(DepDag &Dag) const;
+
   std::string name() const override;
 
   /// Exposes the per-instruction contribution matrix for inspection:
@@ -80,6 +95,14 @@ public:
   Breakdown computeBreakdown(DepDag &Dag) const;
 
 private:
+  /// The allocation-free Figure 6 kernel shared by assignWeights and
+  /// computeBreakdown; \p RecordShare(contributor, load, share) observes
+  /// every contribution (a no-op on the hot path). Defined in the .cpp —
+  /// every instantiation lives there.
+  template <typename RecordFnT>
+  void runKernel(DepDag &Dag, WeighterScratch &Scratch,
+                 RecordFnT RecordShare) const;
+
   LatencyModel Model;
   ChancesMethod Method;
   double SlotsPerCycle;

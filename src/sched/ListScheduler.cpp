@@ -121,11 +121,15 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
     if (Options.Metrics)
       ReadyOccupancy.record(Pending.size());
     int Best = -1;
-    for (unsigned Candidate : Pending) {
+    size_t BestPos = 0;
+    for (size_t Pos = 0; Pos != Pending.size(); ++Pos) {
+      unsigned Candidate = Pending[Pos];
       if (ReadyAt[Candidate] > ReverseSlot + Eps)
         continue; // Deferred: its latency toward a consumer is unmet.
-      if (Best < 0 || Beats(Candidate, static_cast<unsigned>(Best)))
+      if (Best < 0 || Beats(Candidate, static_cast<unsigned>(Best))) {
         Best = static_cast<int>(Candidate);
+        BestPos = Pos;
+      }
     }
 
     if (Best < 0) {
@@ -140,7 +144,11 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
     ReverseOrder.push_back(Node);
     PlacedSlot[Node] = static_cast<unsigned>(ReverseSlot + Eps);
     Scheduled[Node] = true;
-    Pending.erase(std::find(Pending.begin(), Pending.end(), Node));
+    // Swap-and-pop: selection always scans the whole pending list and the
+    // Beats relation is a strict total order, so list order is irrelevant
+    // and O(1) removal replaces the O(n) erase(find(...)).
+    Pending[BestPos] = Pending.back();
+    Pending.pop_back();
 
     for (const DepEdge &E : Dag.preds(Node)) {
       unsigned Pred = E.Other;

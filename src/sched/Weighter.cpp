@@ -7,7 +7,14 @@
 
 #include "sched/Weighter.h"
 
+#include "sched/WeighterScratch.h"
+
 using namespace bsched;
 
 // Out-of-line virtual destructor anchors the vtable.
 Weighter::~Weighter() = default;
+
+void Weighter::assignWeights(DepDag &Dag, WeighterScratch &Scratch) const {
+  (void)Scratch;
+  assignWeights(Dag);
+}

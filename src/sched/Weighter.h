@@ -21,16 +21,29 @@
 
 namespace bsched {
 
+class WeighterScratch;
+
 /// Assigns scheduling weights to every node of a code DAG.
 ///
 /// Implementations must set a weight for *all* nodes: non-loads get their
 /// operation latency; load weights embody the policy under study.
+///
+/// Weighters are immutable: assignWeights on one instance may be called
+/// concurrently from several threads (the pipeline weights the blocks of a
+/// function in parallel). All mutable working state lives in the caller's
+/// WeighterScratch, one per thread.
 class Weighter {
 public:
   virtual ~Weighter();
 
   /// Assigns node weights in place.
   virtual void assignWeights(DepDag &Dag) const = 0;
+
+  /// Scratch-reusing variant: implementations whose working state is worth
+  /// reusing across blocks (BalancedWeighter) override this; the default
+  /// ignores \p Scratch and forwards to assignWeights(Dag). \p Scratch must
+  /// not be shared between concurrent calls.
+  virtual void assignWeights(DepDag &Dag, WeighterScratch &Scratch) const;
 
   /// Human-readable policy name for reports ("traditional(2)", "balanced").
   virtual std::string name() const = 0;

@@ -1,0 +1,58 @@
+//===- sched/WeighterScratch.h - Reusable weighting workspace --*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The balanced-weighting kernel's workspace (DESIGN.md §3h): every buffer
+/// the per-instruction loop needs — the transitive closure, the G_ind bit
+/// vector, the epoch-stamped DAG-analysis scratch, and the weight
+/// accumulators — allocated once and reused across instructions, blocks,
+/// and whole compilations. A weighter never owns one (weighters stay
+/// immutable and shareable across threads); callers own the scratch and
+/// pass it down, one per thread. The pipeline keeps one per compile (and
+/// one per worker when weighting blocks in parallel); dropping a scratch
+/// and starting fresh is always correct, just slower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SCHED_WEIGHTERSCRATCH_H
+#define BSCHED_SCHED_WEIGHTERSCRATCH_H
+
+#include "dag/DagUtils.h"
+#include "dag/Reachability.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+
+/// Reusable workspace for BalancedWeighter's scratch entry points.
+class WeighterScratch {
+public:
+  /// Number of assignWeights/computeBreakdown runs this scratch has
+  /// served. Anything above one means buffers were reused rather than
+  /// reallocated — the figure behind bsched.sched.weighter_scratch_reuses.
+  uint64_t uses() const { return Uses; }
+
+  /// True once the scratch has served at least one run (its buffers are
+  /// warm for the next block).
+  bool warm() const { return Uses != 0; }
+
+private:
+  friend class BalancedWeighter;
+
+  TransitiveClosure Closure;    ///< Pred*/Succ* rows, recomputed per DAG.
+  BitVector Independent;        ///< G_ind of the current instruction.
+  std::vector<char> Uncertain;  ///< Per-node uncertain-load flags.
+  std::vector<double> Weights;  ///< Weight accumulators.
+  DagScratch Dag;               ///< Components/levels/longest-path state.
+  uint64_t Uses = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SCHED_WEIGHTERSCRATCH_H

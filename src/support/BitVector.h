@@ -103,6 +103,16 @@ public:
       Words[I] &= ~Other.Words[I];
   }
 
+  /// This &= ~[Other, Other + Count) — set subtraction against a raw word
+  /// span, for callers that keep rows of a bit matrix in one flat array
+  /// (the transitive closure). \p Count must cover this vector's words.
+  void andNotWords(const uint64_t *Other, size_t Count) {
+    assert(Count >= Words.size() && "word span smaller than bit vector");
+    (void)Count;
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= ~Other[I];
+  }
+
   /// Calls \p Fn(Index) for every set bit in ascending order.
   template <typename FnT> void forEachSetBit(FnT Fn) const {
     for (size_t WordIndex = 0; WordIndex != Words.size(); ++WordIndex) {
