@@ -29,6 +29,7 @@
 #include "support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace bsched;
 
@@ -65,10 +66,32 @@ kernel relax(w, r) freq 800 {
 namespace {
 
 // Exit codes: 1 = bad command line, 2 = frontend (parse/semantic)
-// failure, 4 = pipeline or simulation failure.
+// failure, 4 = pipeline or simulation failure, 5 = a resource budget was
+// exceeded (structured BS80x diagnostic from the governor).
 constexpr int ExitUsageError = 1;
 constexpr int ExitFrontendError = 2;
 constexpr int ExitPipelineError = 4;
+constexpr int ExitBudgetExceeded = 5;
+
+/// True when any error in \p Diags is a governor budget overrun; those
+/// exit with ExitBudgetExceeded so scripts can tell "too big for the
+/// budget" apart from "miscompiled".
+bool anyBudgetError(const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags)
+    if (isBudgetDiagCode(D.Code))
+      return true;
+  return false;
+}
+
+/// Parses a non-negative integer flag value; returns false on garbage.
+bool parseCount(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = Value;
+  return true;
+}
 
 } // namespace
 
@@ -78,6 +101,7 @@ int main(int argc, char **argv) {
   SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
   bool JsonMode = false;
   std::string TraceOut;
+  ResourceBudget Budget;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--candidate" && I + 1 < argc) {
@@ -93,10 +117,24 @@ int main(int argc, char **argv) {
       TraceOut = Arg.substr(std::string_view("--trace-out=").size());
     } else if (Arg == "--trace-out" && I + 1 < argc) {
       TraceOut = argv[++I];
+    } else if (Arg == "--deadline-ms" && I + 1 < argc) {
+      char *End = nullptr;
+      Budget.DeadlineMs = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || Budget.DeadlineMs < 0) {
+        std::fprintf(stderr, "error: bad --deadline-ms value '%s'\n",
+                     argv[I]);
+        return ExitUsageError;
+      }
+    } else if (Arg == "--max-instrs" && I + 1 < argc) {
+      if (!parseCount(argv[++I], Budget.MaxInstructionsPerBlock)) {
+        std::fprintf(stderr, "error: bad --max-instrs value '%s'\n",
+                     argv[I]);
+        return ExitUsageError;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--candidate <policy>] [--json] "
-                   "[--trace-out=FILE]\n",
+                   "[--trace-out=FILE] [--deadline-ms N] [--max-instrs N]\n",
                    argv[0]);
       return ExitUsageError;
     }
@@ -141,6 +179,7 @@ int main(int argc, char **argv) {
   Sim.Obs = {&Metrics, &Trace};
   PipelineConfig Base;
   Base.Obs = {&Metrics, &Trace};
+  Base.Budget = Budget;
 
   JsonWriter W;
   if (JsonMode) {
@@ -160,7 +199,8 @@ int main(int argc, char **argv) {
     if (!CmpOr) {
       for (const Diagnostic &D : CmpOr.errors())
         std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
-      return ExitPipelineError;
+      return anyBudgetError(CmpOr.errors()) ? ExitBudgetExceeded
+                                            : ExitPipelineError;
     }
     const SchedulerComparison &Cmp = *CmpOr;
     if (JsonMode) {

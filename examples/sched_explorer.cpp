@@ -206,6 +206,7 @@ int main(int argc, char **argv) {
   bool JsonMode = false;
   double TraditionalLatency = 2.0;
   std::optional<SchedulerPolicy> Only;
+  ResourceBudget Budget;
   const char *Path = nullptr;
 
   for (int I = 1; I < argc; ++I) {
@@ -217,6 +218,11 @@ int main(int argc, char **argv) {
       JsonMode = true;
     else if (std::strcmp(argv[I], "--latency") == 0 && I + 1 < argc)
       TraditionalLatency = std::atof(argv[++I]);
+    else if (std::strcmp(argv[I], "--deadline-ms") == 0 && I + 1 < argc)
+      Budget.DeadlineMs = std::atof(argv[++I]);
+    else if (std::strcmp(argv[I], "--max-instrs") == 0 && I + 1 < argc)
+      Budget.MaxInstructionsPerBlock =
+          std::strtoull(argv[++I], nullptr, 10);
     else if (std::strcmp(argv[I], "--policy") == 0 && I + 1 < argc) {
       ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(argv[++I]);
       if (!Parsed) {
@@ -248,18 +254,30 @@ int main(int argc, char **argv) {
     Source = Buf.str();
   }
 
-  ParseResult Result = parseIr(Source);
+  // When a budget is set the parse runs governed: oversized blocks (and
+  // blown deadlines) surface as structured BS80x diagnostics, reported
+  // with a dedicated exit code so scripts can tell "too big for the
+  // budget" (5) apart from "malformed input" (2/3).
+  std::optional<ResourceGovernor> Gov;
+  if (Budget.active())
+    Gov.emplace(Budget);
+  ParseResult Result = parseIr(Source, Gov ? &*Gov : nullptr);
   if (!Result.ok()) {
     // Exit codes: 2 = lexical/syntactic failure, 3 = the text parsed but
-    // the IR failed verification.
+    // the IR failed verification, 5 = resource budget exceeded.
     bool VerifyFailure = false;
+    bool BudgetFailure = false;
     std::string_view Filename = Path ? Path : "<demo>";
     for (const ParseDiag &D : Result.Diags) {
       std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      if (D.isError() && isBudgetDiagCode(D.Code))
+        BudgetFailure = true;
       if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&
           D.Code < DiagCode::FrontendSyntax)
         VerifyFailure = true;
     }
+    if (BudgetFailure)
+      return 5;
     return VerifyFailure ? 3 : 2;
   }
 

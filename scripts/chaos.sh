@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The chaos gate (DESIGN.md §3i): builds under ASan and drives the
+# governance + fault-injection suites three ways —
+#
+#   1. ctest -L "chaos|governor": the structured-outcome, degradation-
+#      ladder, and serial==parallel determinism suites, plus the
+#      10k-iteration chaos fuzz bulk, all under the sanitizer.
+#   2. A BSCHED_FAILPOINTS environment replay: the fuzz harness's fixed
+#      seed trio runs with pipeline sites armed from the environment, the
+#      way an operator would chaos-test a deployment.
+#   3. A BSCHED_NO_FAILPOINTS=ON build of the same suites: the injection
+#      layer compiles out to nothing and every test either passes or
+#      skips itself — production builds carry zero chaos overhead.
+#
+# Usage: scripts/chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== chaos: configure + build (preset asan) =="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+echo "== chaos: governor + chaos suites (asan) =="
+ctest --test-dir build-asan -L "chaos|governor" --output-on-failure \
+  -j "$(nproc)"
+
+echo "== chaos: BSCHED_FAILPOINTS environment replay (asan) =="
+BSCHED_FAILPOINTS="dag-build:0.02:7,regalloc:0.02:11,certify:0.02:13" \
+  ./build-asan/tests/fuzz_harness --seed 0xC4A05 --iters 2000 --mode chaos
+
+echo "== chaos: BSCHED_NO_FAILPOINTS=ON build =="
+cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBSCHED_NO_FAILPOINTS=ON
+cmake --build build-nofp -j "$(nproc)"
+ctest --test-dir build-nofp -L "chaos|governor" --output-on-failure \
+  -j "$(nproc)"
+
+echo "chaos: all clean"

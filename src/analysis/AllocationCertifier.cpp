@@ -7,6 +7,8 @@
 
 #include "analysis/AllocationCertifier.h"
 
+#include "support/ResourceGovernor.h"
+
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,9 +57,10 @@ class AllocationChecker {
 public:
   AllocationChecker(const BasicBlock &Before, const BasicBlock &After,
                     const RegAllocResult &Alloc,
-                    const TargetDescription &Target, AliasClassId SpillClass)
+                    const TargetDescription &Target, AliasClassId SpillClass,
+                    ResourceGovernor *Governor)
       : Before(Before), After(After), Alloc(Alloc), Target(Target),
-        SpillClass(SpillClass) {}
+        SpillClass(SpillClass), Governor(Governor) {}
 
   std::vector<Diagnostic> run();
 
@@ -233,6 +236,7 @@ private:
   const RegAllocResult &Alloc;
   const TargetDescription &Target;
   AliasClassId SpillClass;
+  ResourceGovernor *Governor;
 
   std::vector<Diagnostic> Diags;
   std::unordered_map<uint32_t, unsigned> GenOf;    // vreg -> current gen.
@@ -245,6 +249,8 @@ private:
 
 std::vector<Diagnostic> AllocationChecker::run() {
   for (unsigned Index = 0, E = After.size(); Index != E; ++Index) {
+    if (Governor && !Governor->poll())
+      return std::move(Diags); // Partial; caller checks Governor->tripped().
     const Instruction &I = After[Index];
     checkBounds(I, Index);
     if (isSpillCode(I)) {
@@ -284,6 +290,8 @@ std::vector<Diagnostic>
 bsched::certifyAllocation(const BasicBlock &Before, const BasicBlock &After,
                           const RegAllocResult &Alloc,
                           const TargetDescription &Target,
-                          AliasClassId SpillClass) {
-  return AllocationChecker(Before, After, Alloc, Target, SpillClass).run();
+                          AliasClassId SpillClass,
+                          ResourceGovernor *Governor) {
+  return AllocationChecker(Before, After, Alloc, Target, SpillClass, Governor)
+      .run();
 }

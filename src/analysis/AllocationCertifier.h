@@ -40,16 +40,22 @@
 
 namespace bsched {
 
+class ResourceGovernor;
+
 /// Certifies \p After as a valid allocation of \p Before (a snapshot of the
 /// block before allocateRegisters ran). \p SpillClass is the interned
 /// "__spill" alias class; spill code is recognized as loads/stores in that
 /// class based off \p Target's frame pointer. Returns the (error-severity)
-/// violations found; empty = certificate granted.
+/// violations found; empty = certificate granted. When \p Governor is set
+/// it is polled once per output instruction; on a trip the check returns
+/// early with whatever it found — callers must check Governor->tripped()
+/// before treating an empty result as a certificate.
 std::vector<Diagnostic> certifyAllocation(const BasicBlock &Before,
                                           const BasicBlock &After,
                                           const RegAllocResult &Alloc,
                                           const TargetDescription &Target,
-                                          AliasClassId SpillClass);
+                                          AliasClassId SpillClass,
+                                          ResourceGovernor *Governor = nullptr);
 
 } // namespace bsched
 

@@ -8,6 +8,7 @@
 #include "analysis/ScheduleCertifier.h"
 
 #include "analysis/Dataflow.h"
+#include "support/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cmath>
@@ -100,7 +101,9 @@ bsched::certifySchedule(const BasicBlock &Input, const DepDag &Dag,
   // emitted order. This is the meaning-preservation core: RAW edges keep
   // values flowing producer-to-consumer, WAR/WAW/memory edges keep
   // conflicting accesses in program order.
-  for (unsigned From = 0; From != N; ++From)
+  for (unsigned From = 0; From != N; ++From) {
+    if (Options.Governor && !Options.Governor->poll())
+      return Diags; // Partial; caller must check Governor->tripped().
     for (const DepEdge &E : Dag.succs(From))
       if (Position[From] >= Position[E.Other])
         Error(DiagCode::CertifyDependenceViolated,
@@ -109,6 +112,7 @@ bsched::certifySchedule(const BasicBlock &Input, const DepDag &Dag,
                   " violated: consumer emitted at position " +
                   std::to_string(Position[E.Other]) +
                   ", producer at position " + std::to_string(Position[From]));
+  }
 
   // Cycle-timing obligations need recorded issue cycles; a hand-built
   // Schedule may omit them (ordering obligations above still certify).
@@ -155,7 +159,9 @@ bsched::certifySchedule(const BasicBlock &Input, const DepDag &Dag,
   // Obligation 3 (BS712): cycle gaps honor the latency the weighting
   // policy asked for (the DAG weight) and, for deterministic operations,
   // the LatencyModel itself. Ordering-only dependences need one cycle.
-  for (unsigned From = 0; From != N; ++From)
+  for (unsigned From = 0; From != N; ++From) {
+    if (Options.Governor && !Options.Governor->poll())
+      return Diags; // Partial; caller must check Governor->tripped().
     for (const DepEdge &E : Dag.succs(From)) {
       long Gap = static_cast<long>(Sched.IssueCycle[E.Other]) -
                  static_cast<long>(Sched.IssueCycle[From]);
@@ -182,6 +188,7 @@ bsched::certifySchedule(const BasicBlock &Input, const DepDag &Dag,
                   " cycle(s) (per " + Source + ") but the schedule leaves " +
                   std::to_string(Gap));
     }
+  }
 
   // BS714 cross-check: on the paper's single-issue machine every cycle is
   // one instruction or one virtual no-op, and the scheduler never pads at

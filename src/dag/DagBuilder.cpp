@@ -7,6 +7,8 @@
 
 #include "dag/DagBuilder.h"
 
+#include "support/ResourceGovernor.h"
+
 #include <unordered_map>
 
 using namespace bsched;
@@ -61,7 +63,12 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
   };
   std::unordered_map<AliasClassId, ClassState> Classes;
 
+  ResourceGovernor *Gov = Options.Governor;
   for (unsigned I = 0; I != N; ++I) {
+    if (Gov && (!Gov->poll() ||
+                !Gov->admit(BudgetKind::DagEdges, Dag.numEdges())))
+      return Dag; // Partial; caller must check Gov->tripped().
+
     const Instruction &Instr = Dag.instruction(I);
 
     // -- Register dependences -------------------------------------------

@@ -28,11 +28,19 @@
 
 namespace bsched {
 
+class ResourceGovernor;
+
 /// Options controlling dependence precision.
 struct DagBuildOptions {
   /// If true, same-class accesses with the same base register value but
   /// different constant offsets are treated as independent.
   bool DisambiguateSameBase = true;
+
+  /// Optional resource governor polled once per instruction and consulted
+  /// for the dag-edge admission budget. When it trips, buildDag stops
+  /// adding edges and returns early; callers must check
+  /// Governor->tripped() before using the (partial) DAG.
+  ResourceGovernor *Governor = nullptr;
 };
 
 /// Builds the dependence DAG for \p BB (excluding a trailing terminator).

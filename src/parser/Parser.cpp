@@ -9,6 +9,8 @@
 
 #include "ir/IrVerifier.h"
 #include "parser/Lexer.h"
+#include "support/FailPoint.h"
+#include "support/ResourceGovernor.h"
 
 #include <cassert>
 
@@ -20,11 +22,15 @@ namespace {
 /// recovery (a bad instruction skips to the next line-starting construct).
 class Parser {
 public:
-  explicit Parser(std::string_view Buffer) : Lex(Buffer) { bump(); }
+  explicit Parser(std::string_view Buffer,
+                  ResourceGovernor *Governor = nullptr)
+      : Lex(Buffer), Governor(Governor) {
+    bump();
+  }
 
   ParseResult run() {
     ParseResult Result;
-    while (!Tok.is(TokenKind::Eof)) {
+    while (!Tok.is(TokenKind::Eof) && !Tripped) {
       if (Tok.is(TokenKind::Ident) && Tok.Text == "func") {
         if (std::optional<Function> F = parseFunction())
           Result.Functions.push_back(std::move(*F));
@@ -90,8 +96,10 @@ private:
       return std::nullopt;
 
     BranchFixups.clear();
-    while (Tok.is(TokenKind::Ident) && Tok.Text == "block")
+    while (Tok.is(TokenKind::Ident) && Tok.Text == "block" && !Tripped)
       parseBlock(F);
+    if (Tripped)
+      return std::nullopt; // Budget trip already reported; abandon parse.
     expect(TokenKind::RBrace, "'}' closing function");
 
     resolveBranchFixups(F);
@@ -131,6 +139,13 @@ private:
     }
 
     while (!Tok.is(TokenKind::RBrace) && !Tok.is(TokenKind::Eof)) {
+      if (Governor &&
+          (!Governor->poll() ||
+           !Governor->admit(BudgetKind::BlockInstructions, BB.size()))) {
+        Engine.report(Governor->diagnostic("block '" + Name + "'"));
+        Tripped = true;
+        return;
+      }
       if (!parseInstruction(F, BB)) {
         skipToDelimiter();
         break;
@@ -426,6 +441,8 @@ private:
 
   Lexer Lex;
   Token Tok;
+  ResourceGovernor *Governor;
+  bool Tripped = false;
   DiagnosticEngine Engine;
   std::vector<BranchFixup> BranchFixups;
   std::unordered_map<std::string, unsigned> BlockIndexByName;
@@ -434,7 +451,24 @@ private:
 } // namespace
 
 ParseResult bsched::parseIr(std::string_view Buffer) {
-  return Parser(Buffer).run();
+  return parseIr(Buffer, nullptr);
+}
+
+ParseResult bsched::parseIr(std::string_view Buffer,
+                            ResourceGovernor *Governor) {
+  // Keyed on the buffer contents so an armed "parse" site fails the same
+  // inputs no matter which thread or pass parses them.
+  if (anyFailPointsEnabled()) {
+    uint64_t Key = 0xcbf29ce484222325ull;
+    for (char C : Buffer)
+      Key = (Key ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+    if (std::optional<Diagnostic> D = checkFailPoint(failpoints::Parse, Key)) {
+      ParseResult Result;
+      Result.Diags.push_back(std::move(*D));
+      return Result;
+    }
+  }
+  return Parser(Buffer, Governor).run();
 }
 
 ErrorOr<Function> bsched::parseSingleFunction(std::string_view Buffer) {

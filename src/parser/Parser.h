@@ -33,6 +33,8 @@
 
 namespace bsched {
 
+class ResourceGovernor;
+
 /// Historical name for a parser diagnostic; now the shared support type
 /// (severity + stable DiagCode + 1-based location).
 using ParseDiag = Diagnostic;
@@ -54,6 +56,12 @@ struct ParseResult {
 
 /// Parses every function in \p Buffer.
 ParseResult parseIr(std::string_view Buffer);
+
+/// Governed variant: \p Governor is polled once per parsed instruction and
+/// consulted for the block-instruction admission budget. A trip (or a hit
+/// on the "parse" fail point) abandons the parse and surfaces a structured
+/// BS8xx error diagnostic in the result — never a partial silent success.
+ParseResult parseIr(std::string_view Buffer, ResourceGovernor *Governor);
 
 /// Parses a buffer expected to contain exactly one function. A failed
 /// result carries the parse diagnostics (or a ParseNotSingleFunction

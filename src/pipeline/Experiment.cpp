@@ -11,6 +11,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sim/Simulator.h"
+#include "support/FailPoint.h"
 #include "support/Json.h"
 
 #include <optional>
@@ -110,6 +111,20 @@ bsched::runSimulation(const CompiledFunction &Program,
   Status ConfigStatus = validateSimulationConfig(Config);
   if (!ConfigStatus.ok())
     return ErrorOr<ProgramSimResult>(ConfigStatus.diagnostics());
+
+  // The "sim" fail point models the simulator dying at entry, keyed by
+  // the program name so a given simulation faults identically whether its
+  // cell runs serially or across the engine pool.
+  if (anyFailPointsEnabled()) {
+    uint64_t Key = 0xcbf29ce484222325ull;
+    for (char C : Program.Compiled.name())
+      Key = (Key ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+    if (std::optional<Diagnostic> D = checkFailPoint(failpoints::Sim, Key)) {
+      std::vector<Diagnostic> Diags;
+      Diags.push_back(std::move(*D));
+      return ErrorOr<ProgramSimResult>(std::move(Diags));
+    }
+  }
 
   std::vector<Diagnostic> ProgramDiags = verifyFunction(Program.Compiled);
   if (!verifyClean(ProgramDiags)) {

@@ -8,6 +8,7 @@
 #include "pipeline/ExperimentEngine.h"
 
 #include "ir/IrPrinter.h"
+#include "support/FailPoint.h"
 #include "support/Json.h"
 
 #include <chrono>
@@ -88,6 +89,15 @@ std::string bsched::experimentCacheKey(const Function &Program,
   Flag(Config.HonorKnownLatency);
   Flag(Config.RenameAfterAllocation);
   Flag(Config.Certify);
+  // Budget fields change compiled output (admission failures, degraded
+  // schedules), so they are part of the key — unlike Obs or WeighterPool.
+  Exact(Config.Budget.DeadlineMs);
+  Key += ' ' + std::to_string(Config.Budget.MaxTicks) + ' ' +
+         std::to_string(Config.Budget.MaxInstructionsPerBlock) + ' ' +
+         std::to_string(Config.Budget.MaxDagEdges) + ' ' +
+         std::to_string(Config.Budget.MaxClosureBits) + ' ' +
+         std::to_string(Config.Budget.MaxSpillSlots);
+  Flag(Config.Budget.Degrade);
   return Key;
 }
 
@@ -200,20 +210,40 @@ CellOutcome ExperimentEngine::runCell(const ExperimentCell &Cell) {
   // config diagnostic directly instead of one wrapped per compilation.
   Status ConfigStatus = Base.validate();
   if (ConfigStatus.ok()) {
-    ErrorOr<SchedulerComparison> Comparison = runComparisonWith(
-        [&](const Function &F, const PipelineConfig &Config) {
-          bool Hit = false;
-          ErrorOr<CompiledFunction> Compiled =
-              compileCached(F, Config, &Hit, CellReg ? &*CellReg : nullptr);
-          ++(Hit ? Outcome.CacheHits : Outcome.CacheMisses);
-          return Compiled;
-        },
-        *Cell.Program, *Cell.Memory, Cell.OptimisticLatency, Sim,
-        Cell.Candidate, Base);
-    if (Comparison)
-      Outcome.Comparison = std::move(*Comparison);
-    else
-      Outcome.Errors = Comparison.takeErrors();
+    // The "engine-cell" fail point models a cell dying wholesale, keyed
+    // by its label so the same cell faults serially and in parallel; a
+    // cell body that throws for any other reason is captured the same
+    // way — one bad cell degrades to diagnostics, the matrix completes.
+    uint64_t CellKey = 0xcbf29ce484222325ull;
+    for (char C : Cell.Label)
+      CellKey =
+          (CellKey ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+    std::optional<Diagnostic> Injected =
+        checkFailPoint(failpoints::EngineCell, CellKey);
+    if (Injected) {
+      Outcome.Errors.push_back(std::move(*Injected));
+    } else try {
+      ErrorOr<SchedulerComparison> Comparison = runComparisonWith(
+          [&](const Function &F, const PipelineConfig &Config) {
+            bool Hit = false;
+            ErrorOr<CompiledFunction> Compiled =
+                compileCached(F, Config, &Hit, CellReg ? &*CellReg : nullptr);
+            ++(Hit ? Outcome.CacheHits : Outcome.CacheMisses);
+            return Compiled;
+          },
+          *Cell.Program, *Cell.Memory, Cell.OptimisticLatency, Sim,
+          Cell.Candidate, Base);
+      if (Comparison)
+        Outcome.Comparison = std::move(*Comparison);
+      else
+        Outcome.Errors = Comparison.takeErrors();
+    } catch (const FailPointException &E) {
+      Outcome.Errors.push_back(failPointDiagnostic(E.site()));
+    } catch (const std::exception &E) {
+      Outcome.Errors.push_back(
+          {0, 0, std::string("experiment cell fault: ") + E.what(),
+           Severity::Error, DiagCode::EngineCellFault});
+    }
   } else {
     Outcome.Errors = ConfigStatus.diagnostics();
   }
@@ -236,6 +266,19 @@ EngineResult ExperimentEngine::run(const std::vector<ExperimentCell> &Cells) {
     Result.Cells[Index] = runCell(Cells[Index]);
   });
   const auto End = std::chrono::steady_clock::now();
+
+  // Backstop: a cell whose very body escaped runCell's capture (pool-level
+  // fault) left its slot default-constructed. Synthesize a structured
+  // diagnostic so every non-success is explained — never a silent hole.
+  for (size_t Index = 0; Index != Cells.size(); ++Index) {
+    CellOutcome &Cell = Result.Cells[Index];
+    if (!Cell.ok() && Cell.Errors.empty()) {
+      Cell.Label = Cells[Index].Label;
+      Cell.Errors.push_back({0, 0,
+                             "experiment cell lost to a pool-level fault",
+                             Severity::Error, DiagCode::EngineCellFault});
+    }
+  }
 
   Result.Counters.Workers = Pool.workerCount();
   Result.Counters.Cells = static_cast<unsigned>(Cells.size());

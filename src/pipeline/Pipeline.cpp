@@ -19,10 +19,12 @@
 #include "sched/TraditionalWeighter.h"
 #include "sched/WeighterScratch.h"
 
+#include "support/FailPoint.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
@@ -62,6 +64,18 @@ ErrorOr<SchedulerPolicy> bsched::parsePolicyName(std::string_view Name) {
                     "unknown scheduler policy '" + std::string(Trimmed) +
                         "' (expected one of: " + Known + ")",
                     Severity::Error, DiagCode::PipelineUnknownPolicy};
+}
+
+std::string_view bsched::degradationName(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::None:
+    return "none";
+  case DegradationLevel::UnionFindChances:
+    return "union-find-chances";
+  case DegradationLevel::CertifyOff:
+    return "certify-off";
+  }
+  return "unknown";
 }
 
 PipelineConfig PipelineConfig::paperDefault() { return PipelineConfig(); }
@@ -144,20 +158,46 @@ std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
   return nullptr;
 }
 
+/// Fail-point sub-key constants: one per site a block-pass can fault at,
+/// mixed into the pass key so each site draws independently.
+enum FaultSite : uint64_t {
+  FaultDagBuild = 1,
+  FaultClosureAlloc = 2,
+  FaultWeighting = 3,
+  FaultScheduling = 4,
+  FaultRegAlloc = 5,
+  FaultCertify = 6,
+};
+
+/// Content key for keyed fail-point evaluation: a function of the kernel's
+/// name and shape only, so a given compile faults identically whether the
+/// experiment engine runs serially or across a pool.
+uint64_t functionFaultKey(const Function &F) {
+  uint64_t Key = 0xcbf29ce484222325ull;
+  for (char C : F.name())
+    Key = (Key ^ static_cast<unsigned char>(C)) * 0x100000001b3ull;
+  return failPointMix(Key, F.numBlocks());
+}
+
 /// Builds and weights the pass DAG of \p BB — the unit the block-parallel
-/// prepass fans out. \p Scratch is the calling thread's workspace.
+/// prepass fans out. \p Scratch is the calling thread's workspace (its
+/// Governor member, when set, is polled by the weighting kernel; \p Gov
+/// additionally gates the DAG build).
 DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
                         const PipelineConfig &Config,
                         PipelineInstruments *Metrics,
-                        WeighterScratch &Scratch) {
+                        WeighterScratch &Scratch, ResourceGovernor *Gov) {
   ScopedSpan Span(Config.Obs.Trace, "dag");
   if (Metrics) {
     Metrics->WeighterBlocks.add();
     if (Scratch.warm())
       Metrics->WeighterScratchReuses.add();
   }
-  DepDag D = buildDag(BB, Config.DagOptions);
-  W.assignWeights(D, Scratch);
+  DagBuildOptions DagOptions = Config.DagOptions;
+  DagOptions.Governor = Gov;
+  DepDag D = buildDag(BB, DagOptions);
+  if (!Gov || !Gov->tripped())
+    W.assignWeights(D, Scratch);
   return D;
 }
 
@@ -165,15 +205,43 @@ DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
 /// is validated *before* it is applied; on failure the block is left
 /// untouched and the violations are returned. \p Prebuilt, when non-null,
 /// is the block's already-weighted pass-1 DAG from the parallel prepass;
-/// it is consumed (moved from).
+/// it is consumed (moved from). A governor trip or an injected fault
+/// returns its single structured BS8xx diagnostic (the caller
+/// distinguishes those from certification violations by code).
 std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
                                       const PipelineConfig &Config,
                                       PipelineInstruments *Metrics,
                                       WeighterScratch &Scratch,
+                                      ResourceGovernor *Gov,
+                                      uint64_t PassKey,
                                       DepDag *Prebuilt = nullptr) {
+  if (anyFailPointsEnabled()) {
+    if (auto D = checkFailPoint(failpoints::DagBuild,
+                                failPointMix(PassKey, FaultDagBuild)))
+      return {std::move(*D)};
+    if (Config.Policy == SchedulerPolicy::Balanced ||
+        Config.Policy == SchedulerPolicy::BalancedUnionFind)
+      if (auto D = checkFailPoint(failpoints::ClosureAlloc,
+                                  failPointMix(PassKey, FaultClosureAlloc)))
+        return {std::move(*D)};
+    if (auto D = checkFailPoint(failpoints::Weighting,
+                                failPointMix(PassKey, FaultWeighting)))
+      return {std::move(*D)};
+    if (auto D = checkFailPoint(failpoints::Scheduling,
+                                failPointMix(PassKey, FaultScheduling)))
+      return {std::move(*D)};
+  }
+
+  auto Overran = [&] {
+    return std::vector<Diagnostic>{Gov->diagnostic("block '" + BB.name() +
+                                                   "'")};
+  };
+
   DepDag Dag = Prebuilt
                    ? std::move(*Prebuilt)
-                   : buildWeightedDag(BB, W, Config, Metrics, Scratch);
+                   : buildWeightedDag(BB, W, Config, Metrics, Scratch, Gov);
+  if (Gov && Gov->tripped())
+    return Overran();
   if (Metrics) {
     Metrics->DagNodes.add(Dag.size());
     uint64_t Edges = 0;
@@ -185,17 +253,25 @@ std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
   SchedulerOptions SchedOptions = Config.SchedOptions;
   if (!SchedOptions.Metrics)
     SchedOptions.Metrics = Config.Obs.Metrics;
+  SchedOptions.Governor = Gov;
   Schedule Sched = [&] {
     ScopedSpan Span(Config.Obs.Trace, "sched");
     return scheduleDag(Dag, SchedOptions);
   }();
+  if (Gov && Gov->tripped())
+    return Overran();
 
   if (Config.Certify) {
     ScopedSpan Span(Config.Obs.Trace, "certify");
     if (Metrics)
       Metrics->ScheduleCerts.add();
+    if (auto D = checkFailPoint(failpoints::Certify,
+                                failPointMix(PassKey, FaultCertify)))
+      return {std::move(*D)};
     std::vector<Diagnostic> Violations =
-        certifySchedule(BB, Dag, Sched, Config.Ops, Config.SchedOptions);
+        certifySchedule(BB, Dag, Sched, Config.Ops, SchedOptions);
+    if (Gov && Gov->tripped())
+      return Overran();
     if (!Violations.empty())
       return Violations;
   }
@@ -203,13 +279,23 @@ std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
   return {};
 }
 
+/// True when \p Diags is a structured abort (injected fault or budget
+/// overrun) rather than a certification finding: passed through verbatim
+/// instead of being wrapped in PipelineCertificationFailed.
+bool isStructuredAbort(const std::vector<Diagnostic> &Diags) {
+  return !Diags.empty() && (Diags.front().Code == DiagCode::InjectedFault ||
+                            isBudgetDiagCode(Diags.front().Code));
+}
+
 /// The raw two-pass compilation, with no validation of \p Config or
-/// verification of \p Input — runPipeline wraps it with both. Per-stage
-/// certificates (Config.Certify) are the only failure mode; a failed one
-/// aborts the kernel with the stage's violations wrapped in a
-/// PipelineCertificationFailed diagnostic.
+/// verification of \p Input — runPipeline wraps it with both (and owns the
+/// governor's admission checks and degradation ladder). Failure modes:
+/// failed certificates (wrapped in PipelineCertificationFailed), injected
+/// faults (BS810) and governor trips (BS80x) — the latter two returned as
+/// their single structured diagnostic.
 ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
-                                            const PipelineConfig &Config) {
+                                            const PipelineConfig &Config,
+                                            ResourceGovernor *Gov) {
   CompiledFunction Result;
   Result.Compiled = Input;
   Function &F = Result.Compiled;
@@ -240,6 +326,10 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
   // generation-counted or overwritten state, so reuse never changes
   // results).
   WeighterScratch Scratch;
+  Scratch.Governor = Gov;
+
+  const bool Chaos = anyFailPointsEnabled();
+  const uint64_t FuncKey = Chaos ? functionFaultKey(F) : 0;
 
   // Block-parallel pass-1 weighting (opt-in via Config.WeighterPool): the
   // pass-1 DAG of a block is a pure function of that block — nothing
@@ -247,10 +337,13 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
   // so all blocks build and weight concurrently. The fold back is
   // deterministic: results land at their block's slot and the serial loop
   // below consumes them in block order, making the compiled function
-  // bit-identical to the serial path.
+  // bit-identical to the serial path. A governed compile stays serial (the
+  // governor's tick stream is single-threaded by design), as does a chaos
+  // run (fault sites are checked on the serial path).
   std::vector<std::optional<DepDag>> PreDags;
   ThreadPool *Pool = Config.WeighterPool;
-  if (W && Pool && Pool->workerCount() > 1 && F.numBlocks() > 1) {
+  if (W && Pool && Pool->workerCount() > 1 && F.numBlocks() > 1 && !Gov &&
+      !Chaos) {
     ScopedSpan Span(Config.Obs.Trace, "parallel-weight");
     PreDags.resize(F.numBlocks());
     parallelForEach(*Pool, F.numBlocks(), [&](size_t BlockIndex) {
@@ -262,7 +355,8 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
         Metrics->WeighterParallelBlocks.add();
       PreDags[BlockIndex].emplace(
           buildWeightedDag(F.block(static_cast<unsigned>(BlockIndex)), *W,
-                           Config, Metrics, WorkerScratch));
+                           Config, Metrics, WorkerScratch,
+                           /*Gov=*/nullptr));
     });
   }
 
@@ -283,21 +377,42 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
     if (Metrics)
       Metrics->Blocks.add();
 
+    // Per-(block, pass) fail-point keys, derived from kernel content so
+    // chaos runs fault identically however cells are distributed.
+    uint64_t BlockKey =
+        Chaos ? failPointMix(FuncKey, failPointMix(BlockIndex, BB.size()))
+              : 0;
+    uint64_t Pass1Key = Chaos ? failPointMix(BlockKey, 1) : 0;
+    uint64_t Pass2Key = Chaos ? failPointMix(BlockKey, 2) : 0;
+
+    auto Overran = [&] {
+      return ErrorOr<CompiledFunction>(std::vector<Diagnostic>{
+          Gov->diagnostic("block '" + BB.name() + "'")});
+    };
+
     // Pass 1: schedule over virtual registers (consuming the prepass DAG
     // when one was built).
     if (W) {
       DepDag *Prebuilt = BlockIndex < PreDags.size() && PreDags[BlockIndex]
                              ? &*PreDags[BlockIndex]
                              : nullptr;
-      std::vector<Diagnostic> Violations =
-          scheduleBlock(BB, *W, Config, Metrics, Scratch, Prebuilt);
+      std::vector<Diagnostic> Violations = scheduleBlock(
+          BB, *W, Config, Metrics, Scratch, Gov, Pass1Key, Prebuilt);
       if (!Violations.empty())
-        return CertFailed(BB, "first-pass schedule", std::move(Violations));
+        return isStructuredAbort(Violations)
+                   ? ErrorOr<CompiledFunction>(std::move(Violations))
+                   : CertFailed(BB, "first-pass schedule",
+                                std::move(Violations));
     }
 
     // Register allocation inserts spill code and renames to physical.
     unsigned Spills = 0;
     if (Config.RunRegAlloc) {
+      if (auto D = checkFailPoint(failpoints::RegAlloc,
+                                  failPointMix(BlockKey, FaultRegAlloc)))
+        return ErrorOr<CompiledFunction>(
+            std::vector<Diagnostic>{std::move(*D)});
+
       // Snapshot the pre-allocation block: the allocation certificate
       // re-executes the rewrite against it.
       std::optional<BasicBlock> PreAlloc;
@@ -306,8 +421,10 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
 
       RegAllocResult Alloc = [&] {
         ScopedSpan Span(Config.Obs.Trace, "regalloc");
-        return allocateRegisters(F, BB, Config.Target);
+        return allocateRegisters(F, BB, Config.Target, Gov);
       }();
+      if (Gov && Gov->tripped())
+        return Overran();
       Spills = Alloc.spillInstructions();
       if (Metrics && Spills != 0)
         Metrics->SpillInstructions.add(Spills);
@@ -316,9 +433,15 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
         ScopedSpan Span(Config.Obs.Trace, "certify");
         if (Metrics)
           Metrics->AllocationCerts.add();
+        if (auto D = checkFailPoint(failpoints::Certify,
+                                    failPointMix(BlockKey, FaultCertify)))
+          return ErrorOr<CompiledFunction>(
+              std::vector<Diagnostic>{std::move(*D)});
         std::vector<Diagnostic> Violations = certifyAllocation(
             *PreAlloc, BB, Alloc, Config.Target,
-            F.getOrCreateAliasClass(SpillAliasClassName));
+            F.getOrCreateAliasClass(SpillAliasClassName), Gov);
+        if (Gov && Gov->tripped())
+          return Overran();
         if (!Violations.empty())
           return CertFailed(BB, "register-allocation",
                             std::move(Violations));
@@ -334,10 +457,12 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       // the DAG depends on the spill code allocation just produced.
       if (W && Config.SecondSchedulingPass) {
         std::vector<Diagnostic> Violations =
-            scheduleBlock(BB, *W, Config, Metrics, Scratch);
+            scheduleBlock(BB, *W, Config, Metrics, Scratch, Gov, Pass2Key);
         if (!Violations.empty())
-          return CertFailed(BB, "second-pass schedule",
-                            std::move(Violations));
+          return isStructuredAbort(Violations)
+                     ? ErrorOr<CompiledFunction>(std::move(Violations))
+                     : CertFailed(BB, "second-pass schedule",
+                                  std::move(Violations));
       }
     }
     ++BlockIndex;
@@ -403,10 +528,120 @@ ErrorOr<CompiledFunction> bsched::runPipeline(const Function &Input,
     return ErrorOr<CompiledFunction>(std::move(Diags));
   }
 
-  ErrorOr<CompiledFunction> CompiledOr = compileUnverified(Input, Config);
-  if (!CompiledOr.has_value())
-    return CompiledOr;
-  CompiledFunction Compiled = std::move(*CompiledOr);
+  MetricRegistry *Reg = Config.Obs.Metrics;
+  auto CountFailure = [&](const ErrorOr<CompiledFunction> &Failed) {
+    if (!Reg || Failed.has_value() || Failed.errors().empty())
+      return;
+    DiagCode Code = Failed.errors().front().Code;
+    if (isBudgetDiagCode(Code))
+      Reg->counter("bsched.governor.budget_failures").add();
+    else if (Code == DiagCode::InjectedFault)
+      Reg->counter("bsched.governor.injected_faults").add();
+  };
+
+  std::optional<ResourceGovernor> GovStorage;
+  ResourceGovernor *Gov = nullptr;
+  if (Config.Budget.active()) {
+    GovStorage.emplace(Config.Budget);
+    Gov = &*GovStorage;
+    if (Reg)
+      Reg->counter("bsched.governor.governed_kernels").add();
+  }
+
+  // Admission, before any work: oversized blocks are a hard structured
+  // failure (no degradation level changes a block's instruction count),
+  // while an over-budget exact-Chances closure degrades up front when
+  // degradation is allowed.
+  SchedulerPolicy AttemptPolicy = Config.Policy;
+  bool AttemptCertify = Config.Certify;
+  DegradationLevel Level = DegradationLevel::None;
+  if (Gov) {
+    for (const BasicBlock &BB : Input)
+      if (!Gov->admit(BudgetKind::BlockInstructions, BB.size())) {
+        ErrorOr<CompiledFunction> Failed(std::vector<Diagnostic>{
+            Gov->diagnostic("block '" + BB.name() + "' of function '" +
+                            Input.name() + "'")});
+        CountFailure(Failed);
+        return Failed;
+      }
+
+    if (AttemptPolicy == SchedulerPolicy::Balanced &&
+        Config.Budget.MaxClosureBits != 0) {
+      uint64_t WorstBits = 0;
+      for (const BasicBlock &BB : Input)
+        WorstBits = std::max(WorstBits,
+                             ResourceBudget::closureBitsFor(BB.size()));
+      if (WorstBits > Config.Budget.MaxClosureBits) {
+        if (!Config.Budget.Degrade) {
+          Gov->admit(BudgetKind::ClosureBits, WorstBits); // Trips.
+          ErrorOr<CompiledFunction> Failed(std::vector<Diagnostic>{
+              Gov->diagnostic("function '" + Input.name() + "'")});
+          CountFailure(Failed);
+          return Failed;
+        }
+        AttemptPolicy = SchedulerPolicy::BalancedUnionFind;
+        Level = DegradationLevel::UnionFindChances;
+        if (Reg)
+          Reg->counter("bsched.governor.degraded_unionfind").add();
+      }
+    }
+  }
+
+  // The attempt loop: compile, and on a deterministic-or-deadline overrun
+  // walk the degradation ladder (exact -> union-find Chances, then
+  // certify-on -> certify-off) before giving up with the trip's BS80x
+  // diagnostic. Each attempt restarts the tick budget; the deadline keeps
+  // its original epoch, bounding total wall time across attempts.
+  CompiledFunction Compiled;
+  for (;;) {
+    PipelineConfig AttemptConfig = Config;
+    AttemptConfig.Policy = AttemptPolicy;
+    AttemptConfig.Certify = AttemptCertify;
+    if (Gov)
+      Gov->beginAttempt();
+
+    std::optional<ScopedSpan> DegradedSpan;
+    if (Level != DegradationLevel::None && Config.Obs.Trace) {
+      JsonWriter Args;
+      Args.beginObject();
+      Args.key("function").value(Input.name());
+      Args.key("level").value(std::string(degradationName(Level)));
+      Args.endObject();
+      DegradedSpan.emplace(Config.Obs.Trace, "governor-degraded", "pipeline",
+                           Args.str());
+    }
+
+    ErrorOr<CompiledFunction> CompiledOr =
+        compileUnverified(Input, AttemptConfig, Gov);
+    if (Gov && Reg)
+      Reg->counter("bsched.governor.ticks").add(Gov->ticks());
+
+    if (Gov && Gov->tripped() && Config.Budget.Degrade) {
+      if (AttemptPolicy == SchedulerPolicy::Balanced) {
+        AttemptPolicy = SchedulerPolicy::BalancedUnionFind;
+        Level = DegradationLevel::UnionFindChances;
+        if (Reg)
+          Reg->counter("bsched.governor.degraded_unionfind").add();
+        continue;
+      }
+      if (AttemptCertify) {
+        AttemptCertify = false;
+        Level = DegradationLevel::CertifyOff;
+        if (Reg)
+          Reg->counter("bsched.governor.degraded_certify_off").add();
+        continue;
+      }
+      // Ladder exhausted: fall through with the trip diagnostic.
+    }
+
+    if (!CompiledOr.has_value()) {
+      CountFailure(CompiledOr);
+      return CompiledOr;
+    }
+    Compiled = std::move(*CompiledOr);
+    Compiled.Degradation = Level;
+    break;
+  }
 
   // A scheduling or allocation defect that corrupts the output is reported
   // as a diagnostic, not silently simulated: the sweep records the kernel

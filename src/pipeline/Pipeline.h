@@ -27,6 +27,7 @@
 #include "sched/LatencyModel.h"
 #include "sched/ListScheduler.h"
 #include "support/ErrorOr.h"
+#include "support/ResourceGovernor.h"
 
 #include <string>
 #include <string_view>
@@ -54,6 +55,19 @@ std::string policyName(SchedulerPolicy Policy);
 /// diagnostic listing the accepted spellings — CLI flag parsing reports it
 /// verbatim.
 ErrorOr<SchedulerPolicy> parsePolicyName(std::string_view Name);
+
+/// How far the governor's graceful-degradation ladder had to fall for a
+/// kernel to fit its ResourceBudget. The ladder is deterministic for
+/// deterministic budgets (MaxTicks and the size limits): same input, same
+/// budget, same level, bit-identical schedules.
+enum class DegradationLevel : uint8_t {
+  None,             ///< Compiled exactly as configured.
+  UnionFindChances, ///< Exact Chances degraded to the union-find estimate.
+  CertifyOff,       ///< Certification also disabled (last resort).
+};
+
+/// "none", "union-find-chances", "certify-off".
+std::string_view degradationName(DegradationLevel Level);
 
 /// Everything that parameterizes a compilation.
 struct PipelineConfig {
@@ -100,6 +114,17 @@ struct PipelineConfig {
   /// instead of emitting miscompiled code. On by default — the cost is a
   /// few linear scans per block (see bench_engine_scaling).
   bool Certify = true;
+
+  /// Per-kernel resource budget (support/ResourceGovernor.h §3i). The
+  /// default (all limits zero) is inactive and costs nothing. When active,
+  /// the whole compile runs under a ResourceGovernor: every stage loop
+  /// polls it, oversized inputs are rejected at admission, and an overrun
+  /// surfaces as a structured BS80x diagnostic — or, with Budget.Degrade,
+  /// retries the kernel down the deterministic degradation ladder
+  /// (exact -> union-find Chances, then certify-on -> certify-off),
+  /// recording the level on the result. Budget fields change compiled
+  /// output, so they are part of the experiment cache key (unlike Obs).
+  ResourceBudget Budget;
 
   /// Observability sinks (DESIGN.md §3g): when Obs.Metrics is set the
   /// pipeline records `bsched.pipeline.*`, `bsched.dag.*`,
@@ -168,6 +193,12 @@ struct CompiledFunction {
 
   /// Frequency-weighted dynamic spill instructions.
   double DynamicSpills = 0.0;
+
+  /// How far the resource governor degraded this kernel to fit its
+  /// budget (DegradationLevel::None when no budget was set or none was
+  /// needed). Part of the compiled result: sweep comparisons treat two
+  /// kernels compiled at different levels as different.
+  DegradationLevel Degradation = DegradationLevel::None;
 
   /// Percentage of executed instructions that are spill code (Table 4).
   double spillPercent() const {

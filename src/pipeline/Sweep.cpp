@@ -75,7 +75,8 @@ bool identicalCompiled(const CompiledFunction &A, const CompiledFunction &B) {
          A.StaticInstructions == B.StaticInstructions &&
          A.StaticSpills == B.StaticSpills &&
          A.DynamicInstructions == B.DynamicInstructions &&
-         A.DynamicSpills == B.DynamicSpills;
+         A.DynamicSpills == B.DynamicSpills &&
+         A.Degradation == B.Degradation;
 }
 
 bool identicalSim(const ProgramSimResult &A, const ProgramSimResult &B) {

@@ -7,6 +7,8 @@
 
 #include "regalloc/LocalRegAlloc.h"
 
+#include "support/ResourceGovernor.h"
+
 #include <algorithm>
 #include <limits>
 #include <unordered_set>
@@ -86,8 +88,9 @@ private:
 /// The allocator for one block.
 class Allocator {
 public:
-  Allocator(Function &F, BasicBlock &BB, const TargetDescription &Target)
-      : F(F), BB(BB), Target(Target),
+  Allocator(Function &F, BasicBlock &BB, const TargetDescription &Target,
+            ResourceGovernor *Governor)
+      : F(F), BB(BB), Target(Target), Governor(Governor),
         Files{ClassFile(RegClass::Int, Target),
               ClassFile(RegClass::Fp, Target)},
         SpillClass(F.getOrCreateAliasClass(SpillAliasClassName)) {
@@ -237,6 +240,7 @@ private:
   Function &F;
   BasicBlock &BB;
   const TargetDescription &Target;
+  ResourceGovernor *Governor;
   ClassFile Files[2]; // [0] = Int, [1] = Fp.
   AliasClassId SpillClass;
   std::unordered_map<uint32_t, ValueState> Values;
@@ -248,6 +252,16 @@ private:
 
 RegAllocResult Allocator::run() {
   for (unsigned Index = 0, E = BB.size(); Index != E; ++Index) {
+    // Spill slots are 8 bytes each; admitting the current count keeps a
+    // runaway-spill block from growing the frame without bound before the
+    // trip is noticed. On any trip, bail *before* setInstructions so BB
+    // stays untouched.
+    if (Governor &&
+        (!Governor->poll() ||
+         !Governor->admit(BudgetKind::SpillSlots,
+                          static_cast<uint64_t>(NextSlotOffset) / 8)))
+      return std::move(Result);
+
     Instruction I = BB[Index];
     std::unordered_set<uint32_t> Pinned;
 
@@ -300,6 +314,7 @@ RegAllocResult Allocator::run() {
 } // namespace
 
 RegAllocResult bsched::allocateRegisters(Function &F, BasicBlock &BB,
-                                         const TargetDescription &Target) {
-  return Allocator(F, BB, Target).run();
+                                         const TargetDescription &Target,
+                                         ResourceGovernor *Governor) {
+  return Allocator(F, BB, Target, Governor).run();
 }

@@ -31,6 +31,8 @@
 
 namespace bsched {
 
+class ResourceGovernor;
+
 /// Outcome of allocating one block.
 struct RegAllocResult {
   /// Spill stores inserted (register -> memory).
@@ -57,8 +59,14 @@ constexpr const char *SpillAliasClassName = "__spill";
 /// class is interned) — \p BB must belong to \p F. All values are treated
 /// as dead at block end (the pipeline's workloads store live results to
 /// memory explicitly).
+///
+/// When \p Governor is set it is polled once per instruction and consulted
+/// for the spill-slot admission budget; on a trip the allocator bails
+/// *before* rewriting \p BB (the block is left untouched) and returns the
+/// partial result. Callers must check Governor->tripped().
 RegAllocResult allocateRegisters(Function &F, BasicBlock &BB,
-                                 const TargetDescription &Target = {});
+                                 const TargetDescription &Target = {},
+                                 ResourceGovernor *Governor = nullptr);
 
 } // namespace bsched
 

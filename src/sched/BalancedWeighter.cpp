@@ -10,6 +10,7 @@
 #include "dag/DagUtils.h"
 #include "dag/Reachability.h"
 #include "sched/WeighterScratch.h"
+#include "support/ResourceGovernor.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -71,6 +72,7 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
                                  RecordFnT RecordShare) const {
   unsigned N = Dag.size();
   ++Scratch.Uses;
+  ResourceGovernor *Gov = Scratch.Governor;
 
   // Step 1 (Figure 6): initialize uncertain-load weights to 1; non-loads
   // and known-latency loads keep their fixed latencies.
@@ -80,6 +82,14 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
     Scratch.Weights[I] =
         initialWeight(Dag.instruction(I), Model, HonorKnownLatency);
 
+  // MaxClosureBits budgets the *exact* Chances analysis (the paper's
+  // expensive longest-path route); the union-find estimate is its
+  // documented cheap fallback, so only the exact method admits here —
+  // otherwise the degradation ladder could never land anywhere.
+  if (Gov && Method == ChancesMethod::ExactLongestPath &&
+      !Gov->admit(BudgetKind::ClosureBits, ResourceBudget::closureBitsFor(N)))
+    return; // Caller must check Gov->tripped().
+
   Scratch.Closure.compute(Dag);
 
   // Steps 2-7: every instruction distributes its issue slots over the
@@ -88,10 +98,10 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
   // share per contributing instruction, so iteration order within a
   // contributor never changes the accumulated doubles — both branches
   // below stay bit-identical to the reference implementation.
-  for (unsigned I = 0; I != N; ++I) {
+  auto Contribute = [&](unsigned I) {
     Scratch.Closure.independentOf(I, Scratch.Independent);
     if (!Scratch.Independent.any())
-      continue;
+      return;
 
     double Slots = Model.issueSlots(Dag.instruction(I)) / SlotsPerCycle;
     if (Method == ChancesMethod::UnionFindLevels) {
@@ -110,7 +120,7 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
         RecordShare(I, Node, Share);
         Scratch.Weights[Node] += Share;
       });
-      continue;
+      return;
     }
 
     unsigned NumComponents =
@@ -135,6 +145,21 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
         Scratch.Weights[Node] += Share;
       }
     }
+  };
+
+  // The governed loop polls once per contributor; the un-governed loop
+  // carries no governor branch at all, keeping the hot path identical to
+  // the pre-governance kernel (the <2% no-budget overhead gate of
+  // bench_perf_scaling).
+  if (Gov) {
+    for (unsigned I = 0; I != N; ++I) {
+      if (!Gov->poll())
+        return; // Partial weights; caller must check Gov->tripped().
+      Contribute(I);
+    }
+  } else {
+    for (unsigned I = 0; I != N; ++I)
+      Contribute(I);
   }
 
   for (unsigned I = 0; I != N; ++I)

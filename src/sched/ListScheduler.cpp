@@ -8,6 +8,7 @@
 #include "sched/ListScheduler.h"
 
 #include "obs/Metrics.h"
+#include "support/ResourceGovernor.h"
 
 #include <algorithm>
 
@@ -117,6 +118,8 @@ Schedule bsched::scheduleDag(const DepDag &Dag,
   unsigned SlotsUsedThisCycle = 0;
 
   while (ReverseOrder.size() != N) {
+    if (Options.Governor && !Options.Governor->poll())
+      return Result; // Partial; caller must check Governor->tripped().
     // Pick the best ready candidate from the pending list.
     if (Options.Metrics)
       ReadyOccupancy.record(Pending.size());

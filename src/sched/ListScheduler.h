@@ -31,6 +31,7 @@
 namespace bsched {
 
 class MetricRegistry;
+class ResourceGovernor;
 
 /// Options for the shared list scheduler.
 struct SchedulerOptions {
@@ -42,6 +43,12 @@ struct SchedulerOptions {
   /// `bsched.sched.passes`, `bsched.sched.virtual_nops`, and a
   /// `bsched.sched.ready_list_occupancy` histogram sampled at every pick.
   MetricRegistry *Metrics = nullptr;
+
+  /// Optional resource governor polled once per scheduling step (and per
+  /// certifier check when the schedule is certified). When it trips,
+  /// scheduleDag returns a partial schedule; callers must check
+  /// Governor->tripped() before using the result.
+  ResourceGovernor *Governor = nullptr;
 };
 
 /// Computes the priority of every node: weight plus the maximum successor

@@ -30,6 +30,8 @@
 
 namespace bsched {
 
+class ResourceGovernor;
+
 /// Reusable workspace for BalancedWeighter's scratch entry points.
 class WeighterScratch {
 public:
@@ -51,6 +53,14 @@ private:
   std::vector<double> Weights;  ///< Weight accumulators.
   DagScratch Dag;               ///< Components/levels/longest-path state.
   uint64_t Uses = 0;
+
+public:
+  /// Optional resource governor polled once per instruction by the
+  /// weighting kernel and consulted for the closure-bits admission budget.
+  /// When it trips, weighting bails with partial weights; callers must
+  /// check Governor->tripped() before scheduling against the DAG. Kept
+  /// last: the hot buffers above retain their pre-governance offsets.
+  ResourceGovernor *Governor = nullptr;
 };
 
 } // namespace bsched

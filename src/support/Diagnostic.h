@@ -105,6 +105,18 @@ enum class DiagCode : uint16_t {
   CertifyAllocRegisterBound = 722,
   CertifyAllocBadSpill = 723,
   CertifyAllocMissingInstruction = 724,
+
+  // Resource governor (budgets & degradation): 800-809.
+  GovernorDeadlineExceeded = 800,
+  GovernorTickBudgetExceeded = 801,
+  GovernorBlockTooLarge = 802,
+  GovernorDagTooDense = 803,
+  GovernorClosureTooLarge = 804,
+  GovernorSpillBudgetExceeded = 805,
+
+  // Fault injection & captured faults: 810-819.
+  InjectedFault = 810,
+  EngineCellFault = 811,
 };
 
 /// Renders \p Code as "BS201".

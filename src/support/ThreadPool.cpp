@@ -8,9 +8,11 @@
 #include "support/ThreadPool.h"
 
 #include "support/Check.h"
+#include "support/FailPoint.h"
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 
 using namespace bsched;
 
@@ -47,7 +49,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run(std::function<void()> Task) {
   BSCHED_CHECK(Task != nullptr, "ThreadPool::run requires a task");
   if (Threads.empty()) {
-    Task();
+    runGuarded(Task);
     return;
   }
   {
@@ -77,7 +79,7 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
-    Task();
+    runGuarded(Task);
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--Pending == 0)
@@ -86,13 +88,55 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void ThreadPool::runGuarded(const std::function<void()> &Task) {
+  // The "pool-task" fail point models a task dying at entry; together
+  // with the catch below it proves a throwing task cannot kill a worker
+  // thread (std::terminate) or strand Pending (deadlocked wait()).
+  try {
+    throwIfFailPointHit(failpoints::PoolTask);
+    Task();
+  } catch (const std::exception &E) {
+    recordFault(E.what());
+  } catch (...) {
+    recordFault("unknown exception in pool task");
+  }
+}
+
+uint64_t ThreadPool::faultCount() const {
+  std::lock_guard<std::mutex> Lock(FaultMutex);
+  return Faults.size();
+}
+
+std::vector<std::string> ThreadPool::takeFaults() {
+  std::lock_guard<std::mutex> Lock(FaultMutex);
+  std::vector<std::string> Out = std::move(Faults);
+  Faults.clear();
+  return Out;
+}
+
+void ThreadPool::recordFault(std::string Message) {
+  std::lock_guard<std::mutex> Lock(FaultMutex);
+  Faults.push_back(std::move(Message));
+}
+
 void bsched::parallelForEach(ThreadPool &Pool, size_t Count,
                              const std::function<void(size_t)> &Body) {
   if (Count == 0)
     return;
+  // Per-index fault capture: a throwing Body(I) is recorded and the
+  // remaining indices still run, on both the inline and pooled paths.
+  auto GuardedBody = [&Pool, &Body](size_t I) {
+    try {
+      Body(I);
+    } catch (const std::exception &E) {
+      Pool.recordFault(E.what());
+    } catch (...) {
+      Pool.recordFault("unknown exception in parallelForEach body");
+    }
+  };
   if (Pool.workerCount() < 2 || Count == 1) {
     for (size_t I = 0; I != Count; ++I)
-      Body(I);
+      GuardedBody(I);
     return;
   }
 
@@ -101,10 +145,10 @@ void bsched::parallelForEach(ThreadPool &Pool, size_t Count,
   auto Next = std::make_shared<std::atomic<size_t>>(0);
   size_t Runners = std::min<size_t>(Pool.workerCount(), Count);
   for (size_t R = 0; R != Runners; ++R)
-    Pool.run([Next, Count, &Body] {
+    Pool.run([Next, Count, &GuardedBody] {
       for (size_t I; (I = Next->fetch_add(1, std::memory_order_relaxed)) <
                      Count;)
-        Body(I);
+        GuardedBody(I);
     });
   Pool.wait();
 }

@@ -24,9 +24,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -51,10 +53,26 @@ public:
   unsigned workerCount() const { return Workers; }
 
   /// Enqueues \p Task. With one worker, runs it inline before returning.
+  ///
+  /// Fault capture: a task that throws (including a "pool-task" fail
+  /// point) never escapes — the exception is converted into a recorded
+  /// fault string, the task is counted as finished, and wait() still
+  /// returns. Losing a worker thread or deadlocking the pool on a
+  /// throwing task is exactly the failure mode the chaos harness pins.
   void run(std::function<void()> Task);
 
   /// Blocks until every task enqueued so far has finished.
   void wait();
+
+  /// Tasks whose exception was captured since the last takeFaults().
+  uint64_t faultCount() const;
+
+  /// Drains the captured fault messages (insertion order).
+  std::vector<std::string> takeFaults();
+
+  /// Records a fault message (used by the task wrappers; public so
+  /// parallelForEach can capture per-index body faults too).
+  void recordFault(std::string Message);
 
   /// BSCHED_JOBS if set to a positive integer, else hardware concurrency
   /// (at least 1).
@@ -62,6 +80,9 @@ public:
 
 private:
   void workerLoop();
+
+  /// Runs \p Task, converting any escape into a recorded fault.
+  void runGuarded(const std::function<void()> &Task);
 
   unsigned Workers;
   std::vector<std::thread> Threads;
@@ -71,6 +92,9 @@ private:
   std::condition_variable Idle;      ///< All tasks finished.
   unsigned Pending = 0;              ///< Queued + currently running tasks.
   bool Stop = false;
+
+  mutable std::mutex FaultMutex;
+  std::vector<std::string> Faults; ///< Captured task exceptions.
 };
 
 /// Runs Body(Index) for every Index in [0, Count) across \p Pool and blocks
@@ -78,6 +102,10 @@ private:
 /// cell does not stall the others behind a static partition); callers get
 /// deterministic output by writing results into slot Index of a pre-sized
 /// vector. With a one-worker pool this is exactly a for loop.
+///
+/// A Body(I) that throws is captured as a pool fault (see
+/// ThreadPool::takeFaults) and the remaining indices still run — one bad
+/// cell never strands the rest of the range or deadlocks the caller.
 void parallelForEach(ThreadPool &Pool, size_t Count,
                      const std::function<void(size_t)> &Body);
 

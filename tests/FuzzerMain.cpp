@@ -21,7 +21,17 @@
 // Registered in ctest under the label "fuzz-smoke"; intended to run under
 // BSCHED_SANITIZE=address and =undefined builds.
 //
-// Usage: fuzz_harness [--seed N] [--iters N] [--mode all|roundtrip|mutate|kernel-lang]
+// A fourth mode, never part of "all" (so the seed trio's draws stay
+// stable), drives the chaos harness:
+//
+//   chaos       compile a random kernel under a random resource budget
+//               with randomly armed fail points. Any outcome is
+//               acceptable except a crash, a hang, a failure without a
+//               structured BS80x/BS810 diagnostic, or two identical
+//               compiles producing different outcomes.
+//
+// Usage: fuzz_harness [--seed N] [--iters N]
+//                     [--mode all|roundtrip|mutate|kernel-lang|chaos]
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +42,7 @@
 #include "ir/IrVerifier.h"
 #include "parser/Parser.h"
 #include "pipeline/Pipeline.h"
+#include "support/FailPoint.h"
 #include "support/Rng.h"
 #include "workload/KernelGen.h"
 
@@ -273,6 +284,73 @@ void runKernelLang(uint64_t Iter, Rng &R) {
   certifyCompile(Iter, "kernel-lang", *Result.Program, Mutant);
 }
 
+//===----------------------------------------------------------------------===//
+// Chaos mode: budgets + injected faults
+//===----------------------------------------------------------------------===//
+
+/// Renders one chaos compile for bit-comparison: the degradation level and
+/// printed program on success, the joined diagnostics on failure.
+std::string chaosOutcome(const ErrorOr<CompiledFunction> &Result) {
+  if (Result.has_value())
+    return "ok:" + std::string(degradationName(Result->Degradation)) + "\n" +
+           printFunction(Result->Compiled);
+  return "err:" + joinDiagnostics(Result.errors());
+}
+
+/// Compiles a random kernel under a random resource budget with randomly
+/// armed fail points. Three properties: no crash or hang, every
+/// non-success is a structured BS80x/BS810 diagnostic, and the same
+/// (kernel, budget, arming) compiled twice is bit-identical — outcome,
+/// degradation level, and schedule.
+void runChaos(uint64_t Iter, Rng &R) {
+  Function F = makeRandomFunction(R);
+
+  PipelineConfig Config;
+  Config.Budget.Degrade = R.nextBernoulli(0.5);
+  switch (R.nextBounded(4)) {
+  case 0:
+    break; // No budget: pure fault injection.
+  case 1:
+    Config.Budget.MaxTicks = 1 + R.nextBounded(2048);
+    break;
+  case 2:
+    Config.Budget.MaxClosureBits = 1 + R.nextBounded(8192);
+    break;
+  default:
+    Config.Budget.MaxInstructionsPerBlock = 1 + R.nextBounded(64);
+    break;
+  }
+
+  FailPointRegistry &Registry = FailPointRegistry::instance();
+  Registry.disableAll();
+  if (FailPointRegistry::compiledIn() && R.nextBernoulli(0.75)) {
+    const char *Sites[] = {failpoints::DagBuild,   failpoints::ClosureAlloc,
+                           failpoints::Weighting,  failpoints::Scheduling,
+                           failpoints::RegAlloc,   failpoints::Certify};
+    for (const char *Site : Sites)
+      if (R.nextBernoulli(0.3))
+        Registry.enable(Site, 0.05 + 0.25 * R.nextDouble(), R.nextUInt64());
+  }
+
+  std::string Printed = printFunction(F);
+  ErrorOr<CompiledFunction> A = runPipeline(F, Config);
+  if (!A.has_value()) {
+    if (A.errors().empty()) {
+      fail(Iter, "chaos", "failure carried no diagnostics", Printed);
+    } else {
+      DiagCode Code = A.errors().front().Code;
+      if (!isBudgetDiagCode(Code) && Code != DiagCode::InjectedFault)
+        fail(Iter, "chaos",
+             "non-structured failure under chaos: " + A.errorText(),
+             Printed);
+    }
+  }
+  ErrorOr<CompiledFunction> B = runPipeline(F, Config);
+  if (chaosOutcome(A) != chaosOutcome(B))
+    fail(Iter, "chaos", "chaos compile is not deterministic", Printed);
+  Registry.disableAll();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -306,6 +384,8 @@ int main(int argc, char **argv) {
       runMutate(Iter, R);
     else if (Mode == "kernel-lang" || (Mode == "all" && Iter % 3 == 2))
       runKernelLang(Iter, R);
+    else if (Mode == "chaos") // Explicit only: "all" stays the seed trio.
+      runChaos(Iter, R);
     else {
       std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
       return 2;
