@@ -1,0 +1,173 @@
+//===- examples/bsched_server.cpp - The compile service daemon ------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// Scheduler-as-a-service (DESIGN.md §3j): serves compile requests over an
+// AF_UNIX socket (length-prefixed JSON frames) or newline-delimited JSON
+// on stdin/stdout, answering repeated kernels from the daemon-wide
+// sharded compile cache.
+//
+// Run:
+//   bsched_server --listen /tmp/bsched.sock [--workers N] [--cache-mb N]
+//                 [--cache-shards N] [--max-frame-bytes N]
+//                 [--max-deadline-ms N] [--max-instrs N]
+//   bsched_server --stdio        (one request per line, for shell tests)
+//
+// SIGINT/SIGTERM drain in-flight requests, answer them, then exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace bsched;
+
+namespace {
+
+volatile std::sig_atomic_t StopRequested = 0;
+
+void onSignal(int) { StopRequested = 1; }
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--listen PATH | --stdio) [--workers N] "
+               "[--cache-mb N] [--cache-shards N] [--max-frame-bytes N] "
+               "[--max-deadline-ms N] [--max-instrs N]\n",
+               Argv0);
+}
+
+bool parseCount(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = Value;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerConfig Config;
+  bool Stdio = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    uint64_t N = 0;
+    if (Arg == "--listen") {
+      const char *V = Value();
+      if (!V) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.SocketPath = V;
+    } else if (Arg == "--stdio") {
+      Stdio = true;
+    } else if (Arg == "--workers") {
+      const char *V = Value();
+      if (!V || !parseCount(V, N)) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.Workers = static_cast<unsigned>(N);
+    } else if (Arg == "--cache-mb") {
+      const char *V = Value();
+      if (!V || !parseCount(V, N)) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.CacheMaxBytes = N << 20;
+    } else if (Arg == "--cache-shards") {
+      const char *V = Value();
+      if (!V || !parseCount(V, N) || N == 0) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.CacheShards = static_cast<unsigned>(N);
+    } else if (Arg == "--max-frame-bytes") {
+      const char *V = Value();
+      if (!V || !parseCount(V, N) || N == 0) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.MaxFrameBytes = static_cast<uint32_t>(N);
+    } else if (Arg == "--max-deadline-ms") {
+      const char *V = Value();
+      char *End = nullptr;
+      double Ms = V ? std::strtod(V, &End) : -1.0;
+      if (!V || End == V || *End != '\0' || Ms < 0) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.MaxDeadlineMs = Ms;
+    } else if (Arg == "--max-instrs") {
+      const char *V = Value();
+      if (!V || !parseCount(V, N)) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.MaxInstructionsPerBlock = N;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (Stdio != Config.SocketPath.empty()) {
+    // Exactly one transport: --stdio or --listen.
+    usage(argv[0]);
+    return 1;
+  }
+
+  // A peer that vanishes mid-response must surface as a write error on
+  // that one connection, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  MetricRegistry Metrics;
+  BschedServer Server(Config, &Metrics);
+
+  if (Stdio) {
+    unsigned Served = Server.serveLines(stdin, stdout);
+    std::fprintf(stderr, "bsched_server: served %u request(s) on stdio\n",
+                 Served);
+    return 0;
+  }
+
+  Status Started = Server.start();
+  if (!Started.ok()) {
+    for (const Diagnostic &D : Started.diagnostics())
+      std::fprintf(stderr, "bsched_server: %s\n", D.formatted().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("bsched_server: listening on %s (workers=%u, cache=%llu MiB, "
+              "shards=%u)\n",
+              Config.SocketPath.c_str(), Server.config().Workers,
+              static_cast<unsigned long long>(Config.CacheMaxBytes >> 20),
+              Config.CacheShards);
+  std::fflush(stdout);
+
+  while (!StopRequested)
+    pause();
+
+  Server.stop();
+  CompileCacheStats Stats = Server.cache().stats();
+  std::fprintf(stderr,
+               "bsched_server: drained; %llu request(s), cache %llu/%llu "
+               "hit/miss, %llu eviction(s)\n",
+               static_cast<unsigned long long>(Server.requestsServed()),
+               static_cast<unsigned long long>(Stats.Hits),
+               static_cast<unsigned long long>(Stats.Misses),
+               static_cast<unsigned long long>(Stats.Evictions));
+  return 0;
+}

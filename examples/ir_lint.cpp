@@ -11,20 +11,24 @@
 // Usage:
 //   ir_lint <file.bsir> [--certify] [--no-use-before-def]
 //           [--no-dead-value] [--no-redundant-load]
+//           [--deadline-ms N] [--max-instrs N]
 //   ir_lint --demo        (runs on a built-in example with findings)
 //
 // Exit codes: 0 = clean, 1 = lint findings, 2 = syntax error,
-// 3 = IR verification failure, 4 = pipeline certification failure.
+// 3 = IR verification failure, 4 = pipeline certification failure,
+// 5 = resource budget exceeded (structured BS80x diagnostic).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
 #include "parser/Parser.h"
 #include "pipeline/Pipeline.h"
+#include "support/CliOptions.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace bsched;
@@ -50,7 +54,8 @@ block body freq 1 {
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.bsir> [--certify] [--no-use-before-def] "
-               "[--no-dead-value] [--no-redundant-load] | --demo\n",
+               "[--no-dead-value] [--no-redundant-load] "
+               "[--deadline-ms N] [--max-instrs N] | --demo\n",
                Argv0);
 }
 
@@ -62,7 +67,17 @@ int main(int argc, char **argv) {
   bool Certify = false;
   LintOptions Options;
 
+  // The budget flags are the shared set (support/CliOptions.h); the
+  // lint-selection flags stay local.
+  CliOptionParser Cli(CliOptionParser::WantBudget);
   for (int I = 1; I < argc; ++I) {
+    CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
+    if (M == CliOptionParser::Match::Consumed)
+      continue;
+    if (M == CliOptionParser::Match::Error) {
+      std::fprintf(stderr, "%s\n", Cli.error().c_str());
+      return 2;
+    }
     if (std::strcmp(argv[I], "--demo") == 0)
       Source = DemoSource;
     else if (std::strcmp(argv[I], "--certify") == 0)
@@ -79,6 +94,7 @@ int main(int argc, char **argv) {
     } else
       Path = argv[I];
   }
+  const ResourceBudget &Budget = Cli.options().Budget;
   if (argc <= 1)
     Source = DemoSource; // No arguments: run the built-in example.
 
@@ -98,22 +114,36 @@ int main(int argc, char **argv) {
   }
 
   std::string_view Filename = Path ? Path : "<demo>";
-  ParseResult Result = parseIr(Source);
+  // With a budget the parse runs governed, so oversized inputs surface
+  // as structured BS80x diagnostics with their own exit code (5) — the
+  // same convention as sched_explorer and kernel_compiler.
+  std::optional<ResourceGovernor> Gov;
+  if (Budget.active())
+    Gov.emplace(Budget);
+  ParseResult Result = parseIr(Source, Gov ? &*Gov : nullptr);
   if (!Result.ok()) {
     // Exit codes: 2 = lexical/syntactic failure, 3 = the text parsed but
     // the IR failed verification (same convention as sched_explorer).
     bool VerifyFailure = false;
+    bool BudgetFailure = false;
     for (const ParseDiag &D : Result.Diags) {
       std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      if (D.isError() && isBudgetDiagCode(D.Code))
+        BudgetFailure = true;
       if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&
           D.Code < DiagCode::FrontendSyntax)
         VerifyFailure = true;
     }
+    if (BudgetFailure)
+      return 5;
     return VerifyFailure ? 3 : 2;
   }
 
   unsigned Findings = 0;
   bool CertificationFailed = false;
+  bool CertificationBudget = false;
+  PipelineConfig CertifyConfig = PipelineConfig::paperDefault();
+  CertifyConfig.Budget = Budget;
   for (const Function &F : Result.Functions) {
     std::vector<Diagnostic> Diags = lintFunction(F, Options);
     for (const Diagnostic &D : Diags)
@@ -122,13 +152,15 @@ int main(int argc, char **argv) {
     Findings += static_cast<unsigned>(Diags.size());
 
     if (Certify) {
-      ErrorOr<CompiledFunction> Compiled =
-          runPipeline(F, PipelineConfig::paperDefault());
+      ErrorOr<CompiledFunction> Compiled = runPipeline(F, CertifyConfig);
       if (!Compiled.has_value()) {
         CertificationFailed = true;
-        for (const Diagnostic &D : Compiled.errors())
+        for (const Diagnostic &D : Compiled.errors()) {
           std::fprintf(stderr, "%s: @%s: %s\n", std::string(Filename).c_str(),
                        F.name().c_str(), D.formatted().c_str());
+          if (D.isError() && isBudgetDiagCode(D.Code))
+            CertificationBudget = true;
+        }
       } else {
         std::printf("%s: @%s: certified (%u instructions, %u spills, every "
                     "schedule and allocation proved)\n",
@@ -138,6 +170,8 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (CertificationBudget)
+    return 5;
   if (CertificationFailed)
     return 4;
   if (Findings != 0) {

@@ -24,12 +24,15 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pipeline/Experiment.h"
+#include "support/CliOptions.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace bsched;
 
@@ -83,62 +86,68 @@ bool anyBudgetError(const std::vector<Diagnostic> &Diags) {
   return false;
 }
 
-/// Parses a non-negative integer flag value; returns false on garbage.
-bool parseCount(const char *Text, uint64_t &Out) {
-  char *End = nullptr;
-  unsigned long long Value = std::strtoull(Text, &End, 10);
-  if (End == Text || *End != '\0')
-    return false;
-  Out = Value;
-  return true;
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
-  // --candidate <policy> picks the scheduler compared against
-  // traditional; the spelling is whatever policyName prints.
-  SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
-  bool JsonMode = false;
-  std::string TraceOut;
-  ResourceBudget Budget;
+  // All flags here are the shared set (support/CliOptions.h);
+  // --candidate picks the scheduler compared against traditional.
+  CliOptionParser Cli(CliOptionParser::WantCandidate |
+                      CliOptionParser::WantJson | CliOptionParser::WantTrace |
+                      CliOptionParser::WantBudget |
+                      CliOptionParser::WantConfig);
   for (int I = 1; I < argc; ++I) {
-    std::string_view Arg = argv[I];
-    if (Arg == "--candidate" && I + 1 < argc) {
-      ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(argv[++I]);
-      if (!Parsed) {
-        std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
-        return ExitUsageError;
-      }
-      Candidate = *Parsed;
-    } else if (Arg == "--json") {
-      JsonMode = true;
-    } else if (Arg.rfind("--trace-out=", 0) == 0) {
-      TraceOut = Arg.substr(std::string_view("--trace-out=").size());
-    } else if (Arg == "--trace-out" && I + 1 < argc) {
-      TraceOut = argv[++I];
-    } else if (Arg == "--deadline-ms" && I + 1 < argc) {
-      char *End = nullptr;
-      Budget.DeadlineMs = std::strtod(argv[++I], &End);
-      if (End == argv[I] || *End != '\0' || Budget.DeadlineMs < 0) {
-        std::fprintf(stderr, "error: bad --deadline-ms value '%s'\n",
-                     argv[I]);
-        return ExitUsageError;
-      }
-    } else if (Arg == "--max-instrs" && I + 1 < argc) {
-      if (!parseCount(argv[++I], Budget.MaxInstructionsPerBlock)) {
-        std::fprintf(stderr, "error: bad --max-instrs value '%s'\n",
-                     argv[I]);
-        return ExitUsageError;
-      }
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--candidate <policy>] [--json] "
-                   "[--trace-out=FILE] [--deadline-ms N] [--max-instrs N]\n",
-                   argv[0]);
+    CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
+    if (M == CliOptionParser::Match::Consumed)
+      continue;
+    if (M == CliOptionParser::Match::Error) {
+      std::fprintf(stderr, "%s\n", Cli.error().c_str());
       return ExitUsageError;
     }
+    std::fprintf(stderr, "usage: %s %s\n", argv[0],
+                 Cli.usageFragment().c_str());
+    return ExitUsageError;
   }
+
+  SchedulerPolicy Candidate = SchedulerPolicy::Balanced;
+  if (Cli.options().HasPolicy) {
+    ErrorOr<SchedulerPolicy> Parsed =
+        parsePolicyName(Cli.options().PolicyText);
+    if (!Parsed) {
+      std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+      return ExitUsageError;
+    }
+    Candidate = *Parsed;
+  }
+  const bool JsonMode = Cli.options().Json;
+  const std::string &TraceOut = Cli.options().TraceOut;
+
+  // --config FILE seeds the pipeline from a schema-v1 JSON document;
+  // budget flags given on the command line override its budget fields.
+  PipelineConfig Base;
+  if (!Cli.options().ConfigFile.empty()) {
+    std::ifstream In(Cli.options().ConfigFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Cli.options().ConfigFile.c_str());
+      return ExitUsageError;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ErrorOr<PipelineConfig> Parsed = PipelineConfig::fromJson(Buf.str());
+    if (!Parsed) {
+      for (const Diagnostic &D : Parsed.errors())
+        std::fprintf(stderr, "%s\n",
+                     D.formatted(Cli.options().ConfigFile).c_str());
+      return ExitUsageError;
+    }
+    Base = *Parsed;
+  }
+  ResourceBudget Budget = Base.Budget;
+  if (Cli.options().Budget.DeadlineMs > 0.0)
+    Budget.DeadlineMs = Cli.options().Budget.DeadlineMs;
+  if (Cli.options().Budget.MaxInstructionsPerBlock != 0)
+    Budget.MaxInstructionsPerBlock =
+        Cli.options().Budget.MaxInstructionsPerBlock;
 
   // One registry and one trace for the whole run; both are merged/written
   // at the end. With BSCHED_NO_OBS builds these collect nothing.
@@ -177,7 +186,6 @@ int main(int argc, char **argv) {
 
   SimulationConfig Sim;
   Sim.Obs = {&Metrics, &Trace};
-  PipelineConfig Base;
   Base.Obs = {&Metrics, &Trace};
   Base.Budget = Budget;
 

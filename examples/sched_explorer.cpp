@@ -28,6 +28,7 @@
 #include "sched/BalancedWeighter.h"
 #include "sched/ListScheduler.h"
 #include "sched/TraditionalWeighter.h"
+#include "support/CliOptions.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 
@@ -209,29 +210,38 @@ int main(int argc, char **argv) {
   ResourceBudget Budget;
   const char *Path = nullptr;
 
+  // Common flags (--policy, --json, --deadline-ms, --max-instrs) come
+  // from the shared parser; --demo/--dot/--latency and the positional
+  // path stay local.
+  CliOptionParser Cli(CliOptionParser::WantPolicy | CliOptionParser::WantJson |
+                      CliOptionParser::WantBudget);
   for (int I = 1; I < argc; ++I) {
+    CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
+    if (M == CliOptionParser::Match::Consumed)
+      continue;
+    if (M == CliOptionParser::Match::Error) {
+      std::fprintf(stderr, "%s\n", Cli.error().c_str());
+      return 2;
+    }
     if (std::strcmp(argv[I], "--demo") == 0)
       Source = DemoSource;
     else if (std::strcmp(argv[I], "--dot") == 0)
       EmitDot = true;
-    else if (std::strcmp(argv[I], "--json") == 0)
-      JsonMode = true;
     else if (std::strcmp(argv[I], "--latency") == 0 && I + 1 < argc)
       TraditionalLatency = std::atof(argv[++I]);
-    else if (std::strcmp(argv[I], "--deadline-ms") == 0 && I + 1 < argc)
-      Budget.DeadlineMs = std::atof(argv[++I]);
-    else if (std::strcmp(argv[I], "--max-instrs") == 0 && I + 1 < argc)
-      Budget.MaxInstructionsPerBlock =
-          std::strtoull(argv[++I], nullptr, 10);
-    else if (std::strcmp(argv[I], "--policy") == 0 && I + 1 < argc) {
-      ErrorOr<SchedulerPolicy> Parsed = parsePolicyName(argv[++I]);
-      if (!Parsed) {
-        std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
-        return 2;
-      }
-      Only = *Parsed;
-    } else
+    else
       Path = argv[I];
+  }
+  JsonMode = Cli.options().Json;
+  Budget = Cli.options().Budget;
+  if (Cli.options().HasPolicy) {
+    ErrorOr<SchedulerPolicy> Parsed =
+        parsePolicyName(Cli.options().PolicyText);
+    if (!Parsed) {
+      std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+      return 2;
+    }
+    Only = *Parsed;
   }
   if (argc <= 1)
     Source = DemoSource; // No arguments: run the built-in example.

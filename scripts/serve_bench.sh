@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Compile-service throughput bench (DESIGN.md §3j): launches bsched_server
+# on a private AF_UNIX socket, drives it with bsched_loadgen across a
+# concurrency sweep, and writes BENCH_server.json (the numbers
+# EXPERIMENTS.md quotes) with throughput and p50/p99 latency per point.
+#
+# Usage:
+#   scripts/serve_bench.sh                 # build + full sweep -> BENCH_server.json
+#   scripts/serve_bench.sh --smoke SERVER LOADGEN
+#     ctest mode (label chaos): no build, run the given binaries once with
+#     64 concurrent chaos connections and assert every request was
+#     answered, none dropped, and the warm cache actually hit. Prints
+#     "SMOKE PASS" on success.
+set -euo pipefail
+
+# Launch a server on a fresh socket; echoes nothing, sets SERVER_PID/SOCK.
+start_server() {
+  local BIN=$1; shift
+  SOCK_DIR=$(mktemp -d)
+  SOCK="$SOCK_DIR/bsched.sock"
+  "$BIN" --listen "$SOCK" "$@" &
+  SERVER_PID=$!
+  # connectUnix retries for 5s, but don't race a server that died at startup.
+  for _ in $(seq 50); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died at startup"; exit 1; }
+    sleep 0.1
+  done
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$SOCK_DIR"
+}
+
+if [ "${1:-}" = "--smoke" ]; then
+  SERVER_BIN=$2
+  LOADGEN_BIN=$3
+  OUT=$(mktemp)
+  trap 'stop_server; rm -f "$OUT"' EXIT
+  start_server "$SERVER_BIN" --workers 2 --cache-mb 16
+  # 64 persistent connections, mutated kernels in the mix (--chaos): the
+  # acceptance bar is zero transport failures and a warm cache.
+  "$LOADGEN_BIN" --connect "$SOCK" --requests 512 --concurrency 64 \
+    --kernels 8 --chaos --json-out "$OUT"
+  if ! grep -q '"transport_failures":0,' "$OUT"; then
+    echo "SMOKE FAIL: dropped connections or unanswered requests"
+    exit 1
+  fi
+  if grep -q '"cache_hits":0,' "$OUT"; then
+    echo "SMOKE FAIL: no cache hits on a repeating corpus"
+    exit 1
+  fi
+  echo "SMOKE PASS"
+  exit 0
+fi
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bsched_server bsched_loadgen
+
+SERVER_BIN="$BUILD_DIR/examples/bsched_server"
+LOADGEN_BIN="$BUILD_DIR/examples/bsched_loadgen"
+REQUESTS=${REQUESTS:-2048}
+KERNELS=${KERNELS:-16}
+
+TMP=$(mktemp -d)
+trap 'stop_server 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+RUNS=()
+for CONC in 1 8 64; do
+  echo "== serve_bench: concurrency $CONC =="
+  # Fresh daemon per point so every run starts from a cold cache and the
+  # sweep points are independent.
+  start_server "$SERVER_BIN" --cache-mb 64
+  "$LOADGEN_BIN" --connect "$SOCK" --requests "$REQUESTS" \
+    --concurrency "$CONC" --kernels "$KERNELS" \
+    --json-out "$TMP/run_$CONC.json" >/dev/null
+  stop_server
+  RUNS+=("$TMP/run_$CONC.json")
+done
+
+# Stitch the sweep points into one artifact next to EXPERIMENTS.md.
+{
+  printf '{"bench":"server_throughput","requests":%s,"kernels":%s,"sweep":[' \
+    "$REQUESTS" "$KERNELS"
+  FIRST=1
+  for RUN in "${RUNS[@]}"; do
+    [ "$FIRST" = 1 ] || printf ','
+    FIRST=0
+    tr -d '\n' < "$RUN"
+  done
+  printf ']}\n'
+} > BENCH_server.json
+
+echo "wrote BENCH_server.json"

@@ -7,12 +7,10 @@
 
 #include "pipeline/ExperimentEngine.h"
 
-#include "ir/IrPrinter.h"
 #include "support/FailPoint.h"
 #include "support/Json.h"
 
 #include <chrono>
-#include <cstdio>
 
 using namespace bsched;
 
@@ -53,128 +51,11 @@ std::string EngineResult::summaryJson() const {
   return W.str();
 }
 
-std::string bsched::experimentCacheKey(const Function &Program,
-                                       const PipelineConfig &Config) {
-  std::string Key = printFunction(Program);
-
-  // The printer rounds frequencies and FP immediates for readability;
-  // re-append them hex-exact so distinct programs never share a key.
-  auto Exact = [&Key](double Value) {
-    char Buf[40];
-    std::snprintf(Buf, sizeof(Buf), " %a", Value);
-    Key += Buf;
-  };
-  Key += "#freqs";
-  for (const BasicBlock &BB : Program) {
-    Exact(BB.frequency());
-    for (const Instruction &I : BB)
-      if (opcodeHasFpImm(I.opcode()))
-        Exact(I.fpImm());
-  }
-
-  Key += "\n#config ";
-  Key += policyName(Config.Policy);
-  Exact(Config.OptimisticLatency);
-  for (unsigned Op = 0; Op != NumOpcodes; ++Op)
-    Exact(Config.Ops.opLatency(static_cast<Opcode>(Op)));
-  Key += ' ' + std::to_string(Config.Target.NumIntRegs) + ' ' +
-         std::to_string(Config.Target.NumFpRegs) + ' ' +
-         std::to_string(Config.Target.SpillPoolSize) + ' ' +
-         std::to_string(Config.SchedOptions.IssueWidth);
-  auto Flag = [&Key](bool Value) { Key += Value ? " 1" : " 0"; };
-  Flag(Config.Target.FifoSpillPool);
-  Flag(Config.DagOptions.DisambiguateSameBase);
-  Flag(Config.RunRegAlloc);
-  Flag(Config.SecondSchedulingPass);
-  Flag(Config.HonorKnownLatency);
-  Flag(Config.RenameAfterAllocation);
-  Flag(Config.Certify);
-  // Budget fields change compiled output (admission failures, degraded
-  // schedules), so they are part of the key — unlike Obs or WeighterPool.
-  Exact(Config.Budget.DeadlineMs);
-  Key += ' ' + std::to_string(Config.Budget.MaxTicks) + ' ' +
-         std::to_string(Config.Budget.MaxInstructionsPerBlock) + ' ' +
-         std::to_string(Config.Budget.MaxDagEdges) + ' ' +
-         std::to_string(Config.Budget.MaxClosureBits) + ' ' +
-         std::to_string(Config.Budget.MaxSpillSlots);
-  Flag(Config.Budget.Degrade);
-  return Key;
-}
-
-uint64_t bsched::experimentContentHash(const Function &Program,
-                                       const PipelineConfig &Config) {
-  const std::string Key = experimentCacheKey(Program, Config);
-  uint64_t Hash = 0xCBF29CE484222325ULL; // FNV-1a offset basis.
-  for (char C : Key) {
-    Hash ^= static_cast<unsigned char>(C);
-    Hash *= 0x100000001B3ULL; // FNV prime.
-  }
-  return Hash;
-}
-
 ErrorOr<CompiledFunction>
 ExperimentEngine::compileCached(const Function &Program,
                                 const PipelineConfig &Config, bool *WasHit,
                                 MetricRegistry *CellMetrics) {
-  // The metric sink for this request: explicit per-cell registry if the
-  // caller passed one, else whatever the config carries. (The key below
-  // never includes Obs — observation cannot change what is cached.)
-  MetricRegistry *Sink = CellMetrics ? CellMetrics : Config.Obs.Metrics;
-
-  std::string Key = experimentCacheKey(Program, Config);
-  {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = Cache.find(Key);
-    if (It != Cache.end()) {
-      if (WasHit)
-        *WasHit = true;
-      // Replay the stored compile metrics so a warm-cache run reports the
-      // same totals as a cold one.
-      if (Sink)
-        Sink->mergeSnapshot(It->second.CompileMetrics);
-      return *It->second.Compiled;
-    }
-  }
-  if (WasHit)
-    *WasHit = false;
-
-  // Compile into a private registry: the snapshot is stored with the
-  // entry and merged exactly once per request (here and on every future
-  // hit), so totals are independent of cache state and worker count.
-  // Recorded even when this request has no sink — a later observed
-  // request may hit this entry and must replay the full compile metrics.
-  MetricRegistry CompileReg(2);
-  PipelineConfig CompileConfig = Config;
-  CompileConfig.Obs.Metrics = &CompileReg;
-
-  ErrorOr<CompiledFunction> Result = runPipeline(Program, CompileConfig);
-  // Failures are never cached: every affected cell reports the full
-  // diagnostics rather than a "previously failed" stub.
-  if (!Result)
-    return Result;
-
-  MetricSnapshot CompileMetrics = CompileReg.snapshot();
-  if (Sink)
-    Sink->mergeSnapshot(CompileMetrics);
-
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  // Two workers may race to first-compile the same key; both computed the
-  // identical result (and identical metrics), so whichever insertion wins
-  // is fine.
-  Cache.emplace(std::move(Key),
-                CacheEntry{std::make_shared<const CompiledFunction>(*Result),
-                           std::move(CompileMetrics)});
-  return Result;
-}
-
-size_t ExperimentEngine::cacheSize() const {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  return Cache.size();
-}
-
-void ExperimentEngine::clearCache() {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  Cache.clear();
+  return Cache->compile(Program, Config, WasHit, CellMetrics);
 }
 
 CellOutcome ExperimentEngine::runCell(const ExperimentCell &Cell) {

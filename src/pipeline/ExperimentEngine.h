@@ -30,14 +30,13 @@
 #define BSCHED_PIPELINE_EXPERIMENTENGINE_H
 
 #include "obs/Metrics.h"
+#include "pipeline/CompileCache.h"
 #include "pipeline/Experiment.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace bsched {
@@ -109,8 +108,11 @@ struct EngineResult {
 
 /// The engine. Owns a ThreadPool (Jobs = 0 resolves to BSCHED_JOBS or
 /// hardware concurrency; 1 runs inline on the caller's thread — the
-/// serial baseline) and a compiled-schedule cache shared across run()
-/// calls, so repeated matrices over the same kernels recompile nothing.
+/// serial baseline) and a CompileCache shared across run() calls, so
+/// repeated matrices over the same kernels recompile nothing. The cache
+/// may also be supplied from outside (the bsched_server hands every
+/// engine the daemon-wide sharded cache), in which case entries persist
+/// across engines and requests.
 class ExperimentEngine {
 public:
   /// \p Obs supplies the engine-level observability sinks: Obs.Trace
@@ -118,7 +120,16 @@ public:
   /// per-cell snapshots plus the informational `bsched.engine.*` counters
   /// (those stay out of EngineResult::Metrics, which is deterministic).
   explicit ExperimentEngine(unsigned Jobs = 0, ObsContext Obs = {})
-      : Pool(Jobs), Obs(Obs) {}
+      : Pool(Jobs), Obs(Obs),
+        Cache(std::make_shared<CompileCache>(
+            CompileCacheConfig::unlimited())) {}
+
+  /// Engine over a shared (possibly bounded) cross-request cache.
+  ExperimentEngine(unsigned Jobs, ObsContext Obs,
+                   std::shared_ptr<CompileCache> SharedCache)
+      : Pool(Jobs), Obs(Obs), Cache(std::move(SharedCache)) {
+    BSCHED_CHECK(Cache != nullptr, "engine requires a compile cache");
+  }
 
   unsigned workerCount() const { return Pool.workerCount(); }
 
@@ -134,10 +145,11 @@ public:
   /// pool. Outcome I corresponds to Cells[I] whatever the execution order.
   EngineResult run(const std::vector<ExperimentCell> &Cells);
 
-  /// The memoizing compiler: returns the cached CompiledFunction for
-  /// (Program, Config) content or compiles and caches it. Failures are
-  /// never cached (each caller gets the full diagnostics). Thread-safe;
-  /// \p WasHit (optional) reports whether the cache served the result.
+  /// The memoizing compiler (CompileCache::compile on the engine's
+  /// cache): returns the cached CompiledFunction for (Program, Config)
+  /// content or compiles and caches it. Failures are never cached (each
+  /// caller gets the full diagnostics). Thread-safe; \p WasHit (optional)
+  /// reports whether the cache served the result.
   ///
   /// Compilation metrics are recorded into a private registry and stored
   /// with the cache entry; exactly one copy of that snapshot is merged
@@ -151,38 +163,22 @@ public:
                                           MetricRegistry *CellMetrics = nullptr);
 
   /// Distinct (function, config) keys currently cached.
-  size_t cacheSize() const;
+  size_t cacheSize() const { return Cache->size(); }
 
   /// Drops every cached compilation.
-  void clearCache();
+  void clearCache() { Cache->clear(); }
+
+  /// The underlying (possibly shared) cache.
+  CompileCache &cache() { return *Cache; }
 
 private:
-  struct CacheEntry {
-    std::shared_ptr<const CompiledFunction> Compiled;
-    MetricSnapshot CompileMetrics;
-  };
-
   CellOutcome runCell(const ExperimentCell &Cell);
 
   ThreadPool Pool;
   ObsContext Obs;
   bool CollectCellMetrics = true;
-  mutable std::mutex CacheMutex;
-  std::unordered_map<std::string, CacheEntry> Cache;
+  std::shared_ptr<CompileCache> Cache;
 };
-
-/// The exact content key the compile cache memoizes on: the printed
-/// function plus every compilation-relevant PipelineConfig knob, with all
-/// floating-point fields rendered in hex-exact form (block frequencies and
-/// FP immediates are re-appended exactly, since the printer rounds them).
-std::string experimentCacheKey(const Function &Program,
-                               const PipelineConfig &Config);
-
-/// Stable FNV-1a content hash of experimentCacheKey (for reporting; the
-/// cache itself keys on the full string, so hash collisions cannot mix up
-/// results).
-uint64_t experimentContentHash(const Function &Program,
-                               const PipelineConfig &Config);
 
 } // namespace bsched
 

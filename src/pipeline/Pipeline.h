@@ -35,6 +35,7 @@
 
 namespace bsched {
 
+class JsonValue;
 class ThreadPool;
 
 /// Which load-weight policy drives both scheduling passes.
@@ -172,6 +173,34 @@ struct PipelineConfig {
   /// optimistic latency, register files large enough for the spill pool).
   /// The experiment engine calls this at entry for every cell.
   Status validate() const;
+
+  //===--------------------------------------------------------------------===
+  // Versioned JSON schema (v1) — the one way server requests, CLI
+  // `--config` files and experiment harnesses describe a compilation.
+  //===--------------------------------------------------------------------===
+
+  /// The current config/wire schema version. Bump only with a migration
+  /// path; v1 is pinned by golden round-trip tests.
+  static constexpr unsigned SchemaVersion = 1;
+
+  /// Serializes every behavior-affecting knob (plus "schema_version") as
+  /// one JSON object in a stable field order. Obs and WeighterPool are
+  /// runtime wiring, not configuration, and are not serialized — the same
+  /// fields the compile cache key excludes.
+  std::string toJson() const;
+
+  /// Parses a schema-v1 document produced by toJson() (or written by
+  /// hand: every field is optional and defaults to paperDefault()).
+  /// Failures are structured diagnostics: BS900 malformed JSON, BS901
+  /// unsupported schema_version, BS902 unknown key, BS903 wrong
+  /// type/value. Unknown keys are errors by design — a misspelled knob
+  /// must not silently compile with defaults.
+  static ErrorOr<PipelineConfig> fromJson(std::string_view Json);
+
+  /// Same, over an already-parsed document — the server protocol embeds
+  /// a config object inside the request envelope and hands the subtree
+  /// here directly.
+  static ErrorOr<PipelineConfig> fromJsonValue(const JsonValue &Doc);
 };
 
 /// A compiled program plus the statistics the paper's tables report.

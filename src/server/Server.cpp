@@ -1,0 +1,301 @@
+//===- server/Server.cpp - The bsched compile service ---------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "ir/IrPrinter.h"
+#include "parser/Parser.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include <sys/socket.h>
+
+using namespace bsched;
+
+BschedServer::BschedServer(ServerConfig Config, MetricRegistry *Metrics)
+    : Config(Config), Metrics(Metrics),
+      Cache(std::make_shared<CompileCache>(
+          CompileCacheConfig{Config.CacheShards, Config.CacheMaxBytes,
+                             /*MaxEntries=*/0},
+          Metrics)),
+      Pool(Config.Workers) {}
+
+BschedServer::~BschedServer() { stop(); }
+
+Status BschedServer::start() {
+  Status Listening = Listener.listen(Config.SocketPath);
+  if (!Listening.ok())
+    return Listening;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return Status::success();
+}
+
+void BschedServer::stop() {
+  if (Stopping.exchange(true))
+    return;
+  Listener.shutdown();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  // Half-close every live connection for reading: an idle reader sees EOF
+  // now; one mid-compile finishes, writes its response, then sees it. The
+  // fd stays open (and its number reserved) until its own thread removes
+  // it from LiveConns and closes — so this shutdown never hits a reused fd.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (int Fd : LiveConns)
+      ::shutdown(Fd, SHUT_RD);
+  }
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Listener.close();
+}
+
+void BschedServer::acceptLoop() {
+  while (!Stopping.load()) {
+    FdHandle Conn = Listener.accept();
+    if (!Conn.valid()) {
+      if (Stopping.load())
+        break;
+      continue;
+    }
+    if (Metrics)
+      Metrics->counter("bsched.server.connections").add();
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stopping.load())
+      break; // Raced stop(): drop the connection, it closes on return.
+    LiveConns.push_back(Conn.get());
+    ConnThreads.emplace_back(
+        [this, C = std::move(Conn)]() mutable { serveConnection(std::move(C)); });
+  }
+}
+
+void BschedServer::serveConnection(FdHandle Conn) {
+  std::string Payload;
+  for (;;) {
+    Diagnostic FrameError;
+    FrameStatus S =
+        readFrame(Conn.get(), Payload, Config.MaxFrameBytes, &FrameError);
+    if (S == FrameStatus::Frame) {
+      std::string Response = handleRequest(Payload);
+      if (!writeFrame(Conn.get(), Response).ok())
+        break; // Peer gone mid-write; nothing left to tell it.
+      continue;
+    }
+    if (S == FrameStatus::Error) {
+      if (Metrics)
+        Metrics->counter("bsched.server.bad_frames").add();
+      // An oversized frame is detected before its payload is read, so the
+      // peer is still listening: answer with the structured diagnostic,
+      // then close — the stream is out of sync by construction. A
+      // truncated frame means the peer already vanished; just close.
+      if (FrameError.Code == DiagCode::WireFrameTooLarge) {
+        CompileResponse Error;
+        Error.Ok = false;
+        Error.Diags.push_back(std::move(FrameError));
+        (void)writeFrame(Conn.get(), Error.toJson());
+      }
+    }
+    break; // Eof or Error.
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    LiveConns.erase(
+        std::remove(LiveConns.begin(), LiveConns.end(), Conn.get()),
+        LiveConns.end());
+  }
+  // FdHandle destructor closes after deregistration (see stop()).
+}
+
+std::string BschedServer::statsJson() const {
+  CompileCacheStats Stats = Cache->stats();
+  JsonWriter W;
+  W.beginObject();
+  W.key("requests_served").value(RequestsServed.load());
+  W.key("workers").value(Pool.workerCount());
+  W.key("cache").beginObject();
+  W.key("hits").value(Stats.Hits);
+  W.key("misses").value(Stats.Misses);
+  W.key("insertions").value(Stats.Insertions);
+  W.key("evictions").value(Stats.Evictions);
+  W.key("entries").value(Stats.Entries);
+  W.key("bytes").value(Stats.Bytes);
+  W.key("hit_rate").valueFixed(Stats.hitRate(), 4);
+  W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+CompileResponse BschedServer::compileOne(const CompileRequest &Request) {
+  CompileResponse Response;
+  Response.Id = Request.Id;
+
+  PipelineConfig Config = Request.Config;
+  // Operator ceilings compose with the request's own budget: the daemon
+  // clamps deadlines into (0, MaxDeadlineMs] and admission sizes down to
+  // its own maximum, whatever the client asked for.
+  if (this->Config.MaxDeadlineMs > 0.0 &&
+      (Config.Budget.DeadlineMs <= 0.0 ||
+       Config.Budget.DeadlineMs > this->Config.MaxDeadlineMs))
+    Config.Budget.DeadlineMs = this->Config.MaxDeadlineMs;
+  if (this->Config.MaxInstructionsPerBlock != 0 &&
+      (Config.Budget.MaxInstructionsPerBlock == 0 ||
+       Config.Budget.MaxInstructionsPerBlock >
+           this->Config.MaxInstructionsPerBlock))
+    Config.Budget.MaxInstructionsPerBlock =
+        this->Config.MaxInstructionsPerBlock;
+
+  Status ConfigStatus = Config.validate();
+  if (!ConfigStatus.ok()) {
+    Response.Diags = ConfigStatus.diagnostics();
+    return Response;
+  }
+
+  // Admission: the kernel parses under the request's governor, so a
+  // hostile or oversized kernel is rejected before any compilation work.
+  ResourceGovernor Governor(Config.Budget);
+  ParseResult Parsed =
+      parseIr(Request.Kernel, Governor.active() ? &Governor : nullptr);
+  if (!Parsed.ok()) {
+    Response.Diags = std::move(Parsed.Diags);
+    return Response;
+  }
+  if (Parsed.Functions.size() != 1) {
+    Response.Diags.push_back(
+        {0, 0,
+         "expected exactly one function in 'kernel', got " +
+             std::to_string(Parsed.Functions.size()),
+         Severity::Error, DiagCode::ParseNotSingleFunction});
+    return Response;
+  }
+
+  MetricRegistry RequestMetrics(2);
+  bool Hit = false;
+  ErrorOr<CompiledFunction> Compiled =
+      Cache->compile(Parsed.Functions.front(), Config, &Hit,
+                     Request.WantMetrics ? &RequestMetrics : nullptr);
+  Response.CacheHit = Hit;
+  if (!Compiled) {
+    Response.Diags = Compiled.takeErrors();
+    return Response;
+  }
+
+  Response.Ok = true;
+  Response.Degradation = std::string(degradationName(Compiled->Degradation));
+  Response.StaticInstructions = Compiled->StaticInstructions;
+  Response.StaticSpills = Compiled->StaticSpills;
+  Response.DynamicInstructions = Compiled->DynamicInstructions;
+  Response.DynamicSpills = Compiled->DynamicSpills;
+  if (Request.WantSchedule)
+    Response.Schedule = printFunction(Compiled->Compiled);
+  if (Request.WantMetrics)
+    Response.StatsJson = RequestMetrics.snapshot().toJson();
+  return Response;
+}
+
+std::string BschedServer::handleRequest(std::string_view Payload) {
+  const auto Start = std::chrono::steady_clock::now();
+  RequestsServed.fetch_add(1);
+  if (Metrics)
+    Metrics->counter("bsched.server.requests").add();
+
+  CompileResponse Response;
+  ErrorOr<CompileRequest> Request = CompileRequest::fromJson(Payload);
+  if (!Request) {
+    Response.Diags = Request.takeErrors();
+  } else if (Stopping.load()) {
+    Response.Id = Request->Id;
+    Response.Diags.push_back({0, 0, "server is shutting down",
+                              Severity::Error, DiagCode::ServerShutdown});
+  } else
+    switch (Request->Op) {
+    case RequestOp::Ping:
+      Response.Id = Request->Id;
+      Response.Ok = true;
+      break;
+    case RequestOp::Stats:
+      Response.Id = Request->Id;
+      Response.Ok = true;
+      Response.StatsJson = statsJson();
+      break;
+    case RequestOp::Compile: {
+      // Compiles funnel through the shared pool: N connections against W
+      // workers queue instead of oversubscribing the host. The task body
+      // never throws (compileOne reports failures in the response), but
+      // the pool's fault capture would swallow an escape and strand this
+      // future — so convert any escape into a response here.
+      std::promise<CompileResponse> Promise;
+      std::future<CompileResponse> Done = Promise.get_future();
+      const CompileRequest &R = *Request;
+      Pool.run([this, &R, &Promise] {
+        try {
+          Promise.set_value(compileOne(R));
+        } catch (const std::exception &E) {
+          CompileResponse Fault;
+          Fault.Id = R.Id;
+          Fault.Diags.push_back(
+              {0, 0, std::string("compile task fault: ") + E.what(),
+               Severity::Error, DiagCode::EngineCellFault});
+          Promise.set_value(std::move(Fault));
+        } catch (...) {
+          CompileResponse Fault;
+          Fault.Id = R.Id;
+          Fault.Diags.push_back({0, 0, "compile task fault", Severity::Error,
+                                 DiagCode::EngineCellFault});
+          Promise.set_value(std::move(Fault));
+        }
+      });
+      Response = Done.get();
+      break;
+    }
+    }
+
+  const auto End = std::chrono::steady_clock::now();
+  Response.WallMs =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  if (Metrics) {
+    Metrics->counter("bsched.server.responses").add();
+    if (!Response.Ok)
+      Metrics->counter("bsched.server.errors").add();
+  }
+  return Response.toJson();
+}
+
+unsigned BschedServer::serveLines(std::FILE *In, std::FILE *Out) {
+  unsigned Served = 0;
+  std::string Line;
+  for (int C; (C = std::fgetc(In)) != EOF;) {
+    if (C != '\n') {
+      Line.push_back(static_cast<char>(C));
+      continue;
+    }
+    if (Line.find_first_not_of(" \t\r") != std::string::npos) {
+      std::string Response = handleRequest(Line);
+      std::fwrite(Response.data(), 1, Response.size(), Out);
+      std::fputc('\n', Out);
+      std::fflush(Out);
+      ++Served;
+    }
+    Line.clear();
+  }
+  if (Line.find_first_not_of(" \t\r") != std::string::npos) {
+    std::string Response = handleRequest(Line);
+    std::fwrite(Response.data(), 1, Response.size(), Out);
+    std::fputc('\n', Out);
+    std::fflush(Out);
+    ++Served;
+  }
+  return Served;
+}

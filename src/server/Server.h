@@ -1,0 +1,141 @@
+//===- server/Server.h - The bsched compile service ------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduler-as-a-service (DESIGN.md §3j): a long-running daemon that
+/// accepts compile requests over an AF_UNIX stream socket (length-prefixed
+/// JSON frames, support/Wire.h) or newline-delimited JSON on stdio, and
+/// answers from a daemon-wide sharded CompileCache — so repeated kernels
+/// across requests, connections and engines compile exactly once.
+///
+/// Fault model: a request is the unit of isolation. Malformed JSON, an
+/// unknown schema version, a kernel that fails to parse or verify, a
+/// budget overrun — each becomes an ok:false response carrying structured
+/// BS diagnostics on the same connection; the daemon never crashes and
+/// other connections never notice. Oversized frames are rejected before
+/// their payload is read (BS905) with one error response, then the
+/// connection closes (the stream is out of sync by construction).
+///
+/// Shutdown: stop() closes the listener, then half-closes every live
+/// connection for reading. Idle readers see EOF immediately; a connection
+/// mid-compile finishes its request, writes the response, and then sees
+/// the EOF. In-flight work is never dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SERVER_SERVER_H
+#define BSCHED_SERVER_SERVER_H
+
+#include "obs/Metrics.h"
+#include "pipeline/CompileCache.h"
+#include "server/Protocol.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+#include "support/Wire.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bsched {
+
+/// Daemon-wide knobs. Per-request PipelineConfigs arrive over the wire;
+/// this struct is what the operator controls.
+struct ServerConfig {
+  /// Filesystem path of the AF_UNIX listening socket (socket mode only).
+  std::string SocketPath;
+
+  /// Compile workers shared by every connection (ThreadPool resolution:
+  /// 0 = BSCHED_JOBS or hardware concurrency). Connections block on the
+  /// pool, so 64 clients against 2 workers queue rather than oversubscribe.
+  unsigned Workers = 0;
+
+  /// Shared compile cache geometry (pipeline/CompileCache.h).
+  unsigned CacheShards = 8;
+  uint64_t CacheMaxBytes = 64ull << 20;
+
+  /// Largest request/response frame accepted on the wire.
+  uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+
+  /// Ceiling on per-request compile deadlines, milliseconds. When set,
+  /// every compile runs with DeadlineMs in (0, MaxDeadlineMs] — a request
+  /// without a deadline gets the ceiling, one above it is clamped. 0
+  /// leaves request budgets untouched.
+  double MaxDeadlineMs = 0.0;
+
+  /// Admission ceiling on kernel size, instructions per block, applied on
+  /// top of (as a minimum with) each request's own budget. 0 = none.
+  uint64_t MaxInstructionsPerBlock = 0;
+};
+
+/// The compile service. One instance owns the listener, the connection
+/// threads, the shared ThreadPool and the shared CompileCache; the same
+/// request-handling core backs socket mode, stdio mode and direct calls
+/// from tests.
+class BschedServer {
+public:
+  /// \p Metrics (optional, borrowed) receives the daemon counters:
+  /// `bsched.engine.cache_*` from the shared cache and
+  /// `bsched.server.{requests,responses,errors,connections,bad_frames}`.
+  explicit BschedServer(ServerConfig Config, MetricRegistry *Metrics = nullptr);
+  ~BschedServer();
+
+  BschedServer(const BschedServer &) = delete;
+  BschedServer &operator=(const BschedServer &) = delete;
+
+  /// Binds and listens on Config.SocketPath and starts the accept loop.
+  Status start();
+
+  /// Stops accepting, half-closes live connections, waits for in-flight
+  /// requests to answer, joins every thread. Idempotent.
+  void stop();
+
+  /// The core: one request payload (JSON text) in, one response (JSON
+  /// text) out. Never throws; every failure is an ok:false response.
+  /// Thread-safe — this is what every connection thread calls.
+  std::string handleRequest(std::string_view Payload);
+
+  /// Stdio transport: reads newline-delimited requests from \p In until
+  /// EOF, writes one response line each to \p Out (flushed per line).
+  /// Returns the number of requests served.
+  unsigned serveLines(std::FILE *In, std::FILE *Out);
+
+  const ServerConfig &config() const { return Config; }
+  CompileCache &cache() { return *Cache; }
+
+  /// Requests answered since construction (any op, ok or not).
+  uint64_t requestsServed() const { return RequestsServed.load(); }
+
+private:
+  void acceptLoop();
+  void serveConnection(FdHandle Conn);
+  CompileResponse compileOne(const CompileRequest &Request);
+  std::string statsJson() const;
+
+  ServerConfig Config;
+  MetricRegistry *Metrics;
+  std::shared_ptr<CompileCache> Cache;
+  ThreadPool Pool;
+
+  UnixListener Listener;
+  std::thread Acceptor;
+  std::atomic<bool> Stopping{false};
+  std::atomic<uint64_t> RequestsServed{0};
+
+  // Live connection fds (for shutdown's half-close) and their threads.
+  std::mutex ConnMutex;
+  std::vector<int> LiveConns;
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVER_SERVER_H

@@ -117,6 +117,17 @@ enum class DiagCode : uint16_t {
   // Fault injection & captured faults: 810-819.
   InjectedFault = 810,
   EngineCellFault = 811,
+
+  // JSON / versioned request & config schema / wire protocol: 900-919.
+  JsonParseError = 900,        ///< Malformed JSON document.
+  ProtocolSchemaVersion = 901, ///< Unsupported schema_version.
+  ProtocolUnknownKey = 902,    ///< Unknown key in a versioned document.
+  ProtocolBadValue = 903,      ///< Wrong type / out-of-range field value.
+  ProtocolMissingField = 904,  ///< Required field absent.
+  WireFrameTooLarge = 905,     ///< Frame length exceeds the server limit.
+  WireFrameTruncated = 906,    ///< Stream ended mid-frame.
+  WireIo = 907,                ///< Socket/file I/O failure.
+  ServerShutdown = 908,        ///< Request refused: server stopping.
 };
 
 /// Renders \p Code as "BS201".

@@ -1,0 +1,97 @@
+//===- support/JsonValue.h - JSON document parser --------------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the project's JSON story. support/Json.h writes every
+/// machine-readable document; this file parses untrusted JSON back into a
+/// small \c JsonValue tree so the versioned request/config API
+/// (PipelineConfig::fromJson, the bsched_server wire protocol) can accept
+/// documents from the outside world under the house error-handling rules:
+/// malformed input comes back as a BS900 diagnostic with a line/column,
+/// never as a crash or an exception.
+///
+/// Scope is deliberately RFC-8259-minimal: objects, arrays, strings (with
+/// the standard escapes incl. \uXXXX basic-plane decoding), doubles,
+/// booleans and null. Object members preserve document order and keep
+/// duplicates (callers that reject unknown/duplicate keys can see them).
+/// A fixed nesting-depth cap bounds recursion on hostile input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_JSONVALUE_H
+#define BSCHED_SUPPORT_JSONVALUE_H
+
+#include "support/ErrorOr.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bsched {
+
+/// One parsed JSON value. Plain tree data: movable, copyable, queryable.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// Object members in document order; duplicates preserved.
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// "null", "boolean", "number", "string", "array", "object" — for
+  /// type-mismatch diagnostics.
+  std::string_view kindName() const;
+
+  bool asBool() const { return Bool; }
+  double asNumber() const { return Number; }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &elements() const { return Elements; }
+  const std::vector<Member> &members() const { return Members; }
+
+  /// First member named \p Key, or null when absent. Objects only.
+  const JsonValue *find(std::string_view Key) const;
+
+  /// True when the number is integral and fits \p Out (non-negative).
+  bool asUInt64(uint64_t &Out) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue makeObject(std::vector<Member> V);
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elements;
+  std::vector<Member> Members;
+};
+
+/// Parses \p Text as exactly one JSON document (trailing whitespace
+/// allowed, trailing garbage rejected). Failures are BS900 JsonParseError
+/// diagnostics carrying the 1-based line/column of the offending byte.
+/// \p MaxDepth bounds container nesting.
+ErrorOr<JsonValue> parseJson(std::string_view Text, unsigned MaxDepth = 64);
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_JSONVALUE_H

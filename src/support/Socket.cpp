@@ -1,0 +1,123 @@
+//===- support/Socket.cpp - Unix-domain stream sockets --------------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace bsched;
+
+void FdHandle::reset() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+void FdHandle::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+namespace {
+
+/// Fills \p Addr for \p Path; false when the path does not fit AF_UNIX.
+bool fillAddress(std::string_view Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.data(), Path.size());
+  return true;
+}
+
+Status ioFailure(std::string What) {
+  return Status::failure(DiagCode::WireIo,
+                         What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Status UnixListener::listen(std::string_view Path, int Backlog) {
+  close();
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr))
+    return Status::failure(DiagCode::WireIo,
+                           "socket path '" + std::string(Path) +
+                               "' is empty or too long for AF_UNIX");
+
+  FdHandle Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Fd.valid())
+    return ioFailure("socket");
+
+  // The daemon owns its rendezvous path: a stale file from a previous run
+  // would otherwise make every restart EADDRINUSE.
+  ::unlink(Addr.sun_path);
+
+  if (::bind(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return ioFailure("bind '" + std::string(Path) + "'");
+  if (::listen(Fd.get(), Backlog) != 0)
+    return ioFailure("listen '" + std::string(Path) + "'");
+
+  Listen = std::move(Fd);
+  SocketPath.assign(Path);
+  return Status::success();
+}
+
+FdHandle UnixListener::accept() {
+  while (Listen.valid()) {
+    int Fd = ::accept(Listen.get(), nullptr, nullptr);
+    if (Fd >= 0)
+      return FdHandle(Fd);
+    if (errno == EINTR)
+      continue;
+    break; // Shut down or broken: the caller stops accepting.
+  }
+  return FdHandle();
+}
+
+void UnixListener::close() {
+  Listen.reset();
+  if (!SocketPath.empty()) {
+    ::unlink(SocketPath.c_str());
+    SocketPath.clear();
+  }
+}
+
+ErrorOr<FdHandle> bsched::connectUnix(std::string_view Path,
+                                      unsigned RetryMs) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr))
+    return Diagnostic{0, 0,
+                      "socket path '" + std::string(Path) +
+                          "' is empty or too long for AF_UNIX",
+                      Severity::Error, DiagCode::WireIo};
+
+  constexpr unsigned StepMs = 50;
+  for (unsigned Waited = 0;; Waited += StepMs) {
+    FdHandle Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!Fd.valid())
+      return Diagnostic{0, 0,
+                        std::string("socket: ") + std::strerror(errno),
+                        Severity::Error, DiagCode::WireIo};
+    if (::connect(Fd.get(), reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return Fd;
+    int Err = errno;
+    if (Waited >= RetryMs || (Err != ENOENT && Err != ECONNREFUSED))
+      return Diagnostic{0, 0,
+                        "connect '" + std::string(Path) +
+                            "': " + std::strerror(Err),
+                        Severity::Error, DiagCode::WireIo};
+    std::this_thread::sleep_for(std::chrono::milliseconds(StepMs));
+  }
+}

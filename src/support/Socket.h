@@ -1,0 +1,103 @@
+//===- support/Socket.h - Unix-domain stream sockets -----------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over AF_UNIX stream sockets for the bsched_server
+/// transport. Unix-domain sockets (not TCP) are deliberate: the daemon
+/// serves local toolchain traffic, filesystem permissions are the access
+/// control, and sandboxed CI can exercise the full socket path without
+/// network capabilities. Failures follow the house rules — structured
+/// Status/diagnostics, never exceptions or exits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_SOCKET_H
+#define BSCHED_SUPPORT_SOCKET_H
+
+#include "support/ErrorOr.h"
+
+#include <string>
+#include <string_view>
+
+namespace bsched {
+
+/// Owns one socket (or any) file descriptor; closes on destruction.
+class FdHandle {
+public:
+  FdHandle() = default;
+  explicit FdHandle(int Fd) : Fd(Fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle &&Other) noexcept : Fd(Other.release()) {}
+  FdHandle &operator=(FdHandle &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Fd = Other.release();
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle &) = delete;
+  FdHandle &operator=(const FdHandle &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int get() const { return Fd; }
+
+  int release() {
+    int Out = Fd;
+    Fd = -1;
+    return Out;
+  }
+
+  void reset();
+
+  /// shutdown(SHUT_RDWR): unblocks any reader/writer on this fd without
+  /// racing the close (the fd number stays reserved until reset()).
+  void shutdownBoth();
+
+private:
+  int Fd = -1;
+};
+
+/// A bound, listening AF_UNIX stream socket.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+  UnixListener(UnixListener &&) = default;
+  UnixListener &operator=(UnixListener &&) = default;
+
+  /// Binds and listens on \p Path (an existing stale socket file is
+  /// unlinked first — the daemon owns its rendezvous path). AF_UNIX paths
+  /// are limited to ~107 bytes; longer paths fail with a diagnostic.
+  Status listen(std::string_view Path, int Backlog = 64);
+
+  /// Accepts one connection. Blocks until a peer arrives, the listener is
+  /// shut down (returns an invalid handle), or an error occurs.
+  FdHandle accept();
+
+  bool listening() const { return Listen.valid(); }
+  const std::string &path() const { return SocketPath; }
+
+  /// Unblocks accept() from another thread.
+  void shutdown() { Listen.shutdownBoth(); }
+
+  /// Closes the socket and unlinks the path.
+  void close();
+
+private:
+  FdHandle Listen;
+  std::string SocketPath;
+};
+
+/// Connects to the AF_UNIX listener at \p Path. \p RetryMs > 0 keeps
+/// retrying (50ms steps) until the daemon appears or the budget runs out
+/// — the loadgen races server startup in scripts.
+ErrorOr<FdHandle> connectUnix(std::string_view Path, unsigned RetryMs = 0);
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_SOCKET_H

@@ -1,0 +1,118 @@
+//===- support/Wire.cpp - Length-prefixed frame transport -----------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bsched;
+
+size_t bsched::readFull(int Fd, void *Buffer, size_t Size, bool *IoError) {
+  if (IoError)
+    *IoError = false;
+  char *Out = static_cast<char *>(Buffer);
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::read(Fd, Out + Done, Size - Done);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return Done; // EOF.
+    if (errno == EINTR)
+      continue;
+    if (IoError)
+      *IoError = true;
+    return Done;
+  }
+  return Done;
+}
+
+bool bsched::writeFull(int Fd, const void *Buffer, size_t Size) {
+  const char *In = static_cast<const char *>(Buffer);
+  size_t Done = 0;
+  while (Done < Size) {
+    // MSG_NOSIGNAL keeps a disappearing peer from raising SIGPIPE; on a
+    // non-socket fd (stdio test mode, files) send() fails ENOTSOCK and we
+    // fall back to write().
+    ssize_t N = ::send(Fd, In + Done, Size - Done, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, In + Done, Size - Done);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+FrameStatus bsched::readFrame(int Fd, std::string &Payload, uint32_t MaxBytes,
+                              Diagnostic *Error) {
+  auto Fail = [&](DiagCode Code, std::string Message) {
+    if (Error)
+      *Error = {0, 0, std::move(Message), Severity::Error, Code};
+    return FrameStatus::Error;
+  };
+
+  unsigned char Header[4];
+  bool IoError = false;
+  size_t Got = readFull(Fd, Header, sizeof(Header), &IoError);
+  if (IoError)
+    return Fail(DiagCode::WireIo,
+                std::string("frame header read failed: ") +
+                    std::strerror(errno));
+  if (Got == 0)
+    return FrameStatus::Eof;
+  if (Got < sizeof(Header))
+    return Fail(DiagCode::WireFrameTruncated,
+                "stream ended inside a frame header (" +
+                    std::to_string(Got) + " of 4 length bytes)");
+
+  uint32_t Length = (uint32_t(Header[0]) << 24) | (uint32_t(Header[1]) << 16) |
+                    (uint32_t(Header[2]) << 8) | uint32_t(Header[3]);
+  if (Length > MaxBytes)
+    return Fail(DiagCode::WireFrameTooLarge,
+                "frame of " + std::to_string(Length) +
+                    " bytes exceeds the " + std::to_string(MaxBytes) +
+                    "-byte limit");
+
+  Payload.resize(Length);
+  if (Length != 0) {
+    Got = readFull(Fd, Payload.data(), Length, &IoError);
+    if (IoError)
+      return Fail(DiagCode::WireIo, std::string("frame payload read failed: ") +
+                                        std::strerror(errno));
+    if (Got < Length)
+      return Fail(DiagCode::WireFrameTruncated,
+                  "stream ended inside a frame payload (" +
+                      std::to_string(Got) + " of " + std::to_string(Length) +
+                      " bytes)");
+  }
+  return FrameStatus::Frame;
+}
+
+Status bsched::writeFrame(int Fd, std::string_view Payload) {
+  unsigned char Header[4] = {
+      static_cast<unsigned char>(Payload.size() >> 24),
+      static_cast<unsigned char>(Payload.size() >> 16),
+      static_cast<unsigned char>(Payload.size() >> 8),
+      static_cast<unsigned char>(Payload.size()),
+  };
+  if (!writeFull(Fd, Header, sizeof(Header)) ||
+      !writeFull(Fd, Payload.data(), Payload.size()))
+    return Status::failure(DiagCode::WireIo,
+                           std::string("frame write failed: ") +
+                               std::strerror(errno));
+  return Status::success();
+}

@@ -1,0 +1,67 @@
+//===- support/Wire.h - Length-prefixed frame transport --------*- C++ -*-===//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bsched_server wire format, version 1: a stream of frames, each a
+/// 4-byte big-endian payload length followed by that many payload bytes
+/// (one JSON document per frame). The length word never includes itself;
+/// a zero-length frame is legal and carries an empty payload.
+///
+/// The read side is written for hostile peers: a frame longer than the
+/// caller's limit comes back as a structured BS905 diagnostic *before*
+/// any payload is read (so the server can answer it and drop the
+/// connection without buffering an attacker-chosen allocation), and a
+/// stream that ends mid-frame is a BS906, distinct from the clean EOF
+/// between frames that ends a session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSCHED_SUPPORT_WIRE_H
+#define BSCHED_SUPPORT_WIRE_H
+
+#include "support/Diagnostic.h"
+#include "support/ErrorOr.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bsched {
+
+/// Default per-frame payload cap (16 MiB) — generous for any kernel the
+/// pipeline admits, small enough that a hostile length word cannot
+/// reserve the machine's memory.
+constexpr uint32_t DefaultMaxFrameBytes = 16u << 20;
+
+/// What readFrame found on the stream.
+enum class FrameStatus : uint8_t {
+  Frame, ///< A complete frame; the payload is in the out-parameter.
+  Eof,   ///< Clean end of stream between frames (no bytes read).
+  Error, ///< Oversized (BS905), truncated (BS906) or I/O (BS907) failure.
+};
+
+/// Reads one frame from \p Fd. On FrameStatus::Error, \p Error (when
+/// non-null) receives the structured diagnostic; an oversized frame
+/// leaves the payload unread (the stream is out of sync — close it).
+FrameStatus readFrame(int Fd, std::string &Payload, uint32_t MaxBytes,
+                      Diagnostic *Error = nullptr);
+
+/// Writes one frame to \p Fd. Short writes are retried; EINTR is
+/// transparent; a peer that closed mid-write surfaces as BS907 (writes
+/// use MSG_NOSIGNAL on sockets, so no SIGPIPE).
+Status writeFrame(int Fd, std::string_view Payload);
+
+/// Reads exactly \p Size bytes. Returns the bytes actually read; short
+/// only at EOF or on an error (\p IoError set for the latter).
+size_t readFull(int Fd, void *Buffer, size_t Size, bool *IoError = nullptr);
+
+/// Writes all of \p Size bytes; false on any unrecoverable error.
+bool writeFull(int Fd, const void *Buffer, size_t Size);
+
+} // namespace bsched
+
+#endif // BSCHED_SUPPORT_WIRE_H

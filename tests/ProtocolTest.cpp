@@ -1,0 +1,525 @@
+//===- tests/ProtocolTest.cpp - Versioned request/config API tests --------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+// The schema-v1 surface of the compile service (DESIGN.md §3j): the JSON
+// document parser, the PipelineConfig round-trip (golden-pinned — a field
+// added without a schema bump fails here), the request/response envelope,
+// the shared CLI flag parser, and the compile-cache key coverage test
+// that pins which PipelineConfig fields are (and are not) part of a
+// compilation's identity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "pipeline/CompileCache.h"
+#include "pipeline/Pipeline.h"
+#include "server/Protocol.h"
+#include "support/CliOptions.h"
+#include "support/JsonValue.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bsched;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JsonValue: the read side of the JSON story.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonValueTest, ParsesScalarsAndContainers) {
+  ErrorOr<JsonValue> Doc =
+      parseJson(R"({"a":1.5,"b":"x\nA","c":[true,null],"d":{}})");
+  ASSERT_TRUE(Doc.has_value());
+  ASSERT_TRUE(Doc->isObject());
+  EXPECT_DOUBLE_EQ(Doc->find("a")->asNumber(), 1.5);
+  EXPECT_EQ(Doc->find("b")->asString(), "x\nA");
+  ASSERT_TRUE(Doc->find("c")->isArray());
+  EXPECT_EQ(Doc->find("c")->elements().size(), 2u);
+  EXPECT_TRUE(Doc->find("c")->elements()[0].asBool());
+  EXPECT_TRUE(Doc->find("c")->elements()[1].isNull());
+  EXPECT_TRUE(Doc->find("d")->isObject());
+  EXPECT_EQ(Doc->find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, MalformedInputIsBS900WithLocation) {
+  ErrorOr<JsonValue> Doc = parseJson("{\"a\":\n  12,,}");
+  ASSERT_FALSE(Doc.has_value());
+  ASSERT_FALSE(Doc.errors().empty());
+  const Diagnostic &D = Doc.errors().front();
+  EXPECT_EQ(D.Code, DiagCode::JsonParseError);
+  EXPECT_EQ(D.Line, 2u); // The offending byte, not just "somewhere".
+}
+
+TEST(JsonValueTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(parseJson("{} tail").has_value());
+  EXPECT_TRUE(parseJson("{}  \n ").has_value());
+}
+
+TEST(JsonValueTest, DepthCapBoundsRecursion) {
+  std::string Deep(200, '[');
+  Deep.append(200, ']');
+  EXPECT_FALSE(parseJson(Deep, /*MaxDepth=*/64).has_value());
+  EXPECT_TRUE(parseJson("[[[[]]]]", /*MaxDepth=*/8).has_value());
+}
+
+TEST(JsonValueTest, DuplicateKeysPreservedInOrder) {
+  ErrorOr<JsonValue> Doc = parseJson(R"({"k":1,"k":2})");
+  ASSERT_TRUE(Doc.has_value());
+  ASSERT_EQ(Doc->members().size(), 2u);
+  EXPECT_DOUBLE_EQ(Doc->members()[0].second.asNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(Doc->members()[1].second.asNumber(), 2.0);
+}
+
+TEST(JsonValueTest, UInt64RejectsFractionsAndNegatives) {
+  uint64_t Out = 0;
+  ASSERT_TRUE(parseJson("3")->asUInt64(Out));
+  EXPECT_EQ(Out, 3u);
+  EXPECT_FALSE(parseJson("3.5")->asUInt64(Out));
+  EXPECT_FALSE(parseJson("-1")->asUInt64(Out));
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineConfig schema v1.
+//===----------------------------------------------------------------------===//
+
+// The golden pin: this exact string is schema v1. Changing it (adding a
+// field, reordering, renaming) is a schema event — bump SchemaVersion and
+// provide a migration, do not just update the string.
+constexpr const char *PaperDefaultJson =
+    "{\"schema_version\":1,\"policy\":\"balanced\",\"optimistic_latency\":2,"
+    "\"op_latencies\":{},"
+    "\"target\":{\"int_regs\":26,\"fp_regs\":16,\"spill_pool_size\":4,"
+    "\"fifo_spill_pool\":true},"
+    "\"dag\":{\"disambiguate_same_base\":true},"
+    "\"sched\":{\"issue_width\":1},"
+    "\"run_regalloc\":true,\"second_scheduling_pass\":true,"
+    "\"honor_known_latency\":true,\"rename_after_allocation\":false,"
+    "\"certify\":true,"
+    "\"budget\":{\"deadline_ms\":0,\"max_ticks\":0,"
+    "\"max_instructions_per_block\":0,\"max_dag_edges\":0,"
+    "\"max_closure_bits\":0,\"max_spill_slots\":0,\"degrade\":true}}";
+
+TEST(ConfigJsonTest, PaperDefaultGolden) {
+  EXPECT_EQ(PipelineConfig::paperDefault().toJson(), PaperDefaultJson);
+}
+
+TEST(ConfigJsonTest, EmptyObjectIsPaperDefault) {
+  ErrorOr<PipelineConfig> Config = PipelineConfig::fromJson("{}");
+  ASSERT_TRUE(Config.has_value());
+  EXPECT_EQ(Config->toJson(), PaperDefaultJson);
+}
+
+TEST(ConfigJsonTest, RoundTripPreservesEveryKnob) {
+  PipelineConfig Config = PipelineConfig::paperDefault();
+  Config.Policy = SchedulerPolicy::Traditional;
+  Config.OptimisticLatency = 3.5;
+  Config.Ops.setOpLatency(Opcode::FMul, 4.0);
+  Config.Target.NumIntRegs = 12;
+  Config.Target.NumFpRegs = 6;
+  Config.Target.SpillPoolSize = 2;
+  Config.Target.FifoSpillPool = false;
+  Config.DagOptions.DisambiguateSameBase = false;
+  Config.SchedOptions.IssueWidth = 4;
+  Config.RunRegAlloc = false;
+  Config.SecondSchedulingPass = false;
+  Config.HonorKnownLatency = false;
+  Config.RenameAfterAllocation = true;
+  Config.Certify = false;
+  Config.Budget.DeadlineMs = 12.5;
+  Config.Budget.MaxTicks = 1000;
+  Config.Budget.MaxInstructionsPerBlock = 64;
+  Config.Budget.MaxDagEdges = 4096;
+  Config.Budget.MaxClosureBits = 1 << 20;
+  Config.Budget.MaxSpillSlots = 7;
+  Config.Budget.Degrade = false;
+
+  ErrorOr<PipelineConfig> Parsed = PipelineConfig::fromJson(Config.toJson());
+  ASSERT_TRUE(Parsed.has_value()) << Parsed.errorText();
+  EXPECT_EQ(Parsed->toJson(), Config.toJson());
+  EXPECT_EQ(Parsed->Policy, SchedulerPolicy::Traditional);
+  EXPECT_DOUBLE_EQ(Parsed->Ops.opLatency(Opcode::FMul), 4.0);
+  EXPECT_EQ(Parsed->SchedOptions.IssueWidth, 4u);
+  EXPECT_DOUBLE_EQ(Parsed->Budget.DeadlineMs, 12.5);
+  EXPECT_FALSE(Parsed->Budget.Degrade);
+}
+
+TEST(ConfigJsonTest, UnsupportedSchemaVersionIsBS901) {
+  ErrorOr<PipelineConfig> Config =
+      PipelineConfig::fromJson(R"({"schema_version":2})");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_EQ(Config.errors().front().Code, DiagCode::ProtocolSchemaVersion);
+  EXPECT_NE(Config.errors().front().Message.find("this build speaks v1"),
+            std::string::npos);
+}
+
+TEST(ConfigJsonTest, UnknownKeyIsBS902NotSilentDefault) {
+  ErrorOr<PipelineConfig> Config =
+      PipelineConfig::fromJson(R"({"certfy":true})");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_EQ(Config.errors().front().Code, DiagCode::ProtocolUnknownKey);
+  EXPECT_NE(Config.errors().front().Message.find("'certfy'"),
+            std::string::npos);
+}
+
+TEST(ConfigJsonTest, NestedUnknownKeyNamesTheFullPath) {
+  ErrorOr<PipelineConfig> Config =
+      PipelineConfig::fromJson(R"({"budget":{"max_tics":5}})");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_NE(Config.errors().front().Message.find("'budget.max_tics'"),
+            std::string::npos);
+}
+
+TEST(ConfigJsonTest, TypeMismatchIsBS903) {
+  ErrorOr<PipelineConfig> Config =
+      PipelineConfig::fromJson(R"({"certify":"yes"})");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_EQ(Config.errors().front().Code, DiagCode::ProtocolBadValue);
+  EXPECT_NE(Config.errors().front().Message.find("expects a boolean"),
+            std::string::npos);
+}
+
+TEST(ConfigJsonTest, BadOpLatencyRejected) {
+  EXPECT_FALSE(
+      PipelineConfig::fromJson(R"({"op_latencies":{"nosuchop":2}})")
+          .has_value());
+  EXPECT_FALSE(
+      PipelineConfig::fromJson(R"({"op_latencies":{"fmul":0.5}})")
+          .has_value());
+  EXPECT_TRUE(
+      PipelineConfig::fromJson(R"({"op_latencies":{"fmul":2}})").has_value());
+}
+
+TEST(ConfigJsonTest, UnknownPolicyNameReported) {
+  EXPECT_FALSE(PipelineConfig::fromJson(R"({"policy":"quantum"})")
+                   .has_value());
+}
+
+TEST(ConfigJsonTest, MalformedDocumentIsBS900) {
+  ErrorOr<PipelineConfig> Config = PipelineConfig::fromJson("{certify:");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_EQ(Config.errors().front().Code, DiagCode::JsonParseError);
+}
+
+TEST(ConfigJsonTest, AllFieldErrorsCollectedInOnePass) {
+  // Misspelled key + type mismatch + bad version: the caller sees all
+  // three, not just the first.
+  ErrorOr<PipelineConfig> Config = PipelineConfig::fromJson(
+      R"({"schema_version":9,"certify":1,"wat":true})");
+  ASSERT_FALSE(Config.has_value());
+  EXPECT_EQ(Config.errors().size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Request/response envelope.
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  CompileRequest Request;
+  Request.Id = "r42";
+  Request.Kernel = "func @k {\n}\n";
+  Request.Config.Policy = SchedulerPolicy::Traditional;
+  Request.Config.SchedOptions.IssueWidth = 2;
+  Request.WantSchedule = false;
+  Request.WantMetrics = true;
+
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(Request.toJson());
+  ASSERT_TRUE(Parsed.has_value()) << Parsed.errorText();
+  EXPECT_EQ(Parsed->Id, "r42");
+  EXPECT_EQ(Parsed->Op, RequestOp::Compile);
+  EXPECT_EQ(Parsed->Kernel, Request.Kernel);
+  EXPECT_EQ(Parsed->Config.toJson(), Request.Config.toJson());
+  EXPECT_FALSE(Parsed->WantSchedule);
+  EXPECT_TRUE(Parsed->WantMetrics);
+  EXPECT_EQ(Parsed->toJson(), Request.toJson());
+}
+
+TEST(ProtocolTest, NonCompileOpsOmitCompileFields) {
+  CompileRequest Ping;
+  Ping.Id = "p";
+  Ping.Op = RequestOp::Ping;
+  Ping.Kernel = "ignored";
+  std::string Json = Ping.toJson();
+  EXPECT_EQ(Json.find("kernel"), std::string::npos);
+  EXPECT_EQ(Json.find("config"), std::string::npos);
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(Json);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->Op, RequestOp::Ping);
+}
+
+TEST(ProtocolTest, UnknownOpIsStructuredError) {
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(
+      R"({"schema_version":1,"op":"transpile"})");
+  ASSERT_FALSE(Parsed.has_value());
+  EXPECT_EQ(Parsed.errors().front().Code, DiagCode::ProtocolBadValue);
+}
+
+TEST(ProtocolTest, RequestUnknownKeyIsBS902) {
+  ErrorOr<CompileRequest> Parsed =
+      CompileRequest::fromJson(R"({"schema_version":1,"kernl":"x"})");
+  ASSERT_FALSE(Parsed.has_value());
+  EXPECT_EQ(Parsed.errors().front().Code, DiagCode::ProtocolUnknownKey);
+}
+
+TEST(ProtocolTest, RequestMustBeAnObject) {
+  EXPECT_FALSE(CompileRequest::fromJson("[1,2]").has_value());
+  EXPECT_FALSE(CompileRequest::fromJson("not json").has_value());
+}
+
+TEST(ProtocolTest, EmbeddedConfigErrorsSurfaceOnTheRequest) {
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(
+      R"({"schema_version":1,"config":{"certfy":true}})");
+  ASSERT_FALSE(Parsed.has_value());
+  EXPECT_EQ(Parsed.errors().front().Code, DiagCode::ProtocolUnknownKey);
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithDiagnostics) {
+  CompileResponse Response;
+  Response.Id = "r1";
+  Response.Ok = false;
+  Response.CacheHit = true;
+  Response.Degradation = "union-find-chances";
+  Response.StaticInstructions = 17;
+  Response.StaticSpills = 3;
+  Response.DynamicInstructions = 123.5;
+  Response.DynamicSpills = 4.25;
+  Response.WallMs = 1.5;
+  Response.Schedule = "func @k {\n}\n";
+  Response.Diags.push_back({7, 3, "expected 'func'", Severity::Error,
+                            DiagCode::ParseExpectedToken});
+  Response.Diags.push_back({0, 0, "deadline", Severity::Warning,
+                            DiagCode::GovernorDeadlineExceeded});
+
+  ErrorOr<CompileResponse> Parsed =
+      CompileResponse::fromJson(Response.toJson());
+  ASSERT_TRUE(Parsed.has_value()) << Parsed.errorText();
+  EXPECT_EQ(Parsed->Id, "r1");
+  EXPECT_FALSE(Parsed->Ok);
+  EXPECT_TRUE(Parsed->CacheHit);
+  EXPECT_EQ(Parsed->Degradation, "union-find-chances");
+  EXPECT_EQ(Parsed->StaticInstructions, 17u);
+  EXPECT_DOUBLE_EQ(Parsed->DynamicInstructions, 123.5);
+  EXPECT_EQ(Parsed->Schedule, Response.Schedule);
+  ASSERT_EQ(Parsed->Diags.size(), 2u);
+  EXPECT_EQ(Parsed->Diags[0].Code, DiagCode::ParseExpectedToken);
+  EXPECT_EQ(Parsed->Diags[0].Line, 7u);
+  EXPECT_EQ(Parsed->Diags[0].Sev, Severity::Error);
+  EXPECT_EQ(Parsed->Diags[1].Sev, Severity::Warning);
+  EXPECT_EQ(Parsed->toJson(), Response.toJson());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared CLI flag parsing (support/CliOptions.h).
+//===----------------------------------------------------------------------===//
+
+/// Runs the parser over an argv; returns indices it did not consume.
+std::vector<int> runCli(CliOptionParser &Cli, std::vector<const char *> Args,
+                        bool &SawError) {
+  Args.insert(Args.begin(), "tool");
+  std::vector<int> Mine;
+  SawError = false;
+  for (int I = 1; I < static_cast<int>(Args.size()); ++I) {
+    CliOptionParser::Match M = Cli.tryParse(
+        static_cast<int>(Args.size()), const_cast<char **>(Args.data()), I);
+    if (M == CliOptionParser::Match::Error)
+      SawError = true;
+    else if (M == CliOptionParser::Match::NotMine)
+      Mine.push_back(I);
+  }
+  return Mine;
+}
+
+TEST(CliOptionsTest, BudgetFlagsParsed) {
+  CliOptionParser Cli(CliOptionParser::WantBudget);
+  bool Err = false;
+  std::vector<int> Rest =
+      runCli(Cli, {"--deadline-ms", "12.5", "--max-instrs", "64"}, Err);
+  EXPECT_FALSE(Err);
+  EXPECT_TRUE(Rest.empty());
+  EXPECT_DOUBLE_EQ(Cli.options().Budget.DeadlineMs, 12.5);
+  EXPECT_EQ(Cli.options().Budget.MaxInstructionsPerBlock, 64u);
+}
+
+TEST(CliOptionsTest, BadBudgetValueIsError) {
+  CliOptionParser Cli(CliOptionParser::WantBudget);
+  bool Err = false;
+  runCli(Cli, {"--deadline-ms", "soon"}, Err);
+  EXPECT_TRUE(Err);
+  EXPECT_FALSE(Cli.error().empty());
+}
+
+TEST(CliOptionsTest, PolicyCarriedAsText) {
+  CliOptionParser Cli(CliOptionParser::WantPolicy);
+  bool Err = false;
+  runCli(Cli, {"--policy", "traditional"}, Err);
+  EXPECT_FALSE(Err);
+  EXPECT_TRUE(Cli.options().HasPolicy);
+  EXPECT_EQ(Cli.options().PolicyText, "traditional");
+  // The text is opaque here; conversion happens in the pipeline layer.
+  ErrorOr<SchedulerPolicy> Parsed =
+      parsePolicyName(Cli.options().PolicyText);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(*Parsed, SchedulerPolicy::Traditional);
+}
+
+TEST(CliOptionsTest, UnwantedFlagFallsThroughAsNotMine) {
+  CliOptionParser Cli(CliOptionParser::WantBudget); // No WantJson.
+  bool Err = false;
+  std::vector<int> Rest = runCli(Cli, {"--json", "--dot"}, Err);
+  EXPECT_FALSE(Err);
+  EXPECT_EQ(Rest.size(), 2u);
+  EXPECT_FALSE(Cli.options().Json);
+}
+
+TEST(CliOptionsTest, JsonTraceAndConfigFlags) {
+  CliOptionParser Cli(CliOptionParser::WantJson | CliOptionParser::WantTrace |
+                      CliOptionParser::WantConfig);
+  bool Err = false;
+  std::vector<int> Rest = runCli(
+      Cli, {"--json", "--trace-out=t.json", "--config", "cfg.json"}, Err);
+  EXPECT_FALSE(Err);
+  EXPECT_TRUE(Rest.empty());
+  EXPECT_TRUE(Cli.options().Json);
+  EXPECT_EQ(Cli.options().TraceOut, "t.json");
+  EXPECT_EQ(Cli.options().ConfigFile, "cfg.json");
+}
+
+TEST(CliOptionsTest, UsageFragmentListsAcceptedFlags) {
+  CliOptionParser Cli(CliOptionParser::WantCandidate |
+                      CliOptionParser::WantBudget);
+  std::string Usage = Cli.usageFragment();
+  EXPECT_NE(Usage.find("--candidate"), std::string::npos);
+  EXPECT_NE(Usage.find("--deadline-ms"), std::string::npos);
+  EXPECT_EQ(Usage.find("--json"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key coverage: which PipelineConfig fields are a compile's identity.
+//===----------------------------------------------------------------------===//
+
+Function keyTestFunction() {
+  const char *Source = R"(
+func @k {
+block body freq 1 {
+  %i0 = li 64
+  %f0 = fload [%i0 + 0] !a
+  %f1 = fadd %f0, %f0
+  fstore %f1, [%i0 + 8] !a
+  ret
+}
+}
+)";
+  ParseResult Result = parseIr(Source);
+  EXPECT_TRUE(Result.ok());
+  return std::move(Result.Functions.front());
+}
+
+TEST(CacheKeyTest, EveryBehaviorAffectingFieldIsInTheKey) {
+  Function F = keyTestFunction();
+  const std::string Base =
+      experimentCacheKey(F, PipelineConfig::paperDefault());
+
+  // One mutation per behavior-affecting knob: each must move the key.
+  std::vector<std::pair<const char *, PipelineConfig>> Mutants;
+  auto Mutate = [&](const char *Name, auto Fn) {
+    PipelineConfig C = PipelineConfig::paperDefault();
+    Fn(C);
+    Mutants.emplace_back(Name, std::move(C));
+  };
+  Mutate("policy", [](PipelineConfig &C) {
+    C.Policy = SchedulerPolicy::Traditional;
+  });
+  Mutate("optimistic_latency",
+         [](PipelineConfig &C) { C.OptimisticLatency = 9.0; });
+  Mutate("op_latencies", [](PipelineConfig &C) {
+    C.Ops.setOpLatency(Opcode::FMul, 5.0);
+  });
+  Mutate("int_regs", [](PipelineConfig &C) { C.Target.NumIntRegs = 9; });
+  Mutate("fp_regs", [](PipelineConfig &C) { C.Target.NumFpRegs = 9; });
+  Mutate("spill_pool_size",
+         [](PipelineConfig &C) { C.Target.SpillPoolSize = 3; });
+  Mutate("fifo_spill_pool",
+         [](PipelineConfig &C) { C.Target.FifoSpillPool = false; });
+  Mutate("disambiguate_same_base", [](PipelineConfig &C) {
+    C.DagOptions.DisambiguateSameBase = false;
+  });
+  Mutate("issue_width",
+         [](PipelineConfig &C) { C.SchedOptions.IssueWidth = 2; });
+  Mutate("run_regalloc", [](PipelineConfig &C) { C.RunRegAlloc = false; });
+  Mutate("second_scheduling_pass",
+         [](PipelineConfig &C) { C.SecondSchedulingPass = false; });
+  Mutate("honor_known_latency",
+         [](PipelineConfig &C) { C.HonorKnownLatency = false; });
+  Mutate("rename_after_allocation",
+         [](PipelineConfig &C) { C.RenameAfterAllocation = true; });
+  Mutate("certify", [](PipelineConfig &C) { C.Certify = false; });
+  Mutate("budget.deadline_ms",
+         [](PipelineConfig &C) { C.Budget.DeadlineMs = 100.0; });
+  Mutate("budget.max_ticks",
+         [](PipelineConfig &C) { C.Budget.MaxTicks = 1000; });
+  Mutate("budget.max_instructions_per_block",
+         [](PipelineConfig &C) { C.Budget.MaxInstructionsPerBlock = 99; });
+  Mutate("budget.max_dag_edges",
+         [](PipelineConfig &C) { C.Budget.MaxDagEdges = 99; });
+  Mutate("budget.max_closure_bits",
+         [](PipelineConfig &C) { C.Budget.MaxClosureBits = 99; });
+  Mutate("budget.max_spill_slots",
+         [](PipelineConfig &C) { C.Budget.MaxSpillSlots = 99; });
+  Mutate("budget.degrade",
+         [](PipelineConfig &C) { C.Budget.Degrade = false; });
+
+  for (const auto &[Name, Config] : Mutants)
+    EXPECT_NE(experimentCacheKey(F, Config), Base)
+        << "mutating '" << Name << "' must change the cache key";
+
+  // And distinct mutants must not collide with each other.
+  std::vector<std::string> Keys;
+  for (const auto &[Name, Config] : Mutants)
+    Keys.push_back(experimentCacheKey(F, Config));
+  std::sort(Keys.begin(), Keys.end());
+  EXPECT_EQ(std::adjacent_find(Keys.begin(), Keys.end()), Keys.end());
+}
+
+TEST(CacheKeyTest, ObsAndWeighterPoolAreKeyNeutral) {
+  Function F = keyTestFunction();
+  const std::string Base =
+      experimentCacheKey(F, PipelineConfig::paperDefault());
+
+  // Observing a compilation or parallelizing its weighting never changes
+  // the result, so neither may move the key (CompileCache.h contract).
+  MetricRegistry Metrics;
+  PipelineConfig Observed = PipelineConfig::paperDefault();
+  Observed.Obs.Metrics = &Metrics;
+  EXPECT_EQ(experimentCacheKey(F, Observed), Base);
+
+  ThreadPool Pool(2);
+  PipelineConfig Pooled = PipelineConfig::paperDefault();
+  Pooled.WeighterPool = &Pool;
+  EXPECT_EQ(experimentCacheKey(F, Pooled), Base);
+}
+
+TEST(CacheKeyTest, FunctionContentIsInTheKey) {
+  Function F = keyTestFunction();
+  PipelineConfig Config = PipelineConfig::paperDefault();
+  const std::string Base = experimentCacheKey(F, Config);
+
+  ParseResult Other = parseIr(R"(
+func @k {
+block body freq 1 {
+  %i0 = li 65
+  ret
+}
+}
+)");
+  ASSERT_TRUE(Other.ok());
+  EXPECT_NE(experimentCacheKey(Other.Functions.front(), Config), Base);
+  EXPECT_NE(experimentContentHash(Other.Functions.front(), Config),
+            experimentContentHash(F, Config));
+}
+
+} // namespace
