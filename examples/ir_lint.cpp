@@ -4,13 +4,15 @@
 // "Balanced Scheduling" (PLDI 1993).
 //
 // A command-line front end for the analysis layer: reads a .bsir file,
-// runs the dataflow lints (use-before-def, dead values, redundant loads)
+// runs the dataflow and memory lints (use-before-def, dead values,
+// redundant loads, store-to-load forwarding, dead stores)
 // on every function, and optionally compiles each function with the
 // certifying pipeline so every schedule and allocation is proved correct.
 //
 // Usage:
 //   ir_lint <file.bsir> [--certify] [--no-use-before-def]
 //           [--no-dead-value] [--no-redundant-load]
+//           [--no-store-forward] [--no-dead-store]
 //           [--deadline-ms N] [--max-instrs N]
 //   ir_lint --demo        (runs on a built-in example with findings)
 //
@@ -36,8 +38,11 @@ using namespace bsched;
 namespace {
 
 // Deliberately suspicious code: %i0 is read but never defined (BS700),
-// %f3 is computed and never used (BS701), and the second fload rereads
-// the location the first one just loaded (BS702).
+// %f3 is computed and never used (BS701), the second fload rereads the
+// location the first one just loaded (BS702), the load through %i2 reads
+// the word stored through %i1 — provable only by folding both bases to
+// the constant 4104 (BS703) — and the first store to [%i1 + 16] is
+// overwritten before any read (BS704).
 const char *DemoSource = R"(
 func @demo {
 block body freq 1 {
@@ -46,6 +51,12 @@ block body freq 1 {
   %f2 = fadd %f0, %f1
   %f3 = fmul %f2, %f0
   fstore %f2, [%i0 + 8] !a
+  %i1 = li 4096
+  store %i0, [%i1 + 8] !b
+  %i2 = li 4104
+  %i3 = load [%i2 + 0] !b
+  store %i3, [%i1 + 16] !b
+  store %i3, [%i1 + 16] !b
   ret
 }
 }
@@ -55,6 +66,7 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.bsir> [--certify] [--no-use-before-def] "
                "[--no-dead-value] [--no-redundant-load] "
+               "[--no-store-forward] [--no-dead-store] "
                "[--deadline-ms N] [--max-instrs N] | --demo\n",
                Argv0);
 }
@@ -88,6 +100,10 @@ int main(int argc, char **argv) {
       Options.WarnDeadValue = false;
     else if (std::strcmp(argv[I], "--no-redundant-load") == 0)
       Options.WarnRedundantLoad = false;
+    else if (std::strcmp(argv[I], "--no-store-forward") == 0)
+      Options.WarnStoreForward = false;
+    else if (std::strcmp(argv[I], "--no-dead-store") == 0)
+      Options.WarnDeadStore = false;
     else if (argv[I][0] == '-') {
       usage(argv[0]);
       return 2;

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Style gate: clang-format (diff mode, no rewrites) and clang-tidy (over
 # the build's compile_commands.json) across src/, tests/, bench/ and
-# examples/. Configuration lives in .clang-format / .clang-tidy at the
-# repository root.
+# examples/, plus the repository's own IR lints (ir_lint) over the
+# checked-in examples/kernels/*.bsir corpus. Configuration lives in
+# .clang-format / .clang-tidy at the repository root.
 #
 # The container used for routine development does not ship the clang
-# tools; when neither is installed this script exits 77 (the ctest skip
-# convention) so the `analysis_lint` test reports SKIP rather than FAIL.
+# tools; when no checker (clang tools or a built ir_lint) is available
+# this script exits 77 (the ctest skip convention) so the
+# `analysis_lint` test reports SKIP rather than FAIL.
 #
 # Usage: scripts/lint.sh [build-dir]   (default build dir: ./build)
 set -uo pipefail
@@ -41,6 +43,26 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "clang-tidy not found; skipping tidy check" >&2
+fi
+
+# IR lints over the example kernel corpus. Findings (exit 1) are
+# informational — the corpus is allowed to trip BS70x as teaching
+# material — but parse/verify/certify errors (exit >= 2) fail the gate.
+IR_LINT="$BUILD_DIR/examples/ir_lint"
+if [ -x "$IR_LINT" ]; then
+  RAN_ANY=1
+  echo "== ir_lint (examples/kernels) =="
+  for KERNEL in examples/kernels/*.bsir; do
+    [ -e "$KERNEL" ] || continue
+    "$IR_LINT" "$KERNEL" --certify
+    CODE=$?
+    if [ "$CODE" -ge 2 ]; then
+      echo "ir_lint: $KERNEL failed (exit $CODE)" >&2
+      STATUS=1
+    fi
+  done
+else
+  echo "no $IR_LINT (build the examples first); skipping IR lints" >&2
 fi
 
 if [ "$RAN_ANY" -eq 0 ]; then

@@ -8,6 +8,7 @@
 #include "analysis/Lint.h"
 
 #include "analysis/Dataflow.h"
+#include "analysis/MemDep.h"
 
 #include <map>
 #include <unordered_set>
@@ -116,6 +117,77 @@ void lintRedundantLoads(const Function &F, const BasicBlock &BB,
   }
 }
 
+/// BS703: a load that provably reads the word a prior store wrote, with
+/// nothing that might clobber it in between. Scans backward from the load;
+/// a MayAlias store is a possible clobber (stop silently), a NoAlias store
+/// is skipped, and a MustAlias store is the forwarding source. Fires only
+/// when the proof needed the symbolic analysis — syntactically identical
+/// store/load pairs are BS702's finding (lintRedundantLoads) already.
+void lintStoreForward(const BasicBlock &BB,
+                      const MemoryDependenceAnalysis &MD,
+                      const ReachingDefsResult &Defs,
+                      std::vector<Diagnostic> &Diags) {
+  for (unsigned I = 0, E = BB.schedulableSize(); I != E; ++I) {
+    const Instruction &Load = BB[I];
+    if (!Load.isLoad())
+      continue;
+    for (unsigned J = I; J-- > 0;) {
+      const Instruction &Prior = BB[J];
+      if (!Prior.isStore() || Prior.aliasClass() != Load.aliasClass())
+        continue; // Loads never clobber; other classes never alias.
+      AliasResult R = MD.alias(J, I);
+      if (R == AliasResult::NoAlias)
+        continue;
+      if (R == AliasResult::MustAlias) {
+        bool Syntactic =
+            Prior.addressBase().rawBits() == Load.addressBase().rawBits() &&
+            Defs.sourceDef(J, 1) == Defs.sourceDef(I, 0) &&
+            Prior.imm() == Load.imm();
+        if (!Syntactic)
+          warn(Diags, DiagCode::LintStoreForward,
+               where(BB, I) + " provably reads the word stored by "
+                              "instruction " +
+                   std::to_string(J) + " (" + BB[J].str() +
+                   "); forwarding " + Prior.storedValue().str() +
+                   " would remove the load");
+      }
+      break; // MustAlias handled; MayAlias is a possible clobber.
+    }
+  }
+}
+
+/// BS704: a store provably overwritten by a later same-word store with no
+/// possibly-aliasing load in between. No finding at end of block — memory
+/// is live out.
+void lintDeadStores(const BasicBlock &BB,
+                    const MemoryDependenceAnalysis &MD,
+                    std::vector<Diagnostic> &Diags) {
+  for (unsigned I = 0, E = BB.schedulableSize(); I != E; ++I) {
+    if (!BB[I].isStore())
+      continue;
+    for (unsigned J = I + 1; J != E; ++J) {
+      const Instruction &Later = BB[J];
+      if (!Later.isMemory() || Later.aliasClass() != BB[I].aliasClass())
+        continue;
+      AliasResult R = MD.alias(I, J);
+      if (Later.isLoad()) {
+        if (R != AliasResult::NoAlias)
+          break; // Possibly read: the store is live.
+        continue;
+      }
+      if (R == AliasResult::MustAlias) {
+        warn(Diags, DiagCode::LintDeadStore,
+             where(BB, I) + " is overwritten by instruction " +
+                 std::to_string(J) + " (" + BB[J].str() +
+                 ") before any possible read; the store is dead");
+        break;
+      }
+      // A MayAlias/NoAlias store neither reads the word nor provably
+      // overwrites it; keep scanning.
+    }
+  }
+}
+
 } // namespace
 
 std::vector<Diagnostic> bsched::lintBlock(const Function &F,
@@ -131,6 +203,13 @@ std::vector<Diagnostic> bsched::lintBlock(const Function &F,
   }
   if (Options.WarnRedundantLoad)
     lintRedundantLoads(F, BB, Defs, Diags);
+  if (Options.WarnStoreForward || Options.WarnDeadStore) {
+    MemoryDependenceAnalysis MD(BB);
+    if (Options.WarnStoreForward)
+      lintStoreForward(BB, MD, Defs, Diags);
+    if (Options.WarnDeadStore)
+      lintDeadStores(BB, MD, Diags);
+  }
   return Diags;
 }
 

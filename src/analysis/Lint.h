@@ -24,6 +24,15 @@
 ///    (dag/DagBuilder.h): distinct alias classes never alias; same-class
 ///    accesses through the same base value at distinct offsets are
 ///    disjoint.
+///  - BS703 store-to-load forwarding: a load provably reads the word a
+///    prior store wrote (no possibly-intervening clobber), but only the
+///    symbolic address analysis (analysis/MemDep.h) can see it — the
+///    addresses are not syntactically identical, so BS702 stays silent.
+///    Forwarding the stored register would remove the load.
+///  - BS704 dead store: a store is provably overwritten by a later
+///    same-word store with no possibly-aliasing load in between. Memory
+///    is live out of every block, so a store is only reported when the
+///    overwrite happens inside the block.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +51,8 @@ struct LintOptions {
   bool WarnUseBeforeDef = true;
   bool WarnDeadValue = true;
   bool WarnRedundantLoad = true;
+  bool WarnStoreForward = true;
+  bool WarnDeadStore = true;
 };
 
 /// Lints one block of \p F; findings reference \p F's alias-class names.

@@ -1,0 +1,411 @@
+//===- analysis/MemDepCertifier.cpp - Memory-dependence audit -------------==//
+//
+// Part of the bsched project: a reproduction of Kerns & Eggers,
+// "Balanced Scheduling" (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemDepCertifier.h"
+
+#include "analysis/Dataflow.h"
+#include "dag/Reachability.h"
+#include "ir/Interpreter.h"
+#include "support/ResourceGovernor.h"
+
+#include <limits>
+#include <unordered_map>
+
+using namespace bsched;
+
+namespace {
+
+std::string nodeStr(const BasicBlock &BB, unsigned Index) {
+  return "instruction " + std::to_string(Index) + " (" + BB[Index].str() +
+         ")";
+}
+
+// Wrapping arithmetic matching ir/Interpreter.cpp (the certifier reasons
+// in the interpreter's semantics, mod 2^64).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapShl(int64_t A, int64_t N) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << (N & 63));
+}
+
+//===----------------------------------------------------------------------===
+// Independent symbolic re-derivation.
+//
+// Deliberately *not* analysis/AddressAnalysis.h: values are keyed by their
+// def site (instruction index, or the live-in register for values defined
+// outside the block) instead of by allocated value numbers, and the pass is
+// written against the instruction stream directly. Both analyses must fold
+// the same opcode cases — the certifier has to be at least as strong as the
+// production analysis to confirm its NoAlias claims — but a bug in one
+// implementation is unlikely to be mirrored by the other.
+//===----------------------------------------------------------------------===
+
+/// A value as `base + offset (mod 2^64)`, where the base is either the
+/// absolute constant origin (IsConst) or the opaque result of a def site /
+/// live-in register (Tag).
+struct CertVal {
+  bool IsConst = false;
+  int64_t Tag = 0; ///< Def index, or -(rawBits+1) for live-ins.
+  int64_t Off = 0;
+
+  static CertVal constant(int64_t C) { return {true, 0, C}; }
+  static CertVal opaque(int64_t Tag) { return {false, Tag, 0}; }
+
+  CertVal displaced(int64_t Delta) const {
+    return {IsConst, Tag, wrapAdd(Off, Delta)};
+  }
+};
+
+/// True when the two address values are provably different words mod 2^64.
+bool provablyDifferent(const CertVal &A, const CertVal &B) {
+  if (A.IsConst != B.IsConst)
+    return false;
+  if (A.IsConst || A.Tag == B.Tag)
+    return A.Off != B.Off;
+  return false;
+}
+
+/// Forward substitution over the block prefix; exposes the address value
+/// of each memory instruction.
+class CertEvaluator {
+public:
+  explicit CertEvaluator(const BasicBlock &BB, unsigned N) {
+    Addrs.resize(N);
+    for (unsigned I = 0; I != N; ++I) {
+      const Instruction &Instr = BB[I];
+      if (Instr.isMemory())
+        Addrs[I] = regVal(Instr.addressBase()).displaced(Instr.imm());
+      step(Instr, I);
+    }
+  }
+
+  const CertVal &addressOf(unsigned Index) const { return Addrs[Index]; }
+
+private:
+  CertVal regVal(Reg R) {
+    auto [It, Inserted] = Vals.try_emplace(R.rawBits());
+    if (Inserted)
+      It->second =
+          CertVal::opaque(-static_cast<int64_t>(R.rawBits()) - 1);
+    return It->second;
+  }
+
+  void step(const Instruction &I, unsigned Index) {
+    if (!I.hasDest() || opcodeDestIsFp(I.opcode()))
+      return;
+    CertVal New = CertVal::opaque(static_cast<int64_t>(Index));
+    switch (I.opcode()) {
+    case Opcode::LoadImm:
+      New = CertVal::constant(I.imm());
+      break;
+    case Opcode::Move:
+      New = regVal(I.source(0));
+      break;
+    case Opcode::AddI:
+      New = regVal(I.source(0)).displaced(I.imm());
+      break;
+    case Opcode::Add: {
+      CertVal A = regVal(I.source(0)), B = regVal(I.source(1));
+      if (B.IsConst)
+        New = A.displaced(B.Off);
+      else if (A.IsConst)
+        New = B.displaced(A.Off);
+      break;
+    }
+    case Opcode::Sub: {
+      CertVal A = regVal(I.source(0)), B = regVal(I.source(1));
+      if (B.IsConst)
+        New = A.displaced(wrapSub(0, B.Off));
+      else if (A.IsConst == B.IsConst && A.Tag == B.Tag)
+        New = CertVal::constant(wrapSub(A.Off, B.Off));
+      break;
+    }
+    case Opcode::MulI: {
+      CertVal A = regVal(I.source(0));
+      if (A.IsConst)
+        New = CertVal::constant(wrapMul(A.Off, I.imm()));
+      else if (I.imm() == 1)
+        New = A;
+      else if (I.imm() == 0)
+        New = CertVal::constant(0);
+      break;
+    }
+    case Opcode::ShlI: {
+      CertVal A = regVal(I.source(0));
+      if (A.IsConst)
+        New = CertVal::constant(wrapShl(A.Off, I.imm()));
+      else if ((I.imm() & 63) == 0)
+        New = A;
+      break;
+    }
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Slt: {
+      CertVal A = regVal(I.source(0)), B = regVal(I.source(1));
+      if (!A.IsConst || !B.IsConst)
+        break;
+      int64_t X = A.Off, Y = B.Off, R = 0;
+      switch (I.opcode()) {
+      case Opcode::Mul:
+        R = wrapMul(X, Y);
+        break;
+      case Opcode::Div:
+        R = Y == 0 ? 0
+            : (X == std::numeric_limits<int64_t>::min() && Y == -1) ? X
+                                                                    : X / Y;
+        break;
+      case Opcode::Rem:
+        R = (Y == 0 || Y == -1) ? 0 : X % Y;
+        break;
+      case Opcode::And:
+        R = X & Y;
+        break;
+      case Opcode::Or:
+        R = X | Y;
+        break;
+      case Opcode::Xor:
+        R = X ^ Y;
+        break;
+      case Opcode::Shl:
+        R = wrapShl(X, Y);
+        break;
+      case Opcode::Shr:
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) >> (Y & 63));
+        break;
+      default: // Slt
+        R = X < Y ? 1 : 0;
+        break;
+      }
+      New = CertVal::constant(R);
+      break;
+    }
+    default:
+      break; // Load/CvtFI/FSlt/... stay opaque (keyed by this def site).
+    }
+    Vals[I.dest().rawBits()] = New;
+  }
+
+  std::unordered_map<uint32_t, CertVal> Vals;
+  std::vector<CertVal> Addrs;
+};
+
+//===----------------------------------------------------------------------===
+// Production fact sources.
+//===----------------------------------------------------------------------===
+
+/// AliasAnalysis-on facts: the symbolic MemoryDependenceAnalysis itself.
+class SymbolicFacts final : public MemDepFacts {
+public:
+  explicit SymbolicFacts(const BasicBlock &BB) : MD(BB) {}
+  AliasResult alias(unsigned I, unsigned J) const override {
+    return MD.alias(I, J);
+  }
+
+private:
+  MemoryDependenceAnalysis MD;
+};
+
+/// AliasAnalysis-off facts: the legacy syntactic rule the builder applies,
+/// replicated over (base register, version, offset) records — including
+/// the builder's post-def version sampling (see dag/DagBuilder.cpp).
+class LegacyFacts final : public MemDepFacts {
+public:
+  LegacyFacts(const BasicBlock &BB, unsigned N, bool Disambiguate) {
+    Recs.resize(N);
+    std::unordered_map<uint32_t, unsigned> Version;
+    for (unsigned I = 0; I != N; ++I) {
+      const Instruction &Instr = BB[I];
+      if (Instr.hasDest())
+        ++Version[Instr.dest().rawBits()];
+      if (Instr.isMemory()) {
+        Reg Base = Instr.addressBase();
+        Recs[I] = Rec{Base.rawBits(), Version[Base.rawBits()], Instr.imm(),
+                      Disambiguate};
+      }
+    }
+  }
+
+  AliasResult alias(unsigned I, unsigned J) const override {
+    const Rec &A = Recs[I], &B = Recs[J];
+    if (!A.Known || !B.Known || A.BaseRaw != B.BaseRaw ||
+        A.BaseVersion != B.BaseVersion)
+      return AliasResult::MayAlias;
+    return A.Offset == B.Offset ? AliasResult::MustAlias
+                                : AliasResult::NoAlias;
+  }
+
+private:
+  struct Rec {
+    uint32_t BaseRaw = 0;
+    unsigned BaseVersion = 0;
+    int64_t Offset = 0;
+    bool Known = false;
+  };
+  std::vector<Rec> Recs;
+};
+
+} // namespace
+
+std::vector<Diagnostic> bsched::certifyMemDepAgainst(const BasicBlock &Input,
+                                                     const DepDag &Dag,
+                                                     const MemDepFacts &Facts,
+                                                     ResourceGovernor *Gov) {
+  std::vector<Diagnostic> Diags;
+  auto Error = [&](DiagCode Code, std::string Message) {
+    Diags.push_back({0, 0, std::move(Message), Severity::Error, Code});
+  };
+
+  const unsigned N = Dag.size();
+
+  // Obligation 0 (BS730): the DAG mirrors the block — node i is an exact
+  // copy of schedulable instruction i. Everything below reasons about the
+  // block; this ties the audited DAG to it.
+  if (N != Input.schedulableSize()) {
+    Error(DiagCode::CertifyMemDepShapeMismatch,
+          "DAG has " + std::to_string(N) + " nodes but block '" +
+              Input.name() + "' has " +
+              std::to_string(Input.schedulableSize()) +
+              " schedulable instructions");
+    return Diags;
+  }
+  for (unsigned I = 0; I != N; ++I)
+    if (!identicalInstruction(Dag.instruction(I), Input[I])) {
+      Error(DiagCode::CertifyMemDepShapeMismatch,
+            "DAG node " + std::to_string(I) + " (" +
+                Dag.instruction(I).str() + ") does not match input " +
+                nodeStr(Input, I));
+      return Diags;
+    }
+
+  // Obligation 1 (BS733): every memory edge is well formed — it points
+  // forward and connects two memory instructions.
+  for (unsigned From = 0; From != N; ++From)
+    for (const DepEdge &E : Dag.succs(From)) {
+      if (E.Kind != DepKind::Memory)
+        continue;
+      if (E.Other <= From || E.Other >= N)
+        Error(DiagCode::CertifyMemDepMalformedEdge,
+              "memory edge " + std::to_string(From) + " -> " +
+                  std::to_string(E.Other) + " does not point forward");
+      else if (!Input[From].isMemory() || !Input[E.Other].isMemory())
+        Error(DiagCode::CertifyMemDepMalformedEdge,
+              "memory edge " + nodeStr(Input, From) + " -> " +
+                  nodeStr(Input, E.Other) +
+                  " connects a non-memory instruction");
+    }
+
+  // Independent evidence: def-site symbolic substitution plus an
+  // interpreter-grade concrete execution of the prefix (the reference
+  // Interpreter with its deterministic live-in seeding; addresses are
+  // sampled before each instruction executes, so a load defining its own
+  // base is handled exactly).
+  CertEvaluator Symbolic(Input, N);
+  std::vector<int64_t> Concrete(N, 0);
+  {
+    Interpreter Interp;
+    BasicBlock Step("memdep-cert-step");
+    for (unsigned I = 0; I != N; ++I) {
+      const Instruction &Instr = Input[I];
+      if (Instr.isMemory())
+        Concrete[I] =
+            wrapAdd(Interp.getIntReg(Instr.addressBase()), Instr.imm());
+      Step = BasicBlock("memdep-cert-step");
+      Step.append(Instr);
+      Interp.run(Step);
+    }
+  }
+
+  // Obligation 2 (BS731/BS732/BS734): every ordered same-class pair with a
+  // store either has a DAG path (any edge kinds — a register dependence
+  // orders just as hard) or a NoAlias claim the certifier can verify.
+  TransitiveClosure Closure(Dag, /*StorePreds=*/false);
+  for (unsigned I = 0; I != N; ++I) {
+    if (!Input[I].isMemory())
+      continue;
+    if (Gov && !Gov->poll())
+      return Diags; // Partial; caller must check Gov->tripped().
+    for (unsigned J = I + 1; J != N; ++J) {
+      if (!Input[J].isMemory() ||
+          Input[I].aliasClass() != Input[J].aliasClass())
+        continue;
+      if (!Input[I].isStore() && !Input[J].isStore())
+        continue; // Load/load pairs never need ordering.
+
+      AliasResult Claimed = Facts.alias(I, J);
+
+      // Fact audit, path or not: a definite refutation of a claimed fact
+      // is an analysis bug even when a register dependence happens to
+      // cover the pair.
+      if (Claimed == AliasResult::NoAlias && Concrete[I] == Concrete[J]) {
+        Error(DiagCode::CertifyMemDepFalseNoAlias,
+              "claimed no-alias refuted: " + nodeStr(Input, I) + " and " +
+                  nodeStr(Input, J) +
+                  " address the same word (concrete address " +
+                  std::to_string(Concrete[I]) +
+                  ") under interpreter semantics");
+        continue;
+      }
+      if (Claimed == AliasResult::MustAlias &&
+          provablyDifferent(Symbolic.addressOf(I), Symbolic.addressOf(J)))
+        Error(DiagCode::CertifyMemDepFalseMustAlias,
+              "claimed must-alias refuted: " + nodeStr(Input, I) + " and " +
+                  nodeStr(Input, J) +
+                  " provably address different words mod 2^64");
+
+      if (Closure.reaches(I, J))
+        continue; // Ordered by the DAG.
+
+      if (Claimed != AliasResult::NoAlias) {
+        Error(DiagCode::CertifyMemDepMissingEdge,
+              "missing memory ordering: " + nodeStr(Input, I) + " " +
+                  aliasResultName(Claimed) + " " + nodeStr(Input, J) +
+                  " but no DAG path orders them");
+        continue;
+      }
+      if (!provablyDifferent(Symbolic.addressOf(I), Symbolic.addressOf(J)))
+        Error(DiagCode::CertifyMemDepMissingEdge,
+              "unverifiable no-alias: " + nodeStr(Input, I) + " and " +
+                  nodeStr(Input, J) +
+                  " have no DAG path and the claimed no-alias fact could "
+                  "not be re-derived independently");
+    }
+  }
+
+  return Diags;
+}
+
+std::vector<Diagnostic> bsched::certifyMemDep(const BasicBlock &Input,
+                                              const DepDag &Dag,
+                                              const DagBuildOptions &Options,
+                                              ResourceGovernor *Gov) {
+  const unsigned N = Input.schedulableSize();
+  if (Options.AliasAnalysis) {
+    SymbolicFacts Facts(Input);
+    return certifyMemDepAgainst(Input, Dag, Facts, Gov);
+  }
+  LegacyFacts Facts(Input, N, Options.DisambiguateSameBase);
+  return certifyMemDepAgainst(Input, Dag, Facts, Gov);
+}

@@ -7,6 +7,8 @@
 
 #include "dag/DagBuilder.h"
 
+#include "analysis/AddressAnalysis.h"
+#include "analysis/MemDep.h"
 #include "support/ResourceGovernor.h"
 
 #include <unordered_map>
@@ -23,12 +25,22 @@ struct RegState {
 };
 
 /// A memory access fact remembered for ordering decisions.
+///
+/// The syntactic fields (BaseRaw/BaseVersion/Offset/KnownBase) drive the
+/// legacy AliasAnalysis-off mode; Sym carries the symbolic address in the
+/// default mode. Note a legacy quirk kept for bit-exactness: BaseVersion is
+/// sampled *after* the instruction's own def bumped it, so a load defining
+/// its own base (`load %i1, [%i1+0]`) records the post-def version although
+/// its address used the pre-def value. That stays sound because any later
+/// same-version access reads the load's result and is therefore already
+/// data-dependent on it; the symbolic mode records the pre-def address.
 struct MemAccess {
   unsigned Node;
   uint32_t BaseRaw;     ///< Raw bits of the base register.
   unsigned BaseVersion; ///< Version of the base value at the access.
   int64_t Offset;
   bool KnownBase;       ///< True if base value identity is tracked.
+  SymbolicAddr Sym;     ///< Symbolic address (AliasAnalysis mode only).
 };
 
 /// True when the accesses provably touch different words: identical base
@@ -53,15 +65,29 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
   std::unordered_map<uint32_t, RegState> Regs;
 
   // Per alias class: live memory accesses that later operations may need to
-  // order against. Pruning is *must-alias only* (or everything, for a store
-  // whose address is untracked and therefore orders with every later access
-  // in the class): anything pruned is transitively protected by its edge to
-  // the pruning store.
+  // order against. Pruning is sound in both modes because anything erased
+  // or skipped is transitively protected:
+  //  - Symbolic mode (AliasAnalysis on): an access is dropped from the
+  //    live lists only when a later store has the *identical* symbolic
+  //    address (and thus an edge to it); any later operation classifies
+  //    identically against eraser and erased, so the eraser's edge closes
+  //    the path. NoAlias answers need no edge at all — the addresses
+  //    differ by a nonzero constant mod 2^64.
+  //  - Legacy mode: must-alias erasure follows the same argument over
+  //    (register, version, offset) triples, and a store with an untracked
+  //    address acts as a full barrier (ordered with everything live and
+  //    everything later in the class).
   struct ClassState {
     std::vector<MemAccess> Stores;
     std::vector<MemAccess> Loads;
   };
   std::unordered_map<AliasClassId, ClassState> Classes;
+
+  const bool Symbolic = Options.AliasAnalysis;
+  AddressAnalysis AA;
+
+  DagAliasStats LocalStats;
+  DagAliasStats &Stats = Options.AliasStats ? *Options.AliasStats : LocalStats;
 
   ResourceGovernor *Gov = Options.Governor;
   for (unsigned I = 0; I != N; ++I) {
@@ -92,19 +118,56 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
     }
 
     // -- Memory dependences ---------------------------------------------
-    if (!Instr.isMemory())
+    if (!Instr.isMemory()) {
+      if (Symbolic)
+        AA.step(Instr);
       continue;
+    }
 
     Reg Base = Instr.addressBase();
     const RegState &BaseState = Regs[Base.rawBits()];
-    MemAccess Access{I, Base.rawBits(), BaseState.Version, Instr.imm(),
-                     Options.DisambiguateSameBase};
+    MemAccess Access{I,
+                     Base.rawBits(),
+                     BaseState.Version,
+                     Instr.imm(),
+                     Options.DisambiguateSameBase,
+                     Symbolic ? AA.addressOf(Instr) : SymbolicAddr{}};
+    if (Symbolic)
+      AA.step(Instr); // Address sampled above, pre-def; now advance.
     ClassState &Class = Classes[Instr.aliasClass()];
+
+    // One ordered comparison of this access against a live prior access;
+    // NoAlias suppresses the would-be memory edge (counted as pruned).
+    auto Query = [&](const MemAccess &Prior) {
+      AliasResult R;
+      if (Symbolic)
+        R = classifyAddrs(Prior.Sym, Access.Sym);
+      else if (provablyDisjoint(Prior, Access))
+        R = AliasResult::NoAlias;
+      else if (mustAlias(Prior, Access))
+        R = AliasResult::MustAlias;
+      else
+        R = AliasResult::MayAlias;
+      ++Stats.Queries;
+      switch (R) {
+      case AliasResult::NoAlias:
+        ++Stats.NoAlias;
+        ++Stats.EdgesPruned;
+        break;
+      case AliasResult::MustAlias:
+        ++Stats.MustAlias;
+        break;
+      case AliasResult::MayAlias:
+        ++Stats.MayAlias;
+        break;
+      }
+      return R;
+    };
 
     if (Instr.isLoad()) {
       // RAW: order after any store that may write this word.
       for (const MemAccess &St : Class.Stores)
-        if (!provablyDisjoint(St, Access))
+        if (Query(St) != AliasResult::NoAlias)
           Dag.addEdge(St.Node, I, DepKind::Memory);
       Class.Loads.push_back(Access);
       continue;
@@ -112,16 +175,19 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
 
     // A store: WAW with prior stores, WAR with prior loads.
     for (const MemAccess &St : Class.Stores)
-      if (!provablyDisjoint(St, Access))
+      if (Query(St) != AliasResult::NoAlias)
         Dag.addEdge(St.Node, I, DepKind::Memory);
     for (const MemAccess &Ld : Class.Loads)
-      if (!provablyDisjoint(Ld, Access))
+      if (Query(Ld) != AliasResult::NoAlias)
         Dag.addEdge(Ld.Node, I, DepKind::Memory);
 
-    if (!Access.KnownBase) {
+    if (!Symbolic && !Access.KnownBase) {
       // Untracked address: this store ordered with every live access and
       // will order with every later access in the class, so it is a full
-      // barrier — prior accesses are transitively protected.
+      // barrier — both live lists are cleared and repopulated with just
+      // this store (loads never need ordering among themselves, so the
+      // store entry alone carries the barrier for both later loads and
+      // later stores).
       Class.Stores.clear();
       Class.Loads.clear();
     } else {
@@ -129,7 +195,7 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
       // its edge to this store; any later access aliasing it also aliases
       // this store and will be ordered after it.
       auto SameWord = [&](const MemAccess &Other) {
-        return mustAlias(Other, Access);
+        return Symbolic ? Other.Sym == Access.Sym : mustAlias(Other, Access);
       };
       std::erase_if(Class.Stores, SameWord);
       std::erase_if(Class.Loads, SameWord);

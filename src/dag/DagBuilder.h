@@ -14,10 +14,13 @@
 ///    dummy-argument independence the paper's source transformation
 ///    recovers). Putting all arrays in one class reproduces the
 ///    conservative f2c/C behaviour.
-///  - Within a class, two accesses through the *same base register value*
-///    at different constant offsets are provably disjoint (the classic
-///    base+offset disambiguation a compiler performs); everything else is
-///    conservatively ordered.
+///  - Within a class, precision depends on AliasAnalysis: when on (the
+///    default), the symbolic address analysis (analysis/AddressAnalysis.h)
+///    proves same-origin accesses at different constant offsets — and
+///    distinct constant addresses — disjoint, tracking values through
+///    Move/AddI rewrites and LoadImm constants. When off, only the legacy
+///    syntactic rule applies: the *same base register value* (same
+///    register, same version) at different constant offsets.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,17 +33,42 @@ namespace bsched {
 
 class ResourceGovernor;
 
+/// Alias-query counters filled by one buildDag call (wired into obs as
+/// `bsched.alias.*` / `bsched.dag.mem_edges_pruned` by the pipeline).
+/// A query is one ordered comparison of a candidate access against a live
+/// prior access of its class; EdgesPruned counts the queries whose NoAlias
+/// answer suppressed a would-be DepKind::Memory edge.
+struct DagAliasStats {
+  uint64_t Queries = 0;
+  uint64_t NoAlias = 0;
+  uint64_t MustAlias = 0;
+  uint64_t MayAlias = 0;
+  uint64_t EdgesPruned = 0;
+};
+
 /// Options controlling dependence precision.
 struct DagBuildOptions {
   /// If true, same-class accesses with the same base register value but
-  /// different constant offsets are treated as independent.
+  /// different constant offsets are treated as independent. Only
+  /// consulted when AliasAnalysis is off (the symbolic analysis subsumes
+  /// the syntactic rule).
   bool DisambiguateSameBase = true;
+
+  /// If true (the default), memory edges are pruned with the symbolic
+  /// address analysis (analysis/MemDep.h): accesses whose addresses are
+  /// provably distinct words mod 2^64 need no ordering edge. Every
+  /// omission is independently audited by the memory-dependence certifier
+  /// when the pipeline certifies (analysis/MemDepCertifier.h).
+  bool AliasAnalysis = true;
 
   /// Optional resource governor polled once per instruction and consulted
   /// for the dag-edge admission budget. When it trips, buildDag stops
   /// adding edges and returns early; callers must check
   /// Governor->tripped() before using the (partial) DAG.
   ResourceGovernor *Governor = nullptr;
+
+  /// Optional out-param: alias-query counters for this build.
+  DagAliasStats *AliasStats = nullptr;
 };
 
 /// Builds the dependence DAG for \p BB (excluding a trailing terminator).

@@ -89,6 +89,15 @@ public:
     return static_cast<AliasClassId>(AliasNames.size() - 1);
   }
 
+  /// Ensures the alias-name table covers ids 0..\p Id, naming unnamed
+  /// slots by their number. Numerically referenced classes ("!3") must
+  /// occupy their slot, or a class interned later — the allocator's
+  /// "__spill" class in particular — would be handed a colliding id.
+  void reserveAliasClasses(AliasClassId Id) {
+    while (static_cast<AliasClassId>(AliasNames.size()) <= Id)
+      AliasNames.push_back(std::to_string(AliasNames.size()));
+  }
+
   /// Returns the name of alias class \p Id (numeric string if unnamed).
   std::string aliasClassName(AliasClassId Id) const {
     if (Id >= 0 && static_cast<size_t>(Id) < AliasNames.size())

@@ -296,7 +296,17 @@ private:
     if (!expect(TokenKind::Bang, "'!' before alias class"))
       return false;
     if (Tok.is(TokenKind::Int)) {
+      // Numeric classes occupy their slot in the function's alias-name
+      // table (bounded so a stray huge literal can't balloon it);
+      // otherwise a class interned later — the allocator's "__spill" in
+      // particular — would be handed a colliding id.
+      if (Tok.IntValue >= 1024) {
+        error(DiagCode::ParseBadOperand,
+              "alias class number out of range (max 1023)");
+        return false;
+      }
       Alias = static_cast<AliasClassId>(Tok.IntValue);
+      F.reserveAliasClasses(Alias);
       bump();
     } else if (Tok.is(TokenKind::Ident)) {
       Alias = F.getOrCreateAliasClass(std::string(Tok.Text));

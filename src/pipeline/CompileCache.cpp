@@ -45,6 +45,7 @@ std::string bsched::experimentCacheKey(const Function &Program,
   auto Flag = [&Key](bool Value) { Key += Value ? " 1" : " 0"; };
   Flag(Config.Target.FifoSpillPool);
   Flag(Config.DagOptions.DisambiguateSameBase);
+  Flag(Config.DagOptions.AliasAnalysis);
   Flag(Config.RunRegAlloc);
   Flag(Config.SecondSchedulingPass);
   Flag(Config.HonorKnownLatency);

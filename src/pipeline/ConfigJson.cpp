@@ -42,6 +42,7 @@ std::string PipelineConfig::toJson() const {
   W.endObject();
   W.key("dag").beginObject();
   W.key("disambiguate_same_base").value(DagOptions.DisambiguateSameBase);
+  W.key("alias_analysis").value(DagOptions.AliasAnalysis);
   W.endObject();
   W.key("sched").beginObject();
   W.key("issue_width").value(SchedOptions.IssueWidth);
@@ -228,6 +229,10 @@ ErrorOr<PipelineConfig> PipelineConfig::fromJsonValue(const JsonValue &Doc) {
         if (K == "disambiguate_same_base")
           return R.readBool(F, ConfigReader::join(Key, K),
                             Config.DagOptions.DisambiguateSameBase),
+                 true;
+        if (K == "alias_analysis")
+          return R.readBool(F, ConfigReader::join(Key, K),
+                            Config.DagOptions.AliasAnalysis),
                  true;
         return false;
       });

@@ -8,6 +8,7 @@
 #include "pipeline/Pipeline.h"
 
 #include "analysis/AllocationCertifier.h"
+#include "analysis/MemDepCertifier.h"
 #include "analysis/ScheduleCertifier.h"
 #include "ir/IrVerifier.h"
 #include "obs/Metrics.h"
@@ -110,6 +111,12 @@ struct PipelineInstruments {
         ScheduleCerts(Reg.counter("bsched.analysis.schedule_certificates")),
         AllocationCerts(
             Reg.counter("bsched.analysis.allocation_certificates")),
+        MemDepCerts(Reg.counter("bsched.analysis.memdep_certificates")),
+        AliasQueries(Reg.counter("bsched.alias.queries")),
+        AliasNo(Reg.counter("bsched.alias.no_alias")),
+        AliasMust(Reg.counter("bsched.alias.must_alias")),
+        AliasMay(Reg.counter("bsched.alias.may_alias")),
+        MemEdgesPruned(Reg.counter("bsched.dag.mem_edges_pruned")),
         WeighterBlocks(Reg.counter("bsched.sched.weighter_blocks")),
         WeighterScratchReuses(
             Reg.counter("bsched.sched.weighter_scratch_reuses")),
@@ -123,6 +130,16 @@ struct PipelineInstruments {
   Counter SpillInstructions;
   Counter ScheduleCerts;
   Counter AllocationCerts;
+  Counter MemDepCerts;
+  /// Alias-query outcomes from DAG construction; EdgesPruned counts the
+  /// NoAlias answers, i.e. memory edges the conservative builder would
+  /// have added. Each block is built exactly once per pass regardless of
+  /// which worker claims it, so these stay serial-vs-parallel identical.
+  Counter AliasQueries;
+  Counter AliasNo;
+  Counter AliasMust;
+  Counter AliasMay;
+  Counter MemEdgesPruned;
   /// Per-block weighting runs; WeighterScratchReuses counts the subset
   /// served by an already-warm scratch (the difference is the number of
   /// cold scratch allocations), and WeighterParallelBlocks the subset
@@ -195,7 +212,16 @@ DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
   }
   DagBuildOptions DagOptions = Config.DagOptions;
   DagOptions.Governor = Gov;
+  DagAliasStats AliasStats;
+  DagOptions.AliasStats = &AliasStats;
   DepDag D = buildDag(BB, DagOptions);
+  if (Metrics) {
+    Metrics->AliasQueries.add(AliasStats.Queries);
+    Metrics->AliasNo.add(AliasStats.NoAlias);
+    Metrics->AliasMust.add(AliasStats.MustAlias);
+    Metrics->AliasMay.add(AliasStats.MayAlias);
+    Metrics->MemEdgesPruned.add(AliasStats.EdgesPruned);
+  }
   if (!Gov || !Gov->tripped())
     W.assignWeights(D, Scratch);
   return D;
@@ -270,6 +296,17 @@ std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
       return {std::move(*D)};
     std::vector<Diagnostic> Violations =
         certifySchedule(BB, Dag, Sched, Config.Ops, SchedOptions);
+    if (Gov && Gov->tripped())
+      return Overran();
+    if (!Violations.empty())
+      return Violations;
+
+    // Memory-dependence certificate: every ordering obligation of the
+    // block is carried by the DAG the schedule was validated against, so
+    // a certified schedule is also safe with respect to pruned edges.
+    if (Metrics)
+      Metrics->MemDepCerts.add();
+    Violations = certifyMemDep(BB, Dag, Config.DagOptions, Gov);
     if (Gov && Gov->tripped())
       return Overran();
     if (!Violations.empty())

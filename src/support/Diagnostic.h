@@ -91,6 +91,8 @@ enum class DiagCode : uint16_t {
   LintUseBeforeDef = 700,
   LintDeadValue = 701,
   LintRedundantLoad = 702,
+  LintStoreForward = 703,
+  LintDeadStore = 704,
 
   // Schedule certifier: 710-719.
   CertifyNotPermutation = 710,
@@ -105,6 +107,15 @@ enum class DiagCode : uint16_t {
   CertifyAllocRegisterBound = 722,
   CertifyAllocBadSpill = 723,
   CertifyAllocMissingInstruction = 724,
+
+  // Memory-dependence certifier: 730-739.
+  CertifyMemDepShapeMismatch = 730, ///< DAG does not mirror the block.
+  CertifyMemDepMissingEdge = 731,   ///< Required ordering has no DAG path
+                                    ///< and no verifiable NoAlias proof.
+  CertifyMemDepFalseNoAlias = 732,  ///< Claimed NoAlias refuted.
+  CertifyMemDepMalformedEdge = 733, ///< Memory edge with a non-memory
+                                    ///< endpoint or wrong direction.
+  CertifyMemDepFalseMustAlias = 734, ///< Claimed MustAlias refuted.
 
   // Resource governor (budgets & degradation): 800-809.
   GovernorDeadlineExceeded = 800,

@@ -173,7 +173,8 @@ TEST(DagBuilderMemTest, ConservativeModeOrdersDifferentOffsets) {
   BasicBlock BB("b");
   BB.append(storeAt(vi(1), vi(0), 0, 0));
   BB.append(loadAt(vi(2), vi(0), 8, 0));
-  DepDag Dag = buildDag(BB, {.DisambiguateSameBase = false});
+  DepDag Dag =
+      buildDag(BB, {.DisambiguateSameBase = false, .AliasAnalysis = false});
   EXPECT_EQ(edgeKind(Dag, 0, 1), DepKind::Memory);
 }
 
@@ -185,17 +186,88 @@ TEST(DagBuilderMemTest, DifferentBasesConservativelyOrdered) {
   EXPECT_EQ(edgeKind(Dag, 0, 1), DepKind::Memory);
 }
 
-TEST(DagBuilderMemTest, BaseRedefinitionDefeatsDisambiguation) {
+TEST(DagBuilderMemTest, BaseRedefinitionDefeatsSyntacticDisambiguation) {
   BasicBlock BB("b");
   // store [%i0+0]; %i0 = addi %i0, 8; load [%i0+0]: same register name but
-  // a different value -> may alias the store despite equal offsets? The
-  // addresses are (old %i0 + 0) vs (old %i0 + 8): actually disjoint, but
-  // the analyzer cannot know; it must be conservative across versions.
+  // a different value. The addresses are (old %i0 + 0) vs (old %i0 + 8):
+  // actually disjoint, but the legacy syntactic analyzer cannot know; it
+  // must be conservative across versions.
   BB.append(storeAt(vi(1), vi(0), 0, 0));
   BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(0), vi(0), 8));
   BB.append(loadAt(vi(2), vi(0), 0, 0));
-  DepDag Dag = buildDag(BB);
+  DepDag Dag = buildDag(BB, {.AliasAnalysis = false});
   EXPECT_TRUE(Dag.hasEdge(0, 2));
+}
+
+TEST(DagBuilderMemTest, SymbolicAnalysisTracksBaseRedefinition) {
+  // The same block under the symbolic address analysis: the rewrite
+  // %i0 += 8 is folded, the two addresses are base+0 and base+8, and the
+  // false edge is pruned.
+  BasicBlock BB("b");
+  BB.append(storeAt(vi(1), vi(0), 0, 0));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(0), vi(0), 8));
+  BB.append(loadAt(vi(2), vi(0), 0, 0));
+  DagAliasStats Stats;
+  DagBuildOptions Options;
+  Options.AliasStats = &Stats;
+  DepDag Dag = buildDag(BB, Options);
+  EXPECT_FALSE(Dag.hasEdge(0, 2));
+  EXPECT_EQ(Stats.Queries, 1u);
+  EXPECT_EQ(Stats.NoAlias, 1u);
+  EXPECT_EQ(Stats.EdgesPruned, 1u);
+}
+
+TEST(DagBuilderMemTest, ConservativeEdgeSetPinnedBitExact) {
+  // Regression pin for the legacy (AliasAnalysis off) builder: the exact
+  // edge set of a block exercising every legacy path — same-base
+  // disambiguation, must-alias erasure, the untracked-address store
+  // barrier (DisambiguateSameBase=false), and base redefinition — must
+  // never drift.
+  // Stored values use registers disjoint from everything else so no
+  // memory-pair edge collides with a register edge (addEdge keeps the
+  // first kind).
+  for (bool Disambiguate : {true, false}) {
+    BasicBlock BB("b");
+    BB.append(loadAt(vi(1), vi(0), 0, 0));                           // 0
+    BB.append(storeAt(vi(7), vi(0), 8, 0));                          // 1
+    BB.append(storeAt(vi(8), vi(0), 8, 0));                          // 2
+    BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(0), vi(0), 8));
+    BB.append(loadAt(vi(2), vi(0), 8, 0));                           // 4
+    BB.append(storeAt(vi(9), vi(4), 0, 0));                          // 5
+    BB.append(loadAt(vi(5), vi(0), 16, 0));                          // 6
+    DepDag Dag = buildDag(BB, {.DisambiguateSameBase = Disambiguate,
+                               .AliasAnalysis = false});
+    std::vector<std::pair<unsigned, unsigned>> MemEdges;
+    for (unsigned I = 0; I != Dag.size(); ++I)
+      for (const DepEdge &E : Dag.succs(I))
+        if (E.Kind == DepKind::Memory)
+          MemEdges.emplace_back(I, E.Other);
+    using Edges = std::vector<std::pair<unsigned, unsigned>>;
+    if (Disambiguate) {
+      // 0-1/0-2 pruned (same base value, offsets 0 vs 8); 1-2 must-alias
+      // WAW erases 1; everything across the version bump or the foreign
+      // base %i4 stays conservatively ordered.
+      EXPECT_EQ(MemEdges, (Edges{{0, 5},
+                                 {1, 2},
+                                 {2, 4},
+                                 {2, 5},
+                                 {2, 6},
+                                 {4, 5},
+                                 {5, 6}}))
+          << "disambiguate=" << Disambiguate;
+    } else {
+      // Untracked bases: every store orders with everything live and then
+      // acts as a full barrier (both live lists drop), so each access
+      // orders only against the nearest store.
+      EXPECT_EQ(MemEdges, (Edges{{0, 1},
+                                 {1, 2},
+                                 {2, 4},
+                                 {2, 5},
+                                 {4, 5},
+                                 {5, 6}}))
+          << "disambiguate=" << Disambiguate;
+    }
+  }
 }
 
 TEST(DagBuilderMemTest, LoadLoadNeverOrdered) {

