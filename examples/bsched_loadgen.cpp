@@ -25,6 +25,7 @@
 #include "server/Protocol.h"
 #include "support/Json.h"
 #include "support/Rng.h"
+#include "support/Statistics.h"
 #include "support/Socket.h"
 #include "support/Wire.h"
 #include "workload/KernelGen.h"
@@ -107,6 +108,10 @@ std::string mutateText(std::string Text, Rng &R) {
 
 struct WorkerResult {
   std::vector<double> LatenciesMs;
+  /// The server's own wall_ms per response: the exact samples behind its
+  /// latency histogram, so quantile cross-checks compare like with like
+  /// (client round-trip time additionally carries queueing + transport).
+  std::vector<double> ServerWallMs;
   uint64_t Ok = 0;
   uint64_t StructuredErrors = 0; ///< ok:false but a well-formed response.
   uint64_t CacheHits = 0;
@@ -120,16 +125,6 @@ bool parseCount(const char *Text, uint64_t &Out) {
     return false;
   Out = Value;
   return true;
-}
-
-double percentile(const std::vector<double> &Sorted, double P) {
-  if (Sorted.empty())
-    return 0.0;
-  double Rank = P * static_cast<double>(Sorted.size() - 1);
-  size_t Lo = static_cast<size_t>(Rank);
-  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
-  double Frac = Rank - static_cast<double>(Lo);
-  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
 }
 
 } // namespace
@@ -240,6 +235,7 @@ int main(int argc, char **argv) {
         else
           ++Out.StructuredErrors;
         Out.CacheHits += Response->CacheHit;
+        Out.ServerWallMs.push_back(Response->WallMs);
       }
     });
   for (std::thread &T : Workers)
@@ -256,24 +252,37 @@ int main(int argc, char **argv) {
     Total.TransportFailures += R.TransportFailures;
     Total.LatenciesMs.insert(Total.LatenciesMs.end(), R.LatenciesMs.begin(),
                              R.LatenciesMs.end());
+    Total.ServerWallMs.insert(Total.ServerWallMs.end(), R.ServerWallMs.begin(),
+                              R.ServerWallMs.end());
   }
   std::sort(Total.LatenciesMs.begin(), Total.LatenciesMs.end());
+  std::sort(Total.ServerWallMs.begin(), Total.ServerWallMs.end());
   const uint64_t Answered = Total.Ok + Total.StructuredErrors;
   const double Throughput =
       WallMs > 0.0 ? 1000.0 * static_cast<double>(Answered) / WallMs : 0.0;
 
-  // Scrape the server's own accounting over a fresh connection.
+  // Scrape the server's own accounting (stats op: cache counters plus the
+  // bucket-estimated latency quantiles) and its full metric snapshot
+  // (metrics op) over one fresh connection.
   std::string ServerStats;
+  std::string ServerMetrics;
   {
+    ErrorOr<FdHandle> Conn = connectUnix(SocketPath);
+    std::string Payload;
     CompileRequest Stats;
     Stats.Id = "stats";
     Stats.Op = RequestOp::Stats;
-    ErrorOr<FdHandle> Conn = connectUnix(SocketPath);
-    std::string Payload;
     if (Conn && writeFrame(Conn->get(), Stats.toJson()).ok() &&
         readFrame(Conn->get(), Payload, DefaultMaxFrameBytes, nullptr) ==
             FrameStatus::Frame)
       ServerStats = Payload;
+    CompileRequest Metrics;
+    Metrics.Id = "metrics";
+    Metrics.Op = RequestOp::Metrics;
+    if (Conn && writeFrame(Conn->get(), Metrics.toJson()).ok() &&
+        readFrame(Conn->get(), Payload, DefaultMaxFrameBytes, nullptr) ==
+            FrameStatus::Frame)
+      ServerMetrics = Payload;
   }
 
   JsonWriter W;
@@ -294,8 +303,17 @@ int main(int argc, char **argv) {
   W.key("p90").valueFixed(percentile(Total.LatenciesMs, 0.90), 3);
   W.key("p99").valueFixed(percentile(Total.LatenciesMs, 0.99), 3);
   W.endObject();
+  // Exact order statistics of the server's own per-response wall_ms: the
+  // reference the bucket-estimated "server" quantiles are checked against.
+  W.key("server_wall_ms").beginObject();
+  W.key("p50").valueFixed(percentile(Total.ServerWallMs, 0.50), 3);
+  W.key("p90").valueFixed(percentile(Total.ServerWallMs, 0.90), 3);
+  W.key("p99").valueFixed(percentile(Total.ServerWallMs, 0.99), 3);
+  W.endObject();
   if (!ServerStats.empty())
     W.key("server").rawValue(ServerStats);
+  if (!ServerMetrics.empty())
+    W.key("server_metrics").rawValue(ServerMetrics);
   W.endObject();
 
   std::printf("%s\n", W.str().c_str());

@@ -11,14 +11,20 @@
 // Run:
 //   bsched_server --listen /tmp/bsched.sock [--workers N] [--cache-mb N]
 //                 [--cache-shards N] [--max-frame-bytes N]
-//                 [--max-deadline-ms N] [--max-instrs N]
+//                 [--max-deadline-ms N] [--max-instrs N] [--slow-ms N]
+//                 [--log-file FILE] [--log-level LEVEL]
 //   bsched_server --stdio        (one request per line, for shell tests)
 //
 // SIGINT/SIGTERM drain in-flight requests, answer them, then exit 0.
+// --log-file captures NDJSON telemetry (per-request events at debug,
+// slow-request span trees at warn, flight-recorder dumps on failures and
+// shutdown); --slow-ms arms the outlier threshold.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "server/Server.h"
+#include "support/CliOptions.h"
 
 #include <csignal>
 #include <cstdio>
@@ -39,7 +45,8 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--listen PATH | --stdio) [--workers N] "
                "[--cache-mb N] [--cache-shards N] [--max-frame-bytes N] "
-               "[--max-deadline-ms N] [--max-instrs N]\n",
+               "[--max-deadline-ms N] [--max-instrs N] [--slow-ms N] "
+               "[--log-file FILE] [--log-level LEVEL]\n",
                Argv0);
 }
 
@@ -57,8 +64,19 @@ bool parseCount(const char *Text, uint64_t &Out) {
 int main(int argc, char **argv) {
   ServerConfig Config;
   bool Stdio = false;
+  CliOptionParser Common(CliOptionParser::WantLog);
 
   for (int I = 1; I < argc; ++I) {
+    switch (Common.tryParse(argc, argv, I)) {
+    case CliOptionParser::Match::Consumed:
+      continue;
+    case CliOptionParser::Match::Error:
+      std::fprintf(stderr, "%s\n", Common.error().c_str());
+      usage(argv[0]);
+      return 1;
+    case CliOptionParser::Match::NotMine:
+      break;
+    }
     std::string_view Arg = argv[I];
     auto Value = [&]() -> const char * {
       return I + 1 < argc ? argv[++I] : nullptr;
@@ -110,6 +128,15 @@ int main(int argc, char **argv) {
         return 1;
       }
       Config.MaxDeadlineMs = Ms;
+    } else if (Arg == "--slow-ms") {
+      const char *V = Value();
+      char *End = nullptr;
+      double Ms = V ? std::strtod(V, &End) : -1.0;
+      if (!V || End == V || *End != '\0' || Ms < 0) {
+        usage(argv[0]);
+        return 1;
+      }
+      Config.SlowRequestMs = Ms;
     } else if (Arg == "--max-instrs") {
       const char *V = Value();
       if (!V || !parseCount(V, N)) {
@@ -128,6 +155,14 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  Logger &Log = Logger::global();
+  std::string LogError;
+  if (!configureGlobalLogger(Common.options().LogLevelText,
+                             Common.options().LogFile, &LogError)) {
+    std::fprintf(stderr, "bsched_server: %s\n", LogError.c_str());
+    return 1;
+  }
+
   // A peer that vanishes mid-response must surface as a write error on
   // that one connection, not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
@@ -137,15 +172,19 @@ int main(int argc, char **argv) {
 
   if (Stdio) {
     unsigned Served = Server.serveLines(stdin, stdout);
-    std::fprintf(stderr, "bsched_server: served %u request(s) on stdio\n",
-                 Served);
+    Log.console(LogLevel::Info, "server",
+                "bsched_server: served " + std::to_string(Served) +
+                    " request(s) on stdio",
+                {{"served", Served}});
     return 0;
   }
 
   Status Started = Server.start();
   if (!Started.ok()) {
     for (const Diagnostic &D : Started.diagnostics())
-      std::fprintf(stderr, "bsched_server: %s\n", D.formatted().c_str());
+      Log.console(LogLevel::Error, "server",
+                  "bsched_server: " + D.formatted(),
+                  {{"code", diagCodeString(D.Code)}});
     return 1;
   }
   std::signal(SIGINT, onSignal);
@@ -156,18 +195,28 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Config.CacheMaxBytes >> 20),
               Config.CacheShards);
   std::fflush(stdout);
+  Log.log(LogLevel::Info, "server", "listening",
+          {{"socket", Config.SocketPath},
+           {"workers", Server.config().Workers},
+           {"slow_ms", Config.SlowRequestMs}});
 
   while (!StopRequested)
     pause();
 
   Server.stop();
   CompileCacheStats Stats = Server.cache().stats();
-  std::fprintf(stderr,
-               "bsched_server: drained; %llu request(s), cache %llu/%llu "
-               "hit/miss, %llu eviction(s)\n",
-               static_cast<unsigned long long>(Server.requestsServed()),
-               static_cast<unsigned long long>(Stats.Hits),
-               static_cast<unsigned long long>(Stats.Misses),
-               static_cast<unsigned long long>(Stats.Evictions));
+  char Drained[160];
+  std::snprintf(Drained, sizeof(Drained),
+                "bsched_server: drained; %llu request(s), cache %llu/%llu "
+                "hit/miss, %llu eviction(s)",
+                static_cast<unsigned long long>(Server.requestsServed()),
+                static_cast<unsigned long long>(Stats.Hits),
+                static_cast<unsigned long long>(Stats.Misses),
+                static_cast<unsigned long long>(Stats.Evictions));
+  Log.console(LogLevel::Info, "server", Drained,
+              {{"requests", Server.requestsServed()},
+               {"cache_hits", Stats.Hits},
+               {"cache_misses", Stats.Misses},
+               {"evictions", Stats.Evictions}});
   return 0;
 }

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "obs/Log.h"
 #include "parser/Parser.h"
 #include "pipeline/Pipeline.h"
 #include "support/CliOptions.h"
@@ -81,13 +82,15 @@ int main(int argc, char **argv) {
 
   // The budget flags are the shared set (support/CliOptions.h); the
   // lint-selection flags stay local.
-  CliOptionParser Cli(CliOptionParser::WantBudget);
+  CliOptionParser Cli(CliOptionParser::WantBudget |
+                      CliOptionParser::WantLog);
+  Logger &Log = Logger::global();
   for (int I = 1; I < argc; ++I) {
     CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
     if (M == CliOptionParser::Match::Consumed)
       continue;
     if (M == CliOptionParser::Match::Error) {
-      std::fprintf(stderr, "%s\n", Cli.error().c_str());
+      Log.console(LogLevel::Error, "ir_lint", Cli.error());
       return 2;
     }
     if (std::strcmp(argv[I], "--demo") == 0)
@@ -111,6 +114,12 @@ int main(int argc, char **argv) {
       Path = argv[I];
   }
   const ResourceBudget &Budget = Cli.options().Budget;
+  std::string LogError;
+  if (!configureGlobalLogger(Cli.options().LogLevelText,
+                             Cli.options().LogFile, &LogError)) {
+    Log.console(LogLevel::Error, "ir_lint", "error: " + LogError);
+    return 2;
+  }
   if (argc <= 1)
     Source = DemoSource; // No arguments: run the built-in example.
 
@@ -121,7 +130,8 @@ int main(int argc, char **argv) {
     }
     std::ifstream In(Path);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      Log.console(LogLevel::Error, "ir_lint",
+                  "error: cannot open '" + std::string(Path) + "'");
       return 2;
     }
     std::ostringstream Buf;
@@ -143,7 +153,8 @@ int main(int argc, char **argv) {
     bool VerifyFailure = false;
     bool BudgetFailure = false;
     for (const ParseDiag &D : Result.Diags) {
-      std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      Log.console(LogLevel::Error, "ir_lint", D.formatted(Filename),
+                  {{"code", diagCodeString(D.Code)}});
       if (D.isError() && isBudgetDiagCode(D.Code))
         BudgetFailure = true;
       if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&
@@ -172,8 +183,10 @@ int main(int argc, char **argv) {
       if (!Compiled.has_value()) {
         CertificationFailed = true;
         for (const Diagnostic &D : Compiled.errors()) {
-          std::fprintf(stderr, "%s: @%s: %s\n", std::string(Filename).c_str(),
-                       F.name().c_str(), D.formatted().c_str());
+          Log.console(LogLevel::Error, "ir_lint",
+                      std::string(Filename) + ": @" + F.name() + ": " +
+                          D.formatted(),
+                      {{"code", diagCodeString(D.Code)}});
           if (D.isError() && isBudgetDiagCode(D.Code))
             CertificationBudget = true;
         }

@@ -21,6 +21,7 @@
 
 #include "frontend/KernelLang.h"
 #include "ir/IrPrinter.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pipeline/Experiment.h"
@@ -94,17 +95,24 @@ int main(int argc, char **argv) {
   CliOptionParser Cli(CliOptionParser::WantCandidate |
                       CliOptionParser::WantJson | CliOptionParser::WantTrace |
                       CliOptionParser::WantBudget |
-                      CliOptionParser::WantConfig);
+                      CliOptionParser::WantConfig | CliOptionParser::WantLog);
+  Logger &Log = Logger::global();
   for (int I = 1; I < argc; ++I) {
     CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
     if (M == CliOptionParser::Match::Consumed)
       continue;
     if (M == CliOptionParser::Match::Error) {
-      std::fprintf(stderr, "%s\n", Cli.error().c_str());
+      Log.console(LogLevel::Error, "kernel_compiler", Cli.error());
       return ExitUsageError;
     }
-    std::fprintf(stderr, "usage: %s %s\n", argv[0],
-                 Cli.usageFragment().c_str());
+    Log.console(LogLevel::Error, "kernel_compiler",
+                "usage: " + std::string(argv[0]) + " " + Cli.usageFragment());
+    return ExitUsageError;
+  }
+  std::string LogError;
+  if (!configureGlobalLogger(Cli.options().LogLevelText,
+                             Cli.options().LogFile, &LogError)) {
+    Log.console(LogLevel::Error, "kernel_compiler", "error: " + LogError);
     return ExitUsageError;
   }
 
@@ -113,7 +121,7 @@ int main(int argc, char **argv) {
     ErrorOr<SchedulerPolicy> Parsed =
         parsePolicyName(Cli.options().PolicyText);
     if (!Parsed) {
-      std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+      Log.console(LogLevel::Error, "kernel_compiler", Parsed.errorText());
       return ExitUsageError;
     }
     Candidate = *Parsed;
@@ -127,8 +135,8 @@ int main(int argc, char **argv) {
   if (!Cli.options().ConfigFile.empty()) {
     std::ifstream In(Cli.options().ConfigFile);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n",
-                   Cli.options().ConfigFile.c_str());
+      Log.console(LogLevel::Error, "kernel_compiler",
+                  "error: cannot open '" + Cli.options().ConfigFile + "'");
       return ExitUsageError;
     }
     std::ostringstream Buf;
@@ -136,8 +144,9 @@ int main(int argc, char **argv) {
     ErrorOr<PipelineConfig> Parsed = PipelineConfig::fromJson(Buf.str());
     if (!Parsed) {
       for (const Diagnostic &D : Parsed.errors())
-        std::fprintf(stderr, "%s\n",
-                     D.formatted(Cli.options().ConfigFile).c_str());
+        Log.console(LogLevel::Error, "kernel_compiler",
+                    D.formatted(Cli.options().ConfigFile),
+                    {{"code", diagCodeString(D.Code)}});
       return ExitUsageError;
     }
     Base = *Parsed;
@@ -161,7 +170,9 @@ int main(int argc, char **argv) {
   }();
   if (!Compiled.ok()) {
     for (const Diagnostic &D : Compiled.Diags)
-      std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
+      Log.console(LogLevel::Error, "kernel_compiler",
+                  D.formatted("<kernel-lang>"),
+                  {{"code", diagCodeString(D.Code)}});
     return ExitFrontendError;
   }
 
@@ -185,8 +196,8 @@ int main(int argc, char **argv) {
   Systems.push_back({std::make_unique<MixedSystem>(0.8, 2, 30, 5), 2});
 
   SimulationConfig Sim;
-  Sim.Obs = {&Metrics, &Trace};
-  Base.Obs = {&Metrics, &Trace};
+  Sim.Obs = {&Metrics, &Trace, {}};
+  Base.Obs = {&Metrics, &Trace, {}};
   Base.Budget = Budget;
 
   JsonWriter W;
@@ -206,7 +217,9 @@ int main(int argc, char **argv) {
         runComparison(Program, *S.Memory, S.OptLat, Sim, Candidate, Base);
     if (!CmpOr) {
       for (const Diagnostic &D : CmpOr.errors())
-        std::fprintf(stderr, "%s\n", D.formatted("<kernel-lang>").c_str());
+        Log.console(LogLevel::Error, "kernel_compiler",
+                    D.formatted("<kernel-lang>"),
+                    {{"code", diagCodeString(D.Code)}});
       return anyBudgetError(CmpOr.errors()) ? ExitBudgetExceeded
                                             : ExitPipelineError;
     }
@@ -235,7 +248,7 @@ int main(int argc, char **argv) {
   if (!TraceOut.empty()) {
     std::string Error;
     if (!Trace.writeFile(TraceOut, &Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      Log.console(LogLevel::Error, "kernel_compiler", "error: " + Error);
       return ExitUsageError;
     }
   }

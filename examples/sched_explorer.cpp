@@ -22,6 +22,7 @@
 #include "dag/DagBuilder.h"
 #include "dag/DagUtils.h"
 #include "ir/IrPrinter.h"
+#include "obs/Log.h"
 #include "parser/Parser.h"
 #include "pipeline/Pipeline.h"
 #include "sched/AverageWeighter.h"
@@ -214,13 +215,14 @@ int main(int argc, char **argv) {
   // from the shared parser; --demo/--dot/--latency and the positional
   // path stay local.
   CliOptionParser Cli(CliOptionParser::WantPolicy | CliOptionParser::WantJson |
-                      CliOptionParser::WantBudget);
+                      CliOptionParser::WantBudget | CliOptionParser::WantLog);
+  Logger &Log = Logger::global();
   for (int I = 1; I < argc; ++I) {
     CliOptionParser::Match M = Cli.tryParse(argc, argv, I);
     if (M == CliOptionParser::Match::Consumed)
       continue;
     if (M == CliOptionParser::Match::Error) {
-      std::fprintf(stderr, "%s\n", Cli.error().c_str());
+      Log.console(LogLevel::Error, "sched_explorer", Cli.error());
       return 2;
     }
     if (std::strcmp(argv[I], "--demo") == 0)
@@ -234,11 +236,17 @@ int main(int argc, char **argv) {
   }
   JsonMode = Cli.options().Json;
   Budget = Cli.options().Budget;
+  std::string LogError;
+  if (!configureGlobalLogger(Cli.options().LogLevelText,
+                             Cli.options().LogFile, &LogError)) {
+    Log.console(LogLevel::Error, "sched_explorer", "error: " + LogError);
+    return 2;
+  }
   if (Cli.options().HasPolicy) {
     ErrorOr<SchedulerPolicy> Parsed =
         parsePolicyName(Cli.options().PolicyText);
     if (!Parsed) {
-      std::fprintf(stderr, "%s\n", Parsed.errorText().c_str());
+      Log.console(LogLevel::Error, "sched_explorer", Parsed.errorText());
       return 2;
     }
     Only = *Parsed;
@@ -248,15 +256,16 @@ int main(int argc, char **argv) {
 
   if (Source.empty()) {
     if (!Path) {
-      std::fprintf(stderr,
-                   "usage: %s <file.bsir> [--dot] [--latency N] "
-                   "[--policy <name>] [--json] | --demo\n",
-                   argv[0]);
+      Log.console(LogLevel::Error, "sched_explorer",
+                  "usage: " + std::string(argv[0]) +
+                      " <file.bsir> [--dot] [--latency N] "
+                      "[--policy <name>] [--json] | --demo");
       return 2;
     }
     std::ifstream In(Path);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+      Log.console(LogLevel::Error, "sched_explorer",
+                  "error: cannot open '" + std::string(Path) + "'");
       return 1;
     }
     std::ostringstream Buf;
@@ -279,7 +288,8 @@ int main(int argc, char **argv) {
     bool BudgetFailure = false;
     std::string_view Filename = Path ? Path : "<demo>";
     for (const ParseDiag &D : Result.Diags) {
-      std::fprintf(stderr, "%s\n", D.formatted(Filename).c_str());
+      Log.console(LogLevel::Error, "sched_explorer", D.formatted(Filename),
+                  {{"code", diagCodeString(D.Code)}});
       if (D.isError() && isBudgetDiagCode(D.Code))
         BudgetFailure = true;
       if (D.isError() && D.Code >= DiagCode::VerifyTerminatorNotLast &&

@@ -85,7 +85,10 @@ for CONC in 1 8 64; do
   RUNS+=("$TMP/run_$CONC.json")
 done
 
-# Stitch the sweep points into one artifact next to EXPERIMENTS.md.
+# Stitch the sweep points into one artifact next to EXPERIMENTS.md. Each
+# point carries the loadgen's client-side numbers plus the server's own
+# accounting ("server": the stats op, "server_metrics": the metrics op's
+# full snapshot with the per-op latency histograms).
 {
   printf '{"bench":"server_throughput","requests":%s,"kernels":%s,"sweep":[' \
     "$REQUESTS" "$KERNELS"
@@ -99,3 +102,35 @@ done
 } > BENCH_server.json
 
 echo "wrote BENCH_server.json"
+
+# Quantile cross-check at c=8 (the acceptance bar): the server's
+# bucket-estimated p50/p90/p99 (log-spaced power-of-two edges) must land
+# within one bucket — a factor of two, plus a rounding slack — of the
+# exact percentiles of the same samples. The reference is the per-response
+# wall_ms the loadgen collected (the exact values the histogram recorded);
+# client round-trip time would additionally carry queueing + transport,
+# which the server's handling-time histogram deliberately excludes.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TMP/run_8.json" <<'PYEOF'
+import json, sys
+run = json.load(open(sys.argv[1]))
+exact = run["server_wall_ms"]
+server = run.get("server", {}).get("stats", {}).get("latency_us", {}).get("compile")
+if not server or not server.get("count"):
+    print("quantile cross-check: no server-side histogram (BSCHED_NO_OBS build?) - skipped")
+    sys.exit(0)
+slack_us, worst = 50.0, 0.0
+for q in ("p50", "p90", "p99"):
+    e_us = exact[q] * 1000.0
+    s_us = server[q]
+    ok = s_us <= 2.0 * e_us + slack_us and e_us <= 2.0 * s_us + slack_us
+    worst = max(worst, s_us / e_us if e_us else 0.0, e_us / s_us if s_us else 0.0)
+    print(f"quantile cross-check c=8 {q}: exact {e_us:.0f}us server-est {s_us:.0f}us"
+          f" {'OK' if ok else 'DISAGREE'}")
+    if not ok:
+        sys.exit(1)
+print(f"quantile cross-check: agree within one bucket (worst ratio {worst:.2f}x)")
+PYEOF
+else
+  echo "quantile cross-check: python3 not found - skipped"
+fi

@@ -11,6 +11,7 @@
 #include "support/Json.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -383,6 +384,94 @@ void MetricSnapshot::merge(const MetricSnapshot &Other) {
     Mine.Count += Data.Count;
     Mine.Sum += Data.Sum;
   }
+}
+
+double HistogramData::estimateQuantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  // Target rank in [1, Count]; the quantile lives in the first bucket
+  // whose cumulative count reaches it.
+  const double Target = std::max(1.0, Q * static_cast<double>(Count));
+  uint64_t Cumulative = 0;
+  for (size_t B = 0; B != Counts.size(); ++B) {
+    if (Counts[B] == 0)
+      continue;
+    const uint64_t Before = Cumulative;
+    Cumulative += Counts[B];
+    if (static_cast<double>(Cumulative) < Target)
+      continue;
+    // Interpolate inside [Lower, Upper]. The first bucket starts at the
+    // observed Min rather than 0, and the overflow bucket ends at the
+    // observed Max rather than infinity.
+    double Lower = B == 0 ? static_cast<double>(Min)
+                          : static_cast<double>(UpperEdges[B - 1]);
+    double Upper = B < UpperEdges.size() ? static_cast<double>(UpperEdges[B])
+                                         : static_cast<double>(Max);
+    if (Upper < Lower)
+      Upper = Lower;
+    const double Fraction =
+        (Target - static_cast<double>(Before)) /
+        static_cast<double>(Counts[B]);
+    const double Estimate = Lower + (Upper - Lower) * Fraction;
+    return std::clamp(Estimate, static_cast<double>(Min),
+                      static_cast<double>(Max));
+  }
+  return static_cast<double>(Max);
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] (no leading digit).
+std::string prometheusName(std::string_view Name) {
+  std::string Result;
+  Result.reserve(Name.size());
+  for (char C : Name) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Result.push_back(Ok ? C : '_');
+  }
+  if (Result.empty() || (Result.front() >= '0' && Result.front() <= '9'))
+    Result.insert(Result.begin(), '_');
+  return Result;
+}
+
+void appendPrometheusDouble(std::string &Out, double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  Out += Buffer;
+}
+
+} // namespace
+
+std::string MetricSnapshot::toPrometheus() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    const std::string P = prometheusName(Name);
+    Out += "# TYPE " + P + " counter\n";
+    Out += P + " " + std::to_string(Value) + "\n";
+  }
+  for (const auto &[Name, Value] : Gauges) {
+    const std::string P = prometheusName(Name);
+    Out += "# TYPE " + P + " gauge\n";
+    Out += P + " ";
+    appendPrometheusDouble(Out, Value);
+    Out += "\n";
+  }
+  for (const auto &[Name, Data] : Histograms) {
+    const std::string P = prometheusName(Name);
+    Out += "# TYPE " + P + " histogram\n";
+    uint64_t Cumulative = 0;
+    for (size_t B = 0; B != Data.UpperEdges.size(); ++B) {
+      Cumulative += B < Data.Counts.size() ? Data.Counts[B] : 0;
+      Out += P + "_bucket{le=\"" + std::to_string(Data.UpperEdges[B]) +
+             "\"} " + std::to_string(Cumulative) + "\n";
+    }
+    Out += P + "_bucket{le=\"+Inf\"} " + std::to_string(Data.Count) + "\n";
+    Out += P + "_sum " + std::to_string(Data.Sum) + "\n";
+    Out += P + "_count " + std::to_string(Data.Count) + "\n";
+  }
+  return Out;
 }
 
 std::string MetricSnapshot::toJson() const {

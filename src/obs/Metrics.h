@@ -103,6 +103,14 @@ struct HistogramData {
   uint64_t Max = 0;   ///< Largest sample (0 when Count == 0).
 
   bool operator==(const HistogramData &) const = default;
+
+  /// Estimates the \p Q quantile (0..1, clamped) by linear interpolation
+  /// inside the bucket holding the target rank. The overflow bucket
+  /// interpolates up to the observed Max; results are clamped to
+  /// [Min, Max]. Returns 0.0 when empty. With log-spaced edges the
+  /// estimate is off by at most one bucket width — the agreement
+  /// contract the server/loadgen cross-check pins.
+  double estimateQuantile(double Q) const;
 };
 
 /// A point-in-time merge of every shard of a registry. Plain data:
@@ -125,6 +133,14 @@ struct MetricSnapshot {
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
   /// {name:{"edges":[...],"counts":[...],"count":..,"sum":..,...}}}.
   std::string toJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): metric names have
+  /// non-[a-zA-Z0-9_:] characters replaced by '_' ("bsched.server.
+  /// requests" -> "bsched_server_requests"), counters/gauges emit one
+  /// `# TYPE` line plus the sample, histograms emit cumulative
+  /// `_bucket{le="..."}` samples ending in `le="+Inf"` plus `_sum` and
+  /// `_count`.
+  std::string toPrometheus() const;
 };
 
 /// The registry. Thread-safe throughout: registration takes an internal

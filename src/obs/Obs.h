@@ -19,16 +19,24 @@
 #ifndef BSCHED_OBS_OBS_H
 #define BSCHED_OBS_OBS_H
 
+#include <string>
+
 namespace bsched {
 
 class MetricRegistry;
 class TraceRecorder;
 
-/// Where a run should record. Copyable, value-semantic; both members are
-/// borrowed and must outlive the run that uses them.
+/// Where a run should record. Copyable, value-semantic; both pointer
+/// members are borrowed and must outlive the run that uses them.
 struct ObsContext {
   MetricRegistry *Metrics = nullptr;
   TraceRecorder *Trace = nullptr;
+
+  /// Correlation id for the request this run serves (empty outside the
+  /// compile service). Threaded into the pipeline's top-level span args
+  /// so per-request spans group in the Chrome trace; like the rest of
+  /// the context it never reaches experiment cache keys.
+  std::string RequestId;
 };
 
 } // namespace bsched

@@ -350,6 +350,8 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
     Args.beginObject();
     Args.key("function").value(F.name());
     Args.key("policy").value(policyName(Config.Policy));
+    if (!Config.Obs.RequestId.empty())
+      Args.key("request_id").value(Config.Obs.RequestId);
     Args.endObject();
     CompileArgs = Args.str();
   }

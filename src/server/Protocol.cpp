@@ -20,6 +20,8 @@ std::string_view bsched::requestOpName(RequestOp Op) {
     return "compile";
   case RequestOp::Stats:
     return "stats";
+  case RequestOp::Metrics:
+    return "metrics";
   case RequestOp::Ping:
     return "ping";
   }
@@ -108,6 +110,8 @@ std::string CompileRequest::toJson() const {
     W.key("want_schedule").value(WantSchedule);
     W.key("want_metrics").value(WantMetrics);
   }
+  if (Op == RequestOp::Metrics && MetricsFormat != "json")
+    W.key("metrics_format").value(MetricsFormat);
   W.endObject();
   return W.str();
 }
@@ -138,12 +142,14 @@ ErrorOr<CompileRequest> CompileRequest::fromJson(std::string_view Json) {
           Request.Op = RequestOp::Compile;
         else if (Name == "stats")
           Request.Op = RequestOp::Stats;
+        else if (Name == "metrics")
+          Request.Op = RequestOp::Metrics;
         else if (Name == "ping")
           Request.Op = RequestOp::Ping;
         else
           pushError(Diags, DiagCode::ProtocolBadValue,
                     "unknown op '" + Name +
-                        "' (expected compile, stats or ping)");
+                        "' (expected compile, stats, metrics or ping)");
       }
     } else if (Key == "kernel") {
       readString(Diags, Key, V, Request.Kernel);
@@ -160,6 +166,13 @@ ErrorOr<CompileRequest> CompileRequest::fromJson(std::string_view Json) {
       readBool(Diags, Key, V, Request.WantSchedule);
     } else if (Key == "want_metrics") {
       readBool(Diags, Key, V, Request.WantMetrics);
+    } else if (Key == "metrics_format") {
+      if (readString(Diags, Key, V, Request.MetricsFormat) &&
+          Request.MetricsFormat != "json" &&
+          Request.MetricsFormat != "prometheus")
+        pushError(Diags, DiagCode::ProtocolBadValue,
+                  "unknown metrics_format '" + Request.MetricsFormat +
+                      "' (expected json or prometheus)");
     } else {
       pushError(Diags, DiagCode::ProtocolUnknownKey,
                 "unknown request key '" + Key + "'");
@@ -198,6 +211,8 @@ std::string CompileResponse::toJson() const {
   W.endArray();
   if (!StatsJson.empty())
     W.key("stats").rawValue(StatsJson);
+  if (!MetricsText.empty())
+    W.key("metrics_text").value(MetricsText);
   W.endObject();
   return W.str();
 }
@@ -279,6 +294,8 @@ ErrorOr<CompileResponse> CompileResponse::fromJson(std::string_view Json) {
       }
     } else if (Key == "stats") {
       // Kept opaque: clients treat stats as a raw document.
+    } else if (Key == "metrics_text") {
+      readString(Diags, Key, V, Response.MetricsText);
     } else {
       pushError(Diags, DiagCode::ProtocolUnknownKey,
                 "unknown response key '" + Key + "'");

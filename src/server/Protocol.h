@@ -39,10 +39,11 @@ namespace bsched {
 enum class RequestOp : uint8_t {
   Compile, ///< Compile "kernel" under "config" (the default).
   Stats,   ///< Report cache statistics and the server metric snapshot.
+  Metrics, ///< Export the server metric snapshot (JSON or Prometheus).
   Ping,    ///< Liveness probe; echoes the id.
 };
 
-/// "compile", "stats", "ping".
+/// "compile", "stats", "metrics", "ping".
 std::string_view requestOpName(RequestOp Op);
 
 /// One client request. Over the wire:
@@ -60,6 +61,7 @@ struct CompileRequest {
   PipelineConfig Config = PipelineConfig::paperDefault();
   bool WantSchedule = true;          ///< Include the compiled IR text.
   bool WantMetrics = false;          ///< Include the compile MetricSnapshot.
+  std::string MetricsFormat = "json"; ///< metrics op: "json"|"prometheus".
 
   std::string toJson() const;
   static ErrorOr<CompileRequest> fromJson(std::string_view Json);
@@ -80,7 +82,9 @@ struct CompileResponse {
   double WallMs = 0.0;               ///< Server-side handling time.
   std::string Schedule;              ///< Compiled IR (want_schedule only).
   std::vector<Diagnostic> Diags;     ///< Failure (or warning) details.
-  std::string StatsJson;             ///< Raw JSON: stats op / want_metrics.
+  std::string StatsJson;             ///< Raw JSON: stats op / want_metrics
+                                     ///< / metrics op in json format.
+  std::string MetricsText;           ///< metrics op, prometheus format.
 
   std::string toJson() const;
   static ErrorOr<CompileResponse> fromJson(std::string_view Json);

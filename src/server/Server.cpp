@@ -8,24 +8,66 @@
 #include "server/Server.h"
 
 #include "ir/IrPrinter.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "parser/Parser.h"
 #include "support/Json.h"
 
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <optional>
 
 #include <sys/socket.h>
 
 using namespace bsched;
 
+namespace {
+
+/// Log-spaced (powers of two) latency bucket edges, microseconds: 1us up
+/// to ~16.8s; slower requests land in the overflow bucket.
+std::vector<uint64_t> latencyEdgesUs() {
+  std::vector<uint64_t> Edges;
+  for (uint64_t Edge = 1; Edge <= (1ull << 24); Edge <<= 1)
+    Edges.push_back(Edge);
+  return Edges;
+}
+
+/// The metric name of one op's latency histogram.
+std::string latencyMetricName(std::string_view Op) {
+  return "bsched.server.latency_us." + std::string(Op);
+}
+
+/// A response diagnostic that warrants a flight-recorder dump: governor
+/// hard-fails, armed fail points, and pool-fault backstops.
+const Diagnostic *findDumpworthyDiag(const CompileResponse &Response) {
+  for (const Diagnostic &D : Response.Diags)
+    if (D.Code == DiagCode::GovernorBlockTooLarge ||
+        D.Code == DiagCode::InjectedFault ||
+        D.Code == DiagCode::EngineCellFault)
+      return &D;
+  return nullptr;
+}
+
+} // namespace
+
 BschedServer::BschedServer(ServerConfig Config, MetricRegistry *Metrics)
-    : Config(Config), Metrics(Metrics),
+    : Config(Config),
+      OwnedMetrics(Metrics ? nullptr : new MetricRegistry()),
+      Metrics(Metrics ? Metrics : OwnedMetrics.get()),
       Cache(std::make_shared<CompileCache>(
           CompileCacheConfig{Config.CacheShards, Config.CacheMaxBytes,
                              /*MaxEntries=*/0},
-          Metrics)),
-      Pool(Config.Workers) {}
+          this->Metrics)),
+      Pool(Config.Workers) {
+  const std::vector<uint64_t> Edges = latencyEdgesUs();
+  for (unsigned Op = 0; Op != NumOps; ++Op)
+    LatencyByOp[Op] = this->Metrics->histogram(
+        latencyMetricName(requestOpName(static_cast<RequestOp>(Op))), Edges);
+  LatencyInvalid =
+      this->Metrics->histogram(latencyMetricName("invalid"), Edges);
+}
 
 BschedServer::~BschedServer() { stop(); }
 
@@ -61,6 +103,14 @@ void BschedServer::stop() {
     if (T.joinable())
       T.join();
   Listener.close();
+  // Graceful shutdown is a postmortem boundary too: persist what the
+  // service was doing in its last moments.
+  Logger &Log = Logger::global();
+  if (Log.enabled(LogLevel::Info))
+    Log.log(LogLevel::Info, "server", "flight-recorder dump",
+            {{"trigger", "shutdown"},
+             LogField::raw("dump",
+                           FlightRecorder::global().dumpJson("shutdown"))});
 }
 
 void BschedServer::acceptLoop() {
@@ -134,15 +184,45 @@ std::string BschedServer::statsJson() const {
   W.key("bytes").value(Stats.Bytes);
   W.key("hit_rate").valueFixed(Stats.hitRate(), 4);
   W.endObject();
+  // Server-side latency, estimated from the per-op log-spaced histograms
+  // (bucket interpolation, so each quantile is within one bucket of the
+  // true order statistic). Microseconds, like the metric itself.
+  const std::string Prefix = latencyMetricName("");
+  MetricSnapshot Snapshot = Metrics->snapshot();
+  W.key("latency_us").beginObject();
+  for (const auto &[Name, Data] : Snapshot.Histograms) {
+    if (Name.rfind(Prefix, 0) != 0)
+      continue;
+    W.key(Name.substr(Prefix.size())).beginObject();
+    W.key("count").value(Data.Count);
+    W.key("p50").valueFixed(Data.estimateQuantile(0.50), 1);
+    W.key("p90").valueFixed(Data.estimateQuantile(0.90), 1);
+    W.key("p99").valueFixed(Data.estimateQuantile(0.99), 1);
+    W.key("min").value(Data.Min);
+    W.key("max").value(Data.Max);
+    W.endObject();
+  }
+  W.endObject();
   W.endObject();
   return W.str();
 }
 
-CompileResponse BschedServer::compileOne(const CompileRequest &Request) {
+std::string BschedServer::makeRequestId() {
+  return "srv-" + std::to_string(NextRequestSeq.fetch_add(1) + 1);
+}
+
+CompileResponse BschedServer::compileOne(const CompileRequest &Request,
+                                         TraceRecorder *Trace) {
   CompileResponse Response;
   Response.Id = Request.Id;
 
   PipelineConfig Config = Request.Config;
+  // Correlate everything this request records: its id reaches the
+  // pipeline's top-level span args, and the per-request recorder (when
+  // the slow-request threshold armed one) collects the phase spans. Obs
+  // is key-neutral, so cache hits and misses are unaffected.
+  Config.Obs.Trace = Trace;
+  Config.Obs.RequestId = Request.Id;
   // Operator ceilings compose with the request's own budget: the daemon
   // clamps deadlines into (0, MaxDeadlineMs] and admission sizes down to
   // its own maximum, whatever the client asked for.
@@ -212,8 +292,22 @@ std::string BschedServer::handleRequest(std::string_view Payload) {
     Metrics->counter("bsched.server.requests").add();
 
   CompileResponse Response;
+  // Outlier requests get their own span recorder so the slow-request log
+  // line carries the whole phase tree for exactly this request.
+  std::optional<TraceRecorder> RequestTrace;
+  if (Config.SlowRequestMs > 0.0)
+    RequestTrace.emplace();
+
   ErrorOr<CompileRequest> Request = CompileRequest::fromJson(Payload);
+  if (Request && Request->Id.empty())
+    Request->Id = makeRequestId(); // Echoed below: every response carries
+                                   // a correlation id, client-supplied or
+                                   // server-generated.
   if (!Request) {
+    // Even an unparseable request gets a correlation id: the error
+    // response, the log line, and any flight dump it triggers must still
+    // share a key the operator can grep for.
+    Response.Id = makeRequestId();
     Response.Diags = Request.takeErrors();
   } else if (Stopping.load()) {
     Response.Id = Request->Id;
@@ -230,6 +324,16 @@ std::string BschedServer::handleRequest(std::string_view Payload) {
       Response.Ok = true;
       Response.StatsJson = statsJson();
       break;
+    case RequestOp::Metrics: {
+      Response.Id = Request->Id;
+      Response.Ok = true;
+      MetricSnapshot Snapshot = Metrics->snapshot();
+      if (Request->MetricsFormat == "prometheus")
+        Response.MetricsText = Snapshot.toPrometheus();
+      else
+        Response.StatsJson = Snapshot.toJson();
+      break;
+    }
     case RequestOp::Compile: {
       // Compiles funnel through the shared pool: N connections against W
       // workers queue instead of oversubscribing the host. The task body
@@ -239,9 +343,10 @@ std::string BschedServer::handleRequest(std::string_view Payload) {
       std::promise<CompileResponse> Promise;
       std::future<CompileResponse> Done = Promise.get_future();
       const CompileRequest &R = *Request;
-      Pool.run([this, &R, &Promise] {
+      TraceRecorder *Trace = RequestTrace ? &*RequestTrace : nullptr;
+      Pool.run([this, &R, Trace, &Promise] {
         try {
-          Promise.set_value(compileOne(R));
+          Promise.set_value(compileOne(R, Trace));
         } catch (const std::exception &E) {
           CompileResponse Fault;
           Fault.Id = R.Id;
@@ -270,6 +375,48 @@ std::string BschedServer::handleRequest(std::string_view Payload) {
     if (!Response.Ok)
       Metrics->counter("bsched.server.errors").add();
   }
+  const uint64_t WallUs = static_cast<uint64_t>(Response.WallMs * 1000.0);
+  if (Request)
+    LatencyByOp[static_cast<unsigned>(Request->Op) % NumOps].record(WallUs);
+  else
+    LatencyInvalid.record(WallUs);
+
+  // Telemetry tail: one Debug event per request (always captured by the
+  // flight-recorder ring, sink-filtered by --log-level), an Error event
+  // plus ring dump when the request tripped a governor hard-fail (BS802),
+  // an armed fail point (BS810), or the pool-fault backstop (BS811), and
+  // a Warn event with the full span tree for slow outliers.
+  Logger &Log = Logger::global();
+  const std::string_view OpName =
+      Request ? requestOpName(Request->Op) : std::string_view("invalid");
+  Log.log(LogLevel::Debug, "server", "request",
+          {{"request_id", Response.Id},
+           {"op", OpName},
+           {"ok", Response.Ok},
+           {"cache_hit", Response.CacheHit},
+           {"wall_ms", Response.WallMs}});
+  if (const Diagnostic *Dump = findDumpworthyDiag(Response)) {
+    const std::string Code = diagCodeString(Dump->Code);
+    Log.log(LogLevel::Error, "server", "request failed",
+            {{"request_id", Response.Id},
+             {"code", Code},
+             {"message", Dump->Message}});
+    if (Log.enabled(LogLevel::Error))
+      Log.log(LogLevel::Error, "server", "flight-recorder dump",
+              {{"request_id", Response.Id},
+               {"trigger", Code},
+               LogField::raw("dump",
+                             FlightRecorder::global().dumpJson(Code))});
+  }
+  if (RequestTrace && Response.WallMs > Config.SlowRequestMs &&
+      Log.enabled(LogLevel::Warn))
+    Log.log(LogLevel::Warn, "server", "slow request",
+            {{"request_id", Response.Id},
+             {"op", OpName},
+             {"wall_ms", Response.WallMs},
+             {"threshold_ms", Config.SlowRequestMs},
+             LogField::raw("trace", RequestTrace->toJson())});
+
   return Response.toJson();
 }
 

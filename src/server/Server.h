@@ -74,6 +74,12 @@ struct ServerConfig {
   /// Admission ceiling on kernel size, instructions per block, applied on
   /// top of (as a minimum with) each request's own budget. 0 = none.
   uint64_t MaxInstructionsPerBlock = 0;
+
+  /// Slow-request threshold, milliseconds: a request that takes longer
+  /// runs with a per-request TraceRecorder and logs its full span tree
+  /// at Warn level through the structured logger. 0 disables (no
+  /// per-request recorder, no outlier logging).
+  double SlowRequestMs = 0.0;
 };
 
 /// The compile service. One instance owns the listener, the connection
@@ -83,8 +89,12 @@ struct ServerConfig {
 class BschedServer {
 public:
   /// \p Metrics (optional, borrowed) receives the daemon counters:
-  /// `bsched.engine.cache_*` from the shared cache and
-  /// `bsched.server.{requests,responses,errors,connections,bad_frames}`.
+  /// `bsched.engine.cache_*` from the shared cache,
+  /// `bsched.server.{requests,responses,errors,connections,bad_frames}`,
+  /// and the per-op latency histograms
+  /// `bsched.server.latency_us.{compile,stats,metrics,ping,invalid}`.
+  /// When null the server owns a private registry so the `stats` and
+  /// `metrics` ops always have telemetry to report.
   explicit BschedServer(ServerConfig Config, MetricRegistry *Metrics = nullptr);
   ~BschedServer();
 
@@ -117,18 +127,30 @@ public:
 private:
   void acceptLoop();
   void serveConnection(FdHandle Conn);
-  CompileResponse compileOne(const CompileRequest &Request);
+  CompileResponse compileOne(const CompileRequest &Request,
+                             TraceRecorder *Trace);
   std::string statsJson() const;
+  std::string makeRequestId();
 
   ServerConfig Config;
+  /// Fallback registry when the operator does not supply one (declared
+  /// before Metrics/Cache: both capture the resolved pointer).
+  std::unique_ptr<MetricRegistry> OwnedMetrics;
   MetricRegistry *Metrics;
   std::shared_ptr<CompileCache> Cache;
   ThreadPool Pool;
+
+  /// Pre-resolved per-op latency histograms, indexed by RequestOp, plus
+  /// one for requests that never parsed to an op.
+  static constexpr unsigned NumOps = 4;
+  Histogram LatencyByOp[NumOps];
+  Histogram LatencyInvalid;
 
   UnixListener Listener;
   std::thread Acceptor;
   std::atomic<bool> Stopping{false};
   std::atomic<uint64_t> RequestsServed{0};
+  std::atomic<uint64_t> NextRequestSeq{0}; ///< Server-generated id suffix.
 
   // Live connection fds (for shutdown's half-close) and their threads.
   std::mutex ConnMutex;

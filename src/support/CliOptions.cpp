@@ -81,6 +81,22 @@ CliOptionParser::Match CliOptionParser::tryParse(int Argc, char **Argv,
       return Match::Consumed;
     }
   }
+  if (Wanted & WantLog) {
+    if (Arg == "--log-file") {
+      const char *Value = NeedsValue(Arg);
+      if (!Value)
+        return Match::Error;
+      Options.LogFile = Value;
+      return Match::Consumed;
+    }
+    if (Arg == "--log-level") {
+      const char *Value = NeedsValue(Arg);
+      if (!Value)
+        return Match::Error;
+      Options.LogLevelText = Value;
+      return Match::Consumed;
+    }
+  }
   if ((Wanted & WantConfig) && Arg == "--config") {
     const char *Value = NeedsValue(Arg);
     if (!Value)
@@ -130,5 +146,7 @@ std::string CliOptionParser::usageFragment() const {
     Append("[--config FILE]");
   if (Wanted & WantBudget)
     Append("[--deadline-ms N] [--max-instrs N]");
+  if (Wanted & WantLog)
+    Append("[--log-file FILE] [--log-level LEVEL]");
   return Out;
 }

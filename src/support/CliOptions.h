@@ -44,6 +44,12 @@ struct CliCommon {
   std::string TraceOut;    ///< --trace-out FILE / --trace-out=FILE.
   std::string ConfigFile;  ///< --config FILE: PipelineConfig JSON.
   ResourceBudget Budget;   ///< --deadline-ms / --max-instrs.
+
+  /// --log-file FILE / --log-level LEVEL, carried as text (support sits
+  /// below the obs layer that defines LogLevel); callers hand both to
+  /// configureGlobalLogger, which validates the level name.
+  std::string LogFile;
+  std::string LogLevelText;
 };
 
 /// Registers-then-parses the common flag set.
@@ -58,6 +64,7 @@ public:
     WantTrace = 1u << 3,     ///< --trace-out FILE | --trace-out=FILE
     WantBudget = 1u << 4,    ///< --deadline-ms N, --max-instrs N
     WantConfig = 1u << 5,    ///< --config FILE
+    WantLog = 1u << 6,       ///< --log-file FILE, --log-level LEVEL
   };
 
   explicit CliOptionParser(unsigned Wanted) : Wanted(Wanted) {}

@@ -43,3 +43,16 @@ double bsched::quantile(std::vector<double> Values, double Q) {
   double Frac = Pos - static_cast<double>(Lo);
   return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
 }
+
+double bsched::percentile(const std::vector<double> &SortedValues, double P) {
+  if (SortedValues.empty())
+    return 0.0;
+  if (SortedValues.size() == 1)
+    return SortedValues.front();
+  P = std::clamp(P, 0.0, 1.0);
+  double Rank = P * static_cast<double>(SortedValues.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, SortedValues.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return SortedValues[Lo] + (SortedValues[Hi] - SortedValues[Lo]) * Frac;
+}

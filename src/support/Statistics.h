@@ -62,6 +62,13 @@ double stddev(const std::vector<double> &Values);
 /// a sorted copy is made internally.
 double quantile(std::vector<double> Values, double Q);
 
+/// The hardened in-place flavor of quantile() for callers that already
+/// hold a sorted sample (the loadgen's latency arrays): linear
+/// interpolation between order statistics, no copy. An empty sample
+/// returns 0, a single element returns itself, and \p P is clamped into
+/// [0, 1] instead of asserting.
+double percentile(const std::vector<double> &SortedValues, double P);
+
 /// A two-sided interval [Lo, Hi], e.g. a bootstrap confidence interval.
 struct Interval {
   double Lo = 0.0;

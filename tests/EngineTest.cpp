@@ -375,7 +375,7 @@ TEST(EngineTest, EngineObsContextReceivesRunTotals) {
   NetworkSystem Memory(2, 2);
   MetricRegistry EngineReg;
   TraceRecorder Trace;
-  ExperimentEngine Engine(1, ObsContext{&EngineReg, &Trace});
+  ExperimentEngine Engine(1, ObsContext{&EngineReg, &Trace, {}});
   Engine.run({{"track", &F, &Memory, 2, SchedulerPolicy::Balanced,
                PipelineConfig::paperDefault(), smallSim()}});
 

@@ -383,6 +383,35 @@ TEST(ObsTest, TraceWriteFileRoundTrips) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(ObsTest, GaugeMaxMergesAcrossShards) {
+  // Two fresh threads get consecutive process-wide indices, so with a
+  // generous shard count they land on different shards; the snapshot
+  // must take the maximum across shards, not whichever shard was
+  // written last.
+  MetricRegistry Reg(64);
+  Gauge G = Reg.gauge("bsched.test.high_water");
+  std::thread([&] { G.set(5.0); }).join();
+  std::thread([&] { G.set(3.0); }).join(); // Later in time, smaller.
+  EXPECT_EQ(Reg.snapshot().Gauges.at("bsched.test.high_water"), 5.0);
+}
+
+TEST(ObsTest, HistogramOverflowBucketBoundary) {
+  // The last named edge is upper-inclusive; one past it is overflow, and
+  // the overflow bucket still tracks Min/Max for quantile clamping.
+  MetricRegistry Reg;
+  Histogram H = Reg.histogram("bsched.test.overflow", {100});
+  H.record(100); // == last edge: named bucket.
+  H.record(101); // one past: overflow.
+  HistogramData Data = Reg.snapshot().Histograms.at("bsched.test.overflow");
+  ASSERT_EQ(Data.Counts.size(), 2u);
+  EXPECT_EQ(Data.Counts[0], 1u);
+  EXPECT_EQ(Data.Counts[1], 1u);
+  EXPECT_EQ(Data.Min, 100u);
+  EXPECT_EQ(Data.Max, 101u);
+  // The overflow bucket interpolates only up to the observed Max.
+  EXPECT_LE(Data.estimateQuantile(1.0), 101.0);
+}
+
 #else // BSCHED_NO_OBS
 
 TEST(ObsTest, NoObsBuildRecordsNothing) {
@@ -412,4 +441,74 @@ TEST(ObsTest, ObsContextDefaultsToNull) {
   ObsContext Obs;
   EXPECT_EQ(Obs.Metrics, nullptr);
   EXPECT_EQ(Obs.Trace, nullptr);
+  EXPECT_TRUE(Obs.RequestId.empty());
+}
+
+//===----------------------------------------------------------------------===
+// HistogramData::estimateQuantile and MetricSnapshot::toPrometheus are
+// plain-data operations — they must behave identically in both builds,
+// so these tests run unguarded on hand-built snapshots.
+//===----------------------------------------------------------------------===
+
+TEST(ObsTest, EstimateQuantileEmptyAndDegenerate) {
+  HistogramData Empty;
+  EXPECT_EQ(Empty.estimateQuantile(0.5), 0.0);
+
+  // Every sample identical: any quantile clamps to that value even though
+  // the bucket spans [Min, edge].
+  HistogramData Same{{8}, {4, 0}, 4, 20, 5, 5};
+  EXPECT_EQ(Same.estimateQuantile(0.0), 5.0);
+  EXPECT_EQ(Same.estimateQuantile(0.5), 5.0);
+  EXPECT_EQ(Same.estimateQuantile(1.0), 5.0);
+}
+
+TEST(ObsTest, EstimateQuantileInterpolatesWithinBuckets) {
+  // 10 samples per bucket, uniformly: the estimator should agree with the
+  // exact quantiles of a uniform distribution on the bucket spans.
+  HistogramData Data{{10, 20, 30}, {10, 10, 10, 0}, 30, 0, 1, 30};
+  EXPECT_DOUBLE_EQ(Data.estimateQuantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(Data.estimateQuantile(0.9), 27.0);
+  EXPECT_DOUBLE_EQ(Data.estimateQuantile(1.0), 30.0);
+  // Q=0 targets rank 1: interpolates from Min, never below it.
+  EXPECT_GE(Data.estimateQuantile(0.0), 1.0);
+  EXPECT_LE(Data.estimateQuantile(0.0), 10.0);
+  // Out-of-range quantiles clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(Data.estimateQuantile(2.0), 30.0);
+}
+
+TEST(ObsTest, EstimateQuantileOverflowUsesObservedMax) {
+  // Three of four samples overflowed the named edges; the overflow bucket
+  // interpolates between the last edge and the observed Max, so the tail
+  // estimate stays finite and within the data.
+  HistogramData Data{{4}, {1, 3}, 4, 0, 2, 100};
+  const double P99 = Data.estimateQuantile(0.99);
+  EXPECT_GT(P99, 4.0);
+  EXPECT_LE(P99, 100.0);
+  EXPECT_NEAR(P99, 4.0 + 96.0 * ((0.99 * 4 - 1) / 3.0), 1e-9);
+}
+
+TEST(ObsTest, ToPrometheusGolden) {
+  MetricSnapshot Snap;
+  Snap.Counters["bsched.server.requests"] = 42;
+  Snap.Gauges["bsched.engine.pool.high-water"] = 3.5;
+  Snap.Histograms["bsched.server.latency_us.compile"] =
+      HistogramData{{2, 4}, {1, 2, 1}, 4, 20, 1, 9};
+  EXPECT_EQ(Snap.toPrometheus(),
+            "# TYPE bsched_server_requests counter\n"
+            "bsched_server_requests 42\n"
+            "# TYPE bsched_engine_pool_high_water gauge\n"
+            "bsched_engine_pool_high_water 3.5\n"
+            "# TYPE bsched_server_latency_us_compile histogram\n"
+            "bsched_server_latency_us_compile_bucket{le=\"2\"} 1\n"
+            "bsched_server_latency_us_compile_bucket{le=\"4\"} 3\n"
+            "bsched_server_latency_us_compile_bucket{le=\"+Inf\"} 4\n"
+            "bsched_server_latency_us_compile_sum 20\n"
+            "bsched_server_latency_us_compile_count 4\n");
+}
+
+TEST(ObsTest, ToPrometheusSanitizesHostileNames) {
+  MetricSnapshot Snap;
+  Snap.Counters["9lives total#1"] = 1;
+  std::string Text = Snap.toPrometheus();
+  EXPECT_NE(Text.find("_9lives_total_1 1\n"), std::string::npos) << Text;
 }

@@ -277,6 +277,43 @@ TEST(ProtocolTest, NonCompileOpsOmitCompileFields) {
   EXPECT_EQ(Parsed->Op, RequestOp::Ping);
 }
 
+TEST(ProtocolTest, MetricsOpRoundTripsWithFormat) {
+  CompileRequest Request;
+  Request.Id = "m";
+  Request.Op = RequestOp::Metrics;
+  // The default format is elided from the wire form.
+  EXPECT_EQ(Request.toJson().find("metrics_format"), std::string::npos);
+
+  Request.MetricsFormat = "prometheus";
+  std::string Json = Request.toJson();
+  EXPECT_NE(Json.find("\"metrics_format\":\"prometheus\""),
+            std::string::npos);
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(Json);
+  ASSERT_TRUE(Parsed.has_value()) << Parsed.errorText();
+  EXPECT_EQ(Parsed->Op, RequestOp::Metrics);
+  EXPECT_EQ(Parsed->MetricsFormat, "prometheus");
+  EXPECT_EQ(Parsed->toJson(), Json);
+}
+
+TEST(ProtocolTest, UnknownMetricsFormatIsStructuredError) {
+  ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(
+      R"({"schema_version":1,"op":"metrics","metrics_format":"xml"})");
+  ASSERT_FALSE(Parsed.has_value());
+  EXPECT_EQ(Parsed.errors().front().Code, DiagCode::ProtocolBadValue);
+  EXPECT_NE(Parsed.errorText().find("xml"), std::string::npos);
+}
+
+TEST(ProtocolTest, ResponseCarriesMetricsText) {
+  CompileResponse Response;
+  Response.Id = "m";
+  Response.Ok = true;
+  Response.MetricsText = "# TYPE a counter\na 1\n";
+  ErrorOr<CompileResponse> Parsed =
+      CompileResponse::fromJson(Response.toJson());
+  ASSERT_TRUE(Parsed.has_value()) << Parsed.errorText();
+  EXPECT_EQ(Parsed->MetricsText, Response.MetricsText);
+}
+
 TEST(ProtocolTest, UnknownOpIsStructuredError) {
   ErrorOr<CompileRequest> Parsed = CompileRequest::fromJson(
       R"({"schema_version":1,"op":"transpile"})");
@@ -421,6 +458,30 @@ TEST(CliOptionsTest, UsageFragmentListsAcceptedFlags) {
   EXPECT_NE(Usage.find("--candidate"), std::string::npos);
   EXPECT_NE(Usage.find("--deadline-ms"), std::string::npos);
   EXPECT_EQ(Usage.find("--json"), std::string::npos);
+  EXPECT_EQ(Usage.find("--log-file"), std::string::npos); // Not wanted.
+}
+
+TEST(CliOptionsTest, LogFlagsCarriedAsText) {
+  CliOptionParser Cli(CliOptionParser::WantLog);
+  bool Err = false;
+  std::vector<int> Rest =
+      runCli(Cli, {"--log-file", "out.ndjson", "--log-level", "debug"}, Err);
+  EXPECT_FALSE(Err);
+  EXPECT_TRUE(Rest.empty());
+  EXPECT_EQ(Cli.options().LogFile, "out.ndjson");
+  // The support layer sits below obs, so the level rides as text and the
+  // logger validates it (configureGlobalLogger).
+  EXPECT_EQ(Cli.options().LogLevelText, "debug");
+  EXPECT_NE(Cli.usageFragment().find("--log-file"), std::string::npos);
+  EXPECT_NE(Cli.usageFragment().find("--log-level"), std::string::npos);
+}
+
+TEST(CliOptionsTest, LogFlagsRequireValues) {
+  CliOptionParser Cli(CliOptionParser::WantLog);
+  bool Err = false;
+  runCli(Cli, {"--log-file"}, Err);
+  EXPECT_TRUE(Err);
+  EXPECT_FALSE(Cli.error().empty());
 }
 
 //===----------------------------------------------------------------------===//

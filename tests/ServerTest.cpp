@@ -13,14 +13,22 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/FlightRecorder.h"
+#include "obs/Log.h"
 #include "parser/Parser.h"
 #include "server/Server.h"
+#include "support/FailPoint.h"
+#include "support/JsonValue.h"
 #include "support/Socket.h"
+#include "support/Statistics.h"
 #include "support/Wire.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -626,5 +634,310 @@ TEST_F(SocketServerTest, ConcurrentConnectionsShareTheCache) {
   EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
   EXPECT_EQ(Stats.Entries, 2u);
 }
+
+//===----------------------------------------------------------------------===//
+// Telemetry: request correlation, per-op latency accounting, the metrics
+// op, and the flight-recorder dump path (DESIGN.md §3l).
+//===----------------------------------------------------------------------===//
+
+/// Points Logger::global() at a tmpfile for one test and restores the
+/// detached default afterwards (the global logger outlives every test).
+class ScopedGlobalSink {
+public:
+  explicit ScopedGlobalSink(LogLevel Level) : File(std::tmpfile()) {
+    Logger::global().setSink(File);
+    Logger::global().setLevel(Level);
+  }
+  ~ScopedGlobalSink() {
+    Logger::global().closeSink();
+    Logger::global().setLevel(LogLevel::Info);
+    if (File)
+      std::fclose(File);
+  }
+
+  std::vector<std::string> lines() {
+    std::fflush(File);
+    std::rewind(File);
+    std::vector<std::string> Lines;
+    std::string Current;
+    int C;
+    while ((C = std::fgetc(File)) != EOF) {
+      if (C == '\n') {
+        Lines.push_back(Current);
+        Current.clear();
+      } else {
+        Current.push_back(static_cast<char>(C));
+      }
+    }
+    return Lines;
+  }
+
+private:
+  std::FILE *File;
+};
+
+TEST(ServerTelemetryTest, GeneratesRequestIdWhenClientOmitsIt) {
+  BschedServer Server({});
+  CompileRequest Ping;
+  Ping.Op = RequestOp::Ping; // No id.
+  ErrorOr<CompileResponse> First =
+      CompileResponse::fromJson(Server.handleRequest(Ping.toJson()));
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(First->Id.rfind("srv-", 0), 0u) << First->Id;
+
+  ErrorOr<CompileResponse> Second =
+      CompileResponse::fromJson(Server.handleRequest(Ping.toJson()));
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(Second->Id.rfind("srv-", 0), 0u);
+  EXPECT_NE(Second->Id, First->Id); // Ids are unique per request.
+
+  // A client-supplied id is echoed untouched.
+  ErrorOr<CompileResponse> Echoed = CompileResponse::fromJson(
+      Server.handleRequest(compileRequestJson("mine", TinyKernel)));
+  ASSERT_TRUE(Echoed.has_value());
+  EXPECT_EQ(Echoed->Id, "mine");
+
+  // Even an unparseable payload gets a generated id: the error response
+  // must still carry a key the operator can correlate with the log.
+  ErrorOr<CompileResponse> Bad =
+      CompileResponse::fromJson(Server.handleRequest("not json"));
+  ASSERT_TRUE(Bad.has_value());
+  EXPECT_FALSE(Bad->Ok);
+  EXPECT_EQ(Bad->Id.rfind("srv-", 0), 0u) << Bad->Id;
+}
+
+TEST(ServerTelemetryTest, MetricsOpReturnsJsonAndPrometheus) {
+  BschedServer Server({});
+  Server.handleRequest(compileRequestJson("warm", TinyKernel));
+
+  CompileRequest Json;
+  Json.Id = "m1";
+  Json.Op = RequestOp::Metrics;
+  std::string RawJson = Server.handleRequest(Json.toJson());
+  // The snapshot rides in the response's raw "stats" field (opaque to the
+  // client-side struct, so inspect the document itself).
+  ErrorOr<JsonValue> JsonDoc = parseJson(RawJson);
+  ASSERT_TRUE(JsonDoc.has_value()) << RawJson;
+  EXPECT_TRUE(JsonDoc->find("ok")->asBool());
+  const JsonValue *Snapshot = JsonDoc->find("stats");
+  ASSERT_NE(Snapshot, nullptr);
+  ASSERT_TRUE(Snapshot->isObject());
+  EXPECT_NE(Snapshot->find("counters"), nullptr);
+
+  CompileRequest Prom;
+  Prom.Id = "m2";
+  Prom.Op = RequestOp::Metrics;
+  Prom.MetricsFormat = "prometheus";
+  ErrorOr<CompileResponse> PromResp =
+      CompileResponse::fromJson(Server.handleRequest(Prom.toJson()));
+  ASSERT_TRUE(PromResp.has_value());
+  EXPECT_TRUE(PromResp->Ok);
+#ifndef BSCHED_NO_OBS
+  ASSERT_NE(Snapshot->find("counters")->find("bsched.server.requests"),
+            nullptr);
+  EXPECT_NE(PromResp->MetricsText.find("# TYPE bsched_server_requests "
+                                       "counter"),
+            std::string::npos)
+      << PromResp->MetricsText;
+  EXPECT_NE(PromResp->MetricsText.find(
+                "bsched_server_latency_us_compile_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+#endif
+}
+
+TEST(ServerTelemetryTest, StatsReportPerOpLatencyQuantiles) {
+  BschedServer Server({});
+  for (int I = 0; I != 8; ++I) {
+    CompileRequest Ping;
+    Ping.Op = RequestOp::Ping;
+    Server.handleRequest(Ping.toJson());
+  }
+  CompileRequest Stats;
+  Stats.Id = "s";
+  Stats.Op = RequestOp::Stats;
+  std::string Raw = Server.handleRequest(Stats.toJson());
+  ErrorOr<JsonValue> Doc = parseJson(Raw);
+  ASSERT_TRUE(Doc.has_value()) << Raw;
+  ASSERT_NE(Doc->find("stats"), nullptr);
+  const JsonValue *Latency = Doc->find("stats")->find("latency_us");
+  ASSERT_NE(Latency, nullptr);
+  ASSERT_TRUE(Latency->isObject());
+#ifdef BSCHED_NO_OBS
+  // Without the telemetry layer there are no histograms to report; the
+  // section stays present (schema-stable) but empty.
+  for (const char *Op : {"compile", "stats", "metrics", "ping", "invalid"})
+    EXPECT_EQ(Latency->find(Op), nullptr) << Op;
+#else
+  for (const char *Op : {"compile", "stats", "metrics", "ping", "invalid"})
+    ASSERT_NE(Latency->find(Op), nullptr) << Op;
+  const JsonValue *Ping = Latency->find("ping");
+  EXPECT_EQ(Ping->find("count")->asNumber(), 8.0);
+  const double P50 = Ping->find("p50")->asNumber();
+  const double P99 = Ping->find("p99")->asNumber();
+  EXPECT_GT(P50, 0.0);
+  EXPECT_LE(P50, P99);
+  EXPECT_LE(P99, Ping->find("max")->asNumber());
+  EXPECT_GE(P50, Ping->find("min")->asNumber());
+#endif
+}
+
+#ifndef BSCHED_NO_OBS
+TEST(ServerTelemetryTest, ServerQuantilesAgreeWithClientSide) {
+  // The acceptance contract: bucket-estimated server quantiles must land
+  // within one log-spaced bucket (a factor of two) of the client-visible
+  // exact percentiles over the same requests, at concurrency 8. The
+  // client-side reference is each response's own wall_ms — the exact
+  // samples the histogram recorded, which the loadgen also collects —
+  // so the comparison isolates bucket interpolation and is immune to the
+  // scheduling noise a loaded ctest run adds to wall-clock stamps taken
+  // around handleRequest.
+  BschedServer Server({});
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 8;
+  std::vector<std::vector<double>> PerThreadUs(Threads);
+  std::vector<std::thread> Workers;
+  std::atomic<unsigned> BadResponses{0};
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        std::string Request = compileRequestJson(
+            "q" + std::to_string(T) + "_" + std::to_string(I),
+            kernelVariant(T), /*WantSchedule=*/false);
+        ErrorOr<CompileResponse> Response =
+            CompileResponse::fromJson(Server.handleRequest(Request));
+        if (!Response) {
+          ++BadResponses;
+          continue;
+        }
+        PerThreadUs[T].push_back(Response->WallMs * 1000.0);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  ASSERT_EQ(BadResponses.load(), 0u);
+
+  std::vector<double> ClientUs;
+  for (const std::vector<double> &Thread : PerThreadUs)
+    ClientUs.insert(ClientUs.end(), Thread.begin(), Thread.end());
+  std::sort(ClientUs.begin(), ClientUs.end());
+
+  CompileRequest Stats;
+  Stats.Op = RequestOp::Stats;
+  ErrorOr<JsonValue> Doc = parseJson(Server.handleRequest(Stats.toJson()));
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Compile =
+      Doc->find("stats")->find("latency_us")->find("compile");
+  ASSERT_NE(Compile, nullptr);
+  ASSERT_EQ(Compile->find("count")->asNumber(), double(Threads * PerThread));
+
+  constexpr double SlackUs = 50.0; // wall_ms is serialized at 1us grain.
+  const size_t N = ClientUs.size();
+  for (auto [Key, Q] : {std::pair<const char *, double>{"p50", 0.50},
+                        {"p90", 0.90},
+                        {"p99", 0.99}}) {
+    const double ServerEst = Compile->find(Key)->asNumber();
+    // The estimate interpolates inside the power-of-two bucket holding
+    // the target order statistic; percentile() instead interpolates
+    // *between* the two bracketing order statistics, which an extreme
+    // outlier can pull arbitrarily far from either. The guaranteed bound
+    // is therefore factor-two against the bracket itself.
+    const double Lo = ClientUs[static_cast<size_t>(double(N - 1) * Q)];
+    const double Hi =
+        ClientUs[static_cast<size_t>(std::ceil(double(N - 1) * Q))];
+    EXPECT_LE(ServerEst, 2.0 * Hi + SlackUs)
+        << Key << ": server " << ServerEst << " bracket [" << Lo << ", "
+        << Hi << "]";
+    EXPECT_LE(Lo, 2.0 * ServerEst + SlackUs)
+        << Key << ": server " << ServerEst << " bracket [" << Lo << ", "
+        << Hi << "]";
+    // Sanity: the exact interpolated percentile lies inside the bracket.
+    const double Exact = percentile(ClientUs, Q);
+    EXPECT_GE(Exact, Lo);
+    EXPECT_LE(Exact, Hi);
+  }
+}
+#endif // BSCHED_NO_OBS
+
+#if !defined(BSCHED_NO_FAILPOINTS) && !defined(BSCHED_NO_OBS)
+TEST(ServerTelemetryTest, InjectedFaultDumpsFlightRecorder) {
+  // The chaos acceptance path: an armed BS810 fail point must leave a
+  // parseable flight-recorder dump in the log naming the failing site and
+  // the request id.
+  FlightRecorder::global().clear();
+  ScopedGlobalSink Sink(LogLevel::Error);
+  ScopedFailPoint Arm(failpoints::RegAlloc, 1.0, 42);
+
+  BschedServer Server({});
+  ErrorOr<CompileResponse> Response = CompileResponse::fromJson(
+      Server.handleRequest(compileRequestJson("doomed", TinyKernel)));
+  ASSERT_TRUE(Response.has_value());
+  EXPECT_FALSE(Response->Ok);
+  ASSERT_FALSE(Response->Diags.empty());
+  EXPECT_EQ(Response->Diags.front().Code, DiagCode::InjectedFault);
+
+  const JsonValue *DumpLine = nullptr;
+  std::vector<std::string> Lines = Sink.lines();
+  std::vector<ErrorOr<JsonValue>> Parsed;
+  Parsed.reserve(Lines.size()); // DumpLine points into Parsed.
+  for (const std::string &Line : Lines) {
+    Parsed.push_back(parseJson(Line));
+    ASSERT_TRUE(Parsed.back().has_value()) << Line;
+    if (Parsed.back()->find("msg")->asString() == "flight-recorder dump")
+      DumpLine = &*Parsed.back();
+  }
+  ASSERT_NE(DumpLine, nullptr);
+  const JsonValue *Fields = DumpLine->find("fields");
+  EXPECT_EQ(Fields->find("request_id")->asString(), "doomed");
+  EXPECT_EQ(Fields->find("trigger")->asString(), "BS810");
+
+  // The embedded dump is itself valid JSON whose ring contains the
+  // failure event: id, code, and the failing site by name.
+  const JsonValue *Dump = Fields->find("dump")->find("flight_recorder");
+  ASSERT_NE(Dump, nullptr);
+  EXPECT_EQ(Dump->find("trigger")->asString(), "BS810");
+  bool FoundFailure = false;
+  for (const JsonValue &Event : Dump->find("events")->elements()) {
+    if (Event.find("msg")->asString() != "request failed")
+      continue;
+    FoundFailure = true;
+    const JsonValue *EventFields = Event.find("fields");
+    EXPECT_EQ(EventFields->find("request_id")->asString(), "doomed");
+    EXPECT_EQ(EventFields->find("code")->asString(), "BS810");
+    EXPECT_NE(EventFields->find("message")->asString().find("regalloc"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(FoundFailure);
+}
+#endif // !BSCHED_NO_FAILPOINTS && !BSCHED_NO_OBS
+
+#ifndef BSCHED_NO_OBS
+TEST(ServerTelemetryTest, SlowRequestsLogTheSpanTree) {
+  ScopedGlobalSink Sink(LogLevel::Warn);
+  ServerConfig Config;
+  Config.SlowRequestMs = 1e-6; // Everything is an outlier.
+  BschedServer Server(Config);
+  Server.handleRequest(compileRequestJson("laggard", TinyKernel));
+
+  bool FoundSlow = false;
+  for (const std::string &Line : Sink.lines()) {
+    ErrorOr<JsonValue> Event = parseJson(Line);
+    ASSERT_TRUE(Event.has_value()) << Line;
+    if (Event->find("msg")->asString() != "slow request")
+      continue;
+    FoundSlow = true;
+    const JsonValue *Fields = Event->find("fields");
+    EXPECT_EQ(Fields->find("request_id")->asString(), "laggard");
+    EXPECT_EQ(Fields->find("op")->asString(), "compile");
+    EXPECT_GT(Fields->find("wall_ms")->asNumber(), 0.0);
+    // The span tree rode along: a Chrome-trace document with the
+    // pipeline's phase spans for exactly this request.
+    const JsonValue *Trace = Fields->find("trace");
+    ASSERT_NE(Trace, nullptr);
+    ASSERT_TRUE(Trace->find("traceEvents")->isArray());
+    EXPECT_FALSE(Trace->find("traceEvents")->elements().empty());
+  }
+  EXPECT_TRUE(FoundSlow);
+}
+#endif // BSCHED_NO_OBS
 
 } // namespace

@@ -200,6 +200,23 @@ TEST(StatisticsTest, QuantileUnsortedInput) {
   EXPECT_DOUBLE_EQ(quantile(V, 0.5), 25.0);
 }
 
+TEST(StatisticsTest, PercentileMatchesQuantileOnSortedInput) {
+  // percentile() is the no-copy flavor the loadgen uses on its sorted
+  // latency arrays; on sorted data the two must agree exactly.
+  std::vector<double> V = {10, 20, 30, 40};
+  for (double P : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(percentile(V, P), quantile(V, P)) << P;
+}
+
+TEST(StatisticsTest, PercentileHardenedEdgeCases) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);            // Empty: defined, not UB.
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);         // Single element...
+  EXPECT_EQ(percentile({7.0}, 0.99), 7.0);        // ...at any P.
+  std::vector<double> V = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(V, -0.5), 1.0);     // P clamps low...
+  EXPECT_DOUBLE_EQ(percentile(V, 2.0), 2.0);      // ...and high.
+}
+
 TEST(StatisticsTest, IntervalContains) {
   Interval I{-1.5, 2.5};
   EXPECT_TRUE(I.contains(0.0));
