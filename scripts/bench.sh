@@ -5,7 +5,11 @@
 # binary names (e.g. bench_table2_unlimited) to run those instead, or
 # --all for every bench binary.
 #
-# Usage: scripts/bench.sh [--all | bench_name...]
+# Usage: scripts/bench.sh [--all | --huge | bench_name...]
+#
+# --huge runs the huge-DAG scaling study (bench_huge_dag), which refreshes
+# BENCH_huge_dag.json — the closure-mode sweep, weighting throughput, the
+# governed n=8192 compile, and the 1/2/4/8-worker scaling curve.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +26,8 @@ elif [ "${BENCHES[0]}" = "--all" ]; then
   for SRC in bench/bench_*.cpp; do
     BENCHES+=("$(basename "$SRC" .cpp)")
   done
+elif [ "${BENCHES[0]}" = "--huge" ]; then
+  BENCHES=(bench_huge_dag)
 fi
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"

@@ -59,7 +59,14 @@ bool mustAlias(const MemAccess &A, const MemAccess &B) {
 } // namespace
 
 DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
-  DepDag Dag(BB);
+  DepDag Dag;
+  buildDagInto(Dag, BB, Options);
+  return Dag;
+}
+
+void bsched::buildDagInto(DepDag &Dag, const BasicBlock &BB,
+                          const DagBuildOptions &Options) {
+  Dag.rebuild(BB);
   unsigned N = Dag.size();
 
   std::unordered_map<uint32_t, RegState> Regs;
@@ -92,8 +99,10 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
   ResourceGovernor *Gov = Options.Governor;
   for (unsigned I = 0; I != N; ++I) {
     if (Gov && (!Gov->poll() ||
-                !Gov->admit(BudgetKind::DagEdges, Dag.numEdges())))
-      return Dag; // Partial; caller must check Gov->tripped().
+                !Gov->admit(BudgetKind::DagEdges, Dag.numEdges()))) {
+      Dag.freeze();
+      return; // Partial; caller must check Gov->tripped().
+    }
 
     const Instruction &Instr = Dag.instruction(I);
 
@@ -203,5 +212,5 @@ DepDag bsched::buildDag(const BasicBlock &BB, const DagBuildOptions &Options) {
     Class.Stores.push_back(Access);
   }
 
-  return Dag;
+  Dag.freeze();
 }

@@ -72,7 +72,14 @@ struct DagBuildOptions {
 };
 
 /// Builds the dependence DAG for \p BB (excluding a trailing terminator).
+/// The returned DAG is frozen (CSR edge storage; DepDag::freeze).
 DepDag buildDag(const BasicBlock &BB, const DagBuildOptions &Options = {});
+
+/// Arena-reuse form: rebuilds \p Dag in place over \p BB, recycling its
+/// allocations (DepDag::rebuild). Semantically identical to assigning the
+/// result of buildDag. The DAG is frozen on return.
+void buildDagInto(DepDag &Dag, const BasicBlock &BB,
+                  const DagBuildOptions &Options = {});
 
 } // namespace bsched
 

@@ -23,27 +23,57 @@ const char *bsched::depKindName(DepKind Kind) {
   return "unknown";
 }
 
-DepDag::DepDag(const BasicBlock &BB) {
+void DepDag::rebuild(const BasicBlock &BB) {
   unsigned N = BB.schedulableSize();
-  Nodes.reserve(N);
+  NumNodes = N;
+  EdgeCount = 0;
+  Frozen = false;
+
+  Instrs.clear();
+  Instrs.reserve(N);
   for (unsigned I = 0; I != N; ++I)
-    Nodes.emplace_back(BB[I]);
+    Instrs.push_back(BB[I]);
+
+  WeightPlane.assign(N, 1.0);
+  LoadFlags.resize(N);
+  for (unsigned I = 0; I != N; ++I)
+    LoadFlags[I] = Instrs[I].isLoad() ? 1 : 0;
+
+  // Clear-then-resize keeps the inner vectors' heap blocks alive across
+  // blocks (the arena behaviour); shrinking only drops lists beyond N.
+  if (BuildSuccs.size() > N) {
+    BuildSuccs.resize(N);
+    BuildPreds.resize(N);
+  }
+  for (std::vector<DepEdge> &L : BuildSuccs)
+    L.clear();
+  for (std::vector<DepEdge> &L : BuildPreds)
+    L.clear();
+  BuildSuccs.resize(N);
+  BuildPreds.resize(N);
+
+  SuccStart.clear();
+  PredStart.clear();
+  SuccEdges.clear();
+  PredEdges.clear();
 }
 
 void DepDag::addEdge(unsigned From, unsigned To, DepKind Kind) {
-  assert(From < Nodes.size() && To < Nodes.size() && "edge index out of range");
+  assert(From < NumNodes && To < NumNodes && "edge index out of range");
   assert(From < To && "edges must point forward in program order");
+  if (Frozen)
+    thaw();
   if (hasEdge(From, To))
     return;
-  Nodes[From].Succs.push_back({To, Kind});
-  Nodes[To].Preds.push_back({From, Kind});
+  BuildSuccs[From].push_back({To, Kind});
+  BuildPreds[To].push_back({From, Kind});
   ++EdgeCount;
 }
 
 bool DepDag::hasEdge(unsigned From, unsigned To) const {
   // Scan the shorter adjacency list.
-  const std::vector<DepEdge> &FromSuccs = Nodes[From].Succs;
-  const std::vector<DepEdge> &ToPreds = Nodes[To].Preds;
+  std::span<const DepEdge> FromSuccs = succs(From);
+  std::span<const DepEdge> ToPreds = preds(To);
   if (FromSuccs.size() <= ToPreds.size()) {
     for (const DepEdge &E : FromSuccs)
       if (E.Other == To)
@@ -54,6 +84,49 @@ bool DepDag::hasEdge(unsigned From, unsigned To) const {
     if (E.Other == From)
       return true;
   return false;
+}
+
+void DepDag::freeze() {
+  if (Frozen)
+    return;
+  SuccStart.resize(NumNodes + 1);
+  PredStart.resize(NumNodes + 1);
+  SuccEdges.clear();
+  SuccEdges.reserve(EdgeCount);
+  PredEdges.clear();
+  PredEdges.reserve(EdgeCount);
+  for (unsigned I = 0; I != NumNodes; ++I) {
+    SuccStart[I] = static_cast<uint32_t>(SuccEdges.size());
+    SuccEdges.insert(SuccEdges.end(), BuildSuccs[I].begin(),
+                     BuildSuccs[I].end());
+    PredStart[I] = static_cast<uint32_t>(PredEdges.size());
+    PredEdges.insert(PredEdges.end(), BuildPreds[I].begin(),
+                     BuildPreds[I].end());
+  }
+  SuccStart[NumNodes] = static_cast<uint32_t>(SuccEdges.size());
+  PredStart[NumNodes] = static_cast<uint32_t>(PredEdges.size());
+  // Empty the build lists but keep their heap blocks for a later thaw or
+  // rebuild.
+  for (std::vector<DepEdge> &L : BuildSuccs)
+    L.clear();
+  for (std::vector<DepEdge> &L : BuildPreds)
+    L.clear();
+  Frozen = true;
+}
+
+void DepDag::thaw() {
+  assert(Frozen && "thawing an unfrozen DAG");
+  for (unsigned I = 0; I != NumNodes; ++I) {
+    BuildSuccs[I].assign(SuccEdges.begin() + SuccStart[I],
+                         SuccEdges.begin() + SuccStart[I + 1]);
+    BuildPreds[I].assign(PredEdges.begin() + PredStart[I],
+                         PredEdges.begin() + PredStart[I + 1]);
+  }
+  SuccStart.clear();
+  PredStart.clear();
+  SuccEdges.clear();
+  PredEdges.clear();
+  Frozen = false;
 }
 
 std::vector<unsigned> DepDag::loadNodes() const {

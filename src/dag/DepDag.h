@@ -16,6 +16,22 @@
 /// and all edges point from lower to higher indices, so node order is
 /// already a topological order (asserted by the builder).
 ///
+/// Storage is struct-of-arrays (DESIGN.md §3m): the weighting and closure
+/// sweeps touch only dense planes (weights, load flags, CSR edge arrays),
+/// while the comparatively fat Instruction copies sit in their own cold
+/// plane that the hot loops never read. The DAG has two storage states:
+///
+///   - *building*: edges live in per-node grow-vectors so DagBuilder can
+///     append and deduplicate incrementally;
+///   - *frozen*: edges are packed into compressed-sparse-row arrays
+///     (one contiguous DepEdge plane + N+1 offsets, per direction).
+///
+/// freeze() packs; addEdge() on a frozen DAG transparently thaws back to
+/// build lists. Accessors work identically in both states, so callers
+/// never need to care — DagBuilder freezes before returning, and
+/// rebuild() lets a caller recycle one DepDag's allocations across many
+/// blocks (the arena usage in Pipeline::compileUnverified).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BSCHED_DAG_DEPDAG_H
@@ -24,6 +40,8 @@
 #include "ir/BasicBlock.h"
 
 #include <cassert>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,34 +70,50 @@ struct DepEdge {
 /// is subsequently rewritten with a new schedule.
 class DepDag {
 public:
+  /// An empty DAG with no nodes; populate with rebuild().
+  DepDag() = default;
+
   /// Builds an empty DAG over the schedulable prefix of \p BB (excludes a
   /// trailing terminator). Use DagBuilder to add dependence edges.
-  explicit DepDag(const BasicBlock &BB);
+  explicit DepDag(const BasicBlock &BB) { rebuild(BB); }
+
+  /// Re-initializes this DAG over the schedulable prefix of \p BB,
+  /// discarding all nodes, edges, and weights but *recycling* every
+  /// allocation (node planes, build lists, CSR arrays). This is the arena
+  /// reuse path: one DepDag + one scratch can compile a whole function
+  /// without per-block allocation churn.
+  void rebuild(const BasicBlock &BB);
 
   /// Number of nodes (schedulable instructions).
-  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned size() const { return NumNodes; }
 
   /// The instruction at node \p Index (in original program order).
   const Instruction &instruction(unsigned Index) const {
-    assert(Index < Nodes.size() && "node index out of range");
-    return Nodes[Index].Instr;
+    assert(Index < NumNodes && "node index out of range");
+    return Instrs[Index];
   }
 
   /// Adds a dependence edge \p From -> \p To. Parallel edges between the
   /// same node pair are deduplicated (the first kind wins; any kind implies
-  /// the same ordering constraint).
+  /// the same ordering constraint). Thaws a frozen DAG back to build state.
   void addEdge(unsigned From, unsigned To, DepKind Kind);
 
-  /// Direct successors of node \p Index.
-  const std::vector<DepEdge> &succs(unsigned Index) const {
-    assert(Index < Nodes.size() && "node index out of range");
-    return Nodes[Index].Succs;
+  /// Direct successors of node \p Index, in insertion order.
+  std::span<const DepEdge> succs(unsigned Index) const {
+    assert(Index < NumNodes && "node index out of range");
+    if (Frozen)
+      return {SuccEdges.data() + SuccStart[Index],
+              SuccStart[Index + 1] - SuccStart[Index]};
+    return {BuildSuccs[Index].data(), BuildSuccs[Index].size()};
   }
 
-  /// Direct predecessors of node \p Index.
-  const std::vector<DepEdge> &preds(unsigned Index) const {
-    assert(Index < Nodes.size() && "node index out of range");
-    return Nodes[Index].Preds;
+  /// Direct predecessors of node \p Index, in insertion order.
+  std::span<const DepEdge> preds(unsigned Index) const {
+    assert(Index < NumNodes && "node index out of range");
+    if (Frozen)
+      return {PredEdges.data() + PredStart[Index],
+              PredStart[Index + 1] - PredStart[Index]};
+    return {BuildPreds[Index].data(), BuildPreds[Index].size()};
   }
 
   /// True if there is a direct edge \p From -> \p To.
@@ -90,19 +124,24 @@ public:
   /// operation latency (1 in the paper's machine model); load weights are
   /// assigned by a Weighter.
   double weight(unsigned Index) const {
-    assert(Index < Nodes.size() && "node index out of range");
-    return Nodes[Index].Weight;
+    assert(Index < NumNodes && "node index out of range");
+    return WeightPlane[Index];
   }
 
   /// Sets the scheduling weight of node \p Index.
   void setWeight(unsigned Index, double W) {
-    assert(Index < Nodes.size() && "node index out of range");
+    assert(Index < NumNodes && "node index out of range");
     assert(W >= 0.0 && "negative scheduling weight");
-    Nodes[Index].Weight = W;
+    WeightPlane[Index] = W;
   }
 
   /// True if the node is a load (the uncertain-latency instructions).
-  bool isLoad(unsigned Index) const { return instruction(Index).isLoad(); }
+  /// Reads the dense flag plane, not the Instruction — this is the hottest
+  /// predicate in the weighting kernels.
+  bool isLoad(unsigned Index) const {
+    assert(Index < NumNodes && "node index out of range");
+    return LoadFlags[Index] != 0;
+  }
 
   /// Indices of all load nodes, ascending.
   std::vector<unsigned> loadNodes() const;
@@ -110,20 +149,42 @@ public:
   /// Total number of edges.
   unsigned numEdges() const { return EdgeCount; }
 
+  /// Packs the edge lists into CSR arrays. Idempotent; no-op if already
+  /// frozen. Accessors return identical contents before and after (same
+  /// per-node insertion order), only the storage changes.
+  void freeze();
+
+  /// True if edges are currently packed in CSR form.
+  bool isFrozen() const { return Frozen; }
+
   /// Renders the DAG in Graphviz DOT syntax (debug aid).
   std::string toDot(const std::string &Title = "dag") const;
 
 private:
-  struct Node {
-    explicit Node(Instruction I) : Instr(std::move(I)) {}
-    Instruction Instr;
-    std::vector<DepEdge> Succs;
-    std::vector<DepEdge> Preds;
-    double Weight = 1.0;
-  };
+  /// Unpacks CSR edges back into per-node build lists so addEdge can
+  /// append again.
+  void thaw();
 
-  std::vector<Node> Nodes;
+  unsigned NumNodes = 0;
   unsigned EdgeCount = 0;
+  bool Frozen = false;
+
+  // Node planes. Instrs is the cold plane (only instruction()/toDot read
+  // it); WeightPlane and LoadFlags are what the schedulers sweep.
+  std::vector<Instruction> Instrs;
+  std::vector<double> WeightPlane;
+  std::vector<uint8_t> LoadFlags;
+
+  // Build-state adjacency (valid while !Frozen).
+  std::vector<std::vector<DepEdge>> BuildSuccs;
+  std::vector<std::vector<DepEdge>> BuildPreds;
+
+  // Frozen CSR adjacency (valid while Frozen). Start arrays have N+1
+  // entries; node I's edges are [Start[I], Start[I+1]).
+  std::vector<uint32_t> SuccStart;
+  std::vector<uint32_t> PredStart;
+  std::vector<DepEdge> SuccEdges;
+  std::vector<DepEdge> PredEdges;
 };
 
 } // namespace bsched

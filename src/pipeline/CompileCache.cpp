@@ -60,6 +60,12 @@ std::string bsched::experimentCacheKey(const Function &Program,
          std::to_string(Config.Budget.MaxClosureBits) + ' ' +
          std::to_string(Config.Budget.MaxSpillSlots);
   Flag(Config.Budget.Degrade);
+  // Closure mode never changes results (every mode yields bit-identical
+  // weights), but the invariant "everything on the config is keyed" is
+  // cheaper to keep than to reason about per field.
+  Key += ' ';
+  Key += closureModeName(Config.Closure.Mode);
+  Key += ' ' + std::to_string(Config.Closure.OnDemandThreshold);
   return Key;
 }
 

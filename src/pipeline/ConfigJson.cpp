@@ -47,6 +47,10 @@ std::string PipelineConfig::toJson() const {
   W.key("sched").beginObject();
   W.key("issue_width").value(SchedOptions.IssueWidth);
   W.endObject();
+  W.key("closure").beginObject();
+  W.key("mode").value(closureModeName(Closure.Mode));
+  W.key("on_demand_threshold").value(Closure.OnDemandThreshold);
+  W.endObject();
   W.key("run_regalloc").value(RunRegAlloc);
   W.key("second_scheduling_pass").value(SecondSchedulingPass);
   W.key("honor_known_latency").value(HonorKnownLatency);
@@ -243,6 +247,25 @@ ErrorOr<PipelineConfig> PipelineConfig::fromJsonValue(const JsonValue &Doc) {
         if (K == "issue_width")
           return R.readUnsigned(F, ConfigReader::join(Key, K),
                                 Config.SchedOptions.IssueWidth),
+                 true;
+        return false;
+      });
+      return true;
+    }
+    if (Key == "closure") {
+      R.object(V, Key, [&](std::string_view K, const JsonValue &F) {
+        std::string Path = ConfigReader::join(Key, K);
+        if (K == "mode") {
+          if (!F.isString() ||
+              !parseClosureModeName(F.asString(), Config.Closure.Mode))
+            R.error(DiagCode::ProtocolBadValue,
+                    "config key '" + Path +
+                        "' expects one of \"auto\", \"materialized\", "
+                        "\"blocked\", \"on-demand\"");
+          return true;
+        }
+        if (K == "on_demand_threshold")
+          return R.readUnsigned(F, Path, Config.Closure.OnDemandThreshold),
                  true;
         return false;
       });

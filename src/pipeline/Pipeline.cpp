@@ -161,12 +161,12 @@ std::unique_ptr<Weighter> makeWeighter(const PipelineConfig &Config) {
     return std::make_unique<BalancedWeighter>(
         Config.Ops, ChancesMethod::ExactLongestPath,
         static_cast<double>(Config.SchedOptions.IssueWidth),
-        Config.HonorKnownLatency);
+        Config.HonorKnownLatency, Config.Closure);
   case SchedulerPolicy::BalancedUnionFind:
     return std::make_unique<BalancedWeighter>(
         Config.Ops, ChancesMethod::UnionFindLevels,
         static_cast<double>(Config.SchedOptions.IssueWidth),
-        Config.HonorKnownLatency);
+        Config.HonorKnownLatency, Config.Closure);
   case SchedulerPolicy::AverageLlp:
     return std::make_unique<AverageWeighter>(Config.Ops);
   case SchedulerPolicy::NoScheduling:
@@ -200,10 +200,10 @@ uint64_t functionFaultKey(const Function &F) {
 /// prepass fans out. \p Scratch is the calling thread's workspace (its
 /// Governor member, when set, is polled by the weighting kernel; \p Gov
 /// additionally gates the DAG build).
-DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
-                        const PipelineConfig &Config,
-                        PipelineInstruments *Metrics,
-                        WeighterScratch &Scratch, ResourceGovernor *Gov) {
+void buildWeightedDagInto(DepDag &D, BasicBlock &BB, const Weighter &W,
+                          const PipelineConfig &Config,
+                          PipelineInstruments *Metrics,
+                          WeighterScratch &Scratch, ResourceGovernor *Gov) {
   ScopedSpan Span(Config.Obs.Trace, "dag");
   if (Metrics) {
     Metrics->WeighterBlocks.add();
@@ -214,7 +214,7 @@ DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
   DagOptions.Governor = Gov;
   DagAliasStats AliasStats;
   DagOptions.AliasStats = &AliasStats;
-  DepDag D = buildDag(BB, DagOptions);
+  buildDagInto(D, BB, DagOptions);
   if (Metrics) {
     Metrics->AliasQueries.add(AliasStats.Queries);
     Metrics->AliasNo.add(AliasStats.NoAlias);
@@ -224,20 +224,23 @@ DepDag buildWeightedDag(BasicBlock &BB, const Weighter &W,
   }
   if (!Gov || !Gov->tripped())
     W.assignWeights(D, Scratch);
-  return D;
 }
 
 /// One scheduling pass over \p BB in place. When certifying, the schedule
 /// is validated *before* it is applied; on failure the block is left
-/// untouched and the violations are returned. \p Prebuilt, when non-null,
-/// is the block's already-weighted pass-1 DAG from the parallel prepass;
-/// it is consumed (moved from). A governor trip or an injected fault
-/// returns its single structured BS8xx diagnostic (the caller
-/// distinguishes those from certification violations by code).
+/// untouched and the violations are returned. \p DagArena is the caller's
+/// per-compile DAG buffer: the pass DAG is rebuilt into it in place so
+/// every pass of every block recycles one set of allocations. \p Prebuilt,
+/// when non-null, is the block's already-weighted pass-1 DAG from the
+/// parallel prepass; it is used in place of the arena (and is dead after
+/// the call). A governor trip or an injected fault returns its single
+/// structured BS8xx diagnostic (the caller distinguishes those from
+/// certification violations by code).
 std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
                                       const PipelineConfig &Config,
                                       PipelineInstruments *Metrics,
                                       WeighterScratch &Scratch,
+                                      DepDag &DagArena,
                                       ResourceGovernor *Gov,
                                       uint64_t PassKey,
                                       DepDag *Prebuilt = nullptr) {
@@ -263,9 +266,9 @@ std::vector<Diagnostic> scheduleBlock(BasicBlock &BB, const Weighter &W,
                                                    "'")};
   };
 
-  DepDag Dag = Prebuilt
-                   ? std::move(*Prebuilt)
-                   : buildWeightedDag(BB, W, Config, Metrics, Scratch, Gov);
+  if (!Prebuilt)
+    buildWeightedDagInto(DagArena, BB, W, Config, Metrics, Scratch, Gov);
+  DepDag &Dag = Prebuilt ? *Prebuilt : DagArena;
   if (Gov && Gov->tripped())
     return Overran();
   if (Metrics) {
@@ -367,6 +370,11 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
   WeighterScratch Scratch;
   Scratch.Governor = Gov;
 
+  // One DAG arena per compile: each serial scheduling pass rebuilds its
+  // DAG into this buffer (DepDag::rebuild recycles the planes and edge
+  // arrays). Parallel-prepass DAGs necessarily live in their own storage.
+  DepDag DagArena;
+
   const bool Chaos = anyFailPointsEnabled();
   const uint64_t FuncKey = Chaos ? functionFaultKey(F) : 0;
 
@@ -392,10 +400,10 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       thread_local WeighterScratch WorkerScratch;
       if (Metrics)
         Metrics->WeighterParallelBlocks.add();
-      PreDags[BlockIndex].emplace(
-          buildWeightedDag(F.block(static_cast<unsigned>(BlockIndex)), *W,
+      buildWeightedDagInto(PreDags[BlockIndex].emplace(),
+                           F.block(static_cast<unsigned>(BlockIndex)), *W,
                            Config, Metrics, WorkerScratch,
-                           /*Gov=*/nullptr));
+                           /*Gov=*/nullptr);
     });
   }
 
@@ -435,8 +443,9 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       DepDag *Prebuilt = BlockIndex < PreDags.size() && PreDags[BlockIndex]
                              ? &*PreDags[BlockIndex]
                              : nullptr;
-      std::vector<Diagnostic> Violations = scheduleBlock(
-          BB, *W, Config, Metrics, Scratch, Gov, Pass1Key, Prebuilt);
+      std::vector<Diagnostic> Violations =
+          scheduleBlock(BB, *W, Config, Metrics, Scratch, DagArena, Gov,
+                        Pass1Key, Prebuilt);
       if (!Violations.empty())
         return isStructuredAbort(Violations)
                    ? ErrorOr<CompiledFunction>(std::move(Violations))
@@ -496,7 +505,8 @@ ErrorOr<CompiledFunction> compileUnverified(const Function &Input,
       // the DAG depends on the spill code allocation just produced.
       if (W && Config.SecondSchedulingPass) {
         std::vector<Diagnostic> Violations =
-            scheduleBlock(BB, *W, Config, Metrics, Scratch, Gov, Pass2Key);
+            scheduleBlock(BB, *W, Config, Metrics, Scratch, DagArena, Gov,
+                          Pass2Key);
         if (!Violations.empty())
           return isStructuredAbort(Violations)
                      ? ErrorOr<CompiledFunction>(std::move(Violations))

@@ -21,6 +21,7 @@
 #define BSCHED_PIPELINE_PIPELINE_H
 
 #include "dag/DagBuilder.h"
+#include "dag/Reachability.h"
 #include "ir/Function.h"
 #include "obs/Obs.h"
 #include "regalloc/LocalRegAlloc.h"
@@ -99,6 +100,14 @@ struct PipelineConfig {
   /// Honour statically known load latencies in the balanced weighter
   /// (section 6 opt-out). Off = treat every load as uncertain.
   bool HonorKnownLatency = true;
+
+  /// How the balanced weighter obtains its G_ind sets
+  /// (dag/Reachability.h): materialized matrices, the cache-blocked
+  /// matrix kernel, the banded on-demand closure, or size-based Auto.
+  /// Every mode produces bit-identical weights and schedules; the knobs
+  /// are still serialized and cache-keyed (anything on the config is
+  /// keyed).
+  ClosureOptions Closure;
 
   /// Apply software register renaming between allocation and the second
   /// scheduling pass (the section 4.1 alternative to the FIFO spill

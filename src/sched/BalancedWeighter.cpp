@@ -77,20 +77,41 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
   // Step 1 (Figure 6): initialize uncertain-load weights to 1; non-loads
   // and known-latency loads keep their fixed latencies.
   uncertainLoads(Dag, HonorKnownLatency, Scratch.Uncertain);
+  Scratch.UncertainBits.resize(N);
   Scratch.Weights.resize(N);
-  for (unsigned I = 0; I != N; ++I)
+  for (unsigned I = 0; I != N; ++I) {
+    if (Scratch.Uncertain[I])
+      Scratch.UncertainBits.set(I);
     Scratch.Weights[I] =
         initialWeight(Dag.instruction(I), Model, HonorKnownLatency);
+  }
 
   // MaxClosureBits budgets the *exact* Chances analysis (the paper's
   // expensive longest-path route); the union-find estimate is its
   // documented cheap fallback, so only the exact method admits here —
-  // otherwise the degradation ladder could never land anywhere.
+  // otherwise the degradation ladder could never land anywhere. The
+  // charge is the analysis's O(n^2) word work, so it applies in every
+  // closure mode, including on-demand where the bits are never resident.
   if (Gov && Method == ChancesMethod::ExactLongestPath &&
       !Gov->admit(BudgetKind::ClosureBits, ResourceBudget::closureBitsFor(N)))
     return; // Caller must check Gov->tripped().
 
-  Scratch.Closure.compute(Dag);
+  // G_ind source (dag/Reachability.h): materialized matrices below the
+  // on-demand threshold, banded recomputation above it. Every mode hands
+  // back identical G_ind bits, so the weights stay bit-identical to the
+  // reference regardless of the selection.
+  const bool OnDemand =
+      Closure.Mode == ClosureMode::OnDemand ||
+      (Closure.Mode == ClosureMode::Auto && N >= Closure.OnDemandThreshold);
+  if (OnDemand)
+    Scratch.Bands.attach(Dag);
+  else
+    Scratch.Closure.compute(Dag, /*StorePreds=*/true,
+                            Closure.Mode == ClosureMode::Blocked
+                                ? ClosureKernel::Blocked
+                            : Closure.Mode == ClosureMode::Materialized
+                                ? ClosureKernel::Rows
+                                : ClosureKernel::Auto);
 
   // Steps 2-7: every instruction distributes its issue slots over the
   // loads it could hide behind. A share's value depends only on its
@@ -98,12 +119,40 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
   // share per contributing instruction, so iteration order within a
   // contributor never changes the accumulated doubles — both branches
   // below stay bit-identical to the reference implementation.
+  //
+  // Chains make consecutive contributors' G_ind coincide exactly (for
+  // A -> B where B is A's only successor and A is B's only predecessor,
+  // Pred* ∪ Succ* ∪ {self} agree), and equal G_ind fixes the component
+  // partition, so the previous contributor's per-node Chances can be
+  // replayed without re-running the analysis. Valid within this run only.
+  Scratch.NodeChances.resize(N);
+  bool PrevValid = false;
+
   auto Contribute = [&](unsigned I) {
-    Scratch.Closure.independentOf(I, Scratch.Independent);
-    if (!Scratch.Independent.any())
+    if (OnDemand)
+      Scratch.Bands.independentOf(I, Scratch.Independent);
+    else
+      Scratch.Closure.independentOf(I, Scratch.Independent);
+    // Shares flow only to uncertain loads, so a G_ind without any (the
+    // empty set included) contributes nothing — skip the whole analysis.
+    if (!Scratch.Independent.intersects(Scratch.UncertainBits))
       return;
 
     double Slots = Model.issueSlots(Dag.instruction(I)) / SlotsPerCycle;
+    const bool Reused =
+        PrevValid && Scratch.Independent == Scratch.PrevIndependent;
+    if (Reused) {
+      Scratch.Independent.forEachSetBit([&](unsigned Node) {
+        if (!Scratch.Uncertain[Node])
+          return;
+        double Share =
+            Slots / static_cast<double>(Scratch.NodeChances[Node]);
+        RecordShare(I, Node, Share);
+        Scratch.Weights[Node] += Share;
+      });
+      return;
+    }
+
     if (Method == ChancesMethod::UnionFindLevels) {
       // The paper's O(n a(n)) route, fused: one descending sweep levels
       // the subset and unions the induced edges while aggregating per-set
@@ -116,35 +165,38 @@ void BalancedWeighter::runKernel(DepDag &Dag, WeighterScratch &Scratch,
           return;
         unsigned Chances = componentChances(Scratch.Dag, Node);
         assert(Chances >= 1 && "uncertain load with no chances");
+        Scratch.NodeChances[Node] = Chances;
         double Share = Slots / static_cast<double>(Chances);
         RecordShare(I, Node, Share);
         Scratch.Weights[Node] += Share;
       });
-      return;
-    }
-
-    unsigned NumComponents =
-        connectedComponents(Dag, Scratch.Independent, Scratch.Dag);
-    for (unsigned C = 0; C != NumComponents; ++C) {
-      std::span<const unsigned> Component = Scratch.Dag.component(C);
-      unsigned NumLoads = 0;
-      for (unsigned Node : Component)
-        NumLoads += Scratch.Uncertain[Node];
-      if (NumLoads == 0)
-        continue;
-
-      unsigned Chances =
-          longestLoadPathIn(Dag, Scratch.Dag, C, Scratch.Uncertain);
-      assert(Chances >= 1 && "component with loads must have chances");
-
-      double Share = Slots / static_cast<double>(Chances);
-      for (unsigned Node : Component) {
-        if (!Scratch.Uncertain[Node])
+    } else {
+      unsigned NumComponents =
+          connectedComponents(Dag, Scratch.Independent, Scratch.Dag);
+      for (unsigned C = 0; C != NumComponents; ++C) {
+        std::span<const unsigned> Component = Scratch.Dag.component(C);
+        unsigned NumLoads = 0;
+        for (unsigned Node : Component)
+          NumLoads += Scratch.Uncertain[Node];
+        if (NumLoads == 0)
           continue;
-        RecordShare(I, Node, Share);
-        Scratch.Weights[Node] += Share;
+
+        unsigned Chances =
+            longestLoadPathIn(Dag, Scratch.Dag, C, Scratch.Uncertain);
+        assert(Chances >= 1 && "component with loads must have chances");
+
+        double Share = Slots / static_cast<double>(Chances);
+        for (unsigned Node : Component) {
+          if (!Scratch.Uncertain[Node])
+            continue;
+          Scratch.NodeChances[Node] = Chances;
+          RecordShare(I, Node, Share);
+          Scratch.Weights[Node] += Share;
+        }
       }
     }
+    Scratch.PrevIndependent = Scratch.Independent;
+    PrevValid = true;
   };
 
   // The governed loop polls once per contributor; the un-governed loop

@@ -26,6 +26,7 @@
 #ifndef BSCHED_SCHED_BALANCEDWEIGHTER_H
 #define BSCHED_SCHED_BALANCEDWEIGHTER_H
 
+#include "dag/Reachability.h"
 #include "sched/LatencyModel.h"
 #include "sched/Weighter.h"
 
@@ -52,13 +53,16 @@ public:
   /// latency is statically known (Instruction::hasKnownLatency) keep that
   /// fixed weight, absorb no load-level parallelism, and do not dilute
   /// the Chances divisor of the uncertain loads around them.
+  /// \p Closure selects how G_ind is obtained (dag/Reachability.h); every
+  /// mode yields bit-identical weights, trading memory for constants.
   explicit BalancedWeighter(LatencyModel Model = LatencyModel(),
                             ChancesMethod Method =
                                 ChancesMethod::ExactLongestPath,
                             double SlotsPerCycle = 1.0,
-                            bool HonorKnownLatency = true)
+                            bool HonorKnownLatency = true,
+                            ClosureOptions Closure = {})
       : Model(Model), Method(Method), SlotsPerCycle(SlotsPerCycle),
-        HonorKnownLatency(HonorKnownLatency) {
+        HonorKnownLatency(HonorKnownLatency), Closure(Closure) {
     assert(SlotsPerCycle >= 1.0 && "issue width below one");
   }
 
@@ -107,6 +111,7 @@ private:
   ChancesMethod Method;
   double SlotsPerCycle;
   bool HonorKnownLatency;
+  ClosureOptions Closure;
 };
 
 } // namespace bsched

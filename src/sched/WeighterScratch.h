@@ -48,10 +48,23 @@ private:
   friend class BalancedWeighter;
 
   TransitiveClosure Closure;    ///< Pred*/Succ* rows, recomputed per DAG.
+  BandedClosure Bands;          ///< On-demand closure (huge DAGs).
   BitVector Independent;        ///< G_ind of the current instruction.
   std::vector<char> Uncertain;  ///< Per-node uncertain-load flags.
+  BitVector UncertainBits;      ///< Same flags as a word-testable mask.
   std::vector<double> Weights;  ///< Weight accumulators.
   DagScratch Dag;               ///< Components/levels/longest-path state.
+
+  /// One-entry Chances memo: the previous contributor's G_ind and the
+  /// chances its analysis produced, per uncertain node. Chain-adjacent
+  /// contributors often share G_ind exactly (for A -> B with no other
+  /// succ/pred between them, Pred* ∪ Succ* ∪ {self} coincide), and equal
+  /// G_ind means an identical component partition, so the whole analysis
+  /// can be skipped — shares are still added one contributor at a time in
+  /// ascending order, keeping the accumulated doubles bit-identical to
+  /// the reference. Validity is tracked per kernel run, never across DAGs.
+  BitVector PrevIndependent;
+  std::vector<unsigned> NodeChances;
   uint64_t Uses = 0;
 
 public:

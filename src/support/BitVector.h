@@ -88,6 +88,16 @@ public:
     return *this;
   }
 
+  /// Returns true if this and \p Other share any set bit (sizes must
+  /// match). No intersection is materialized.
+  bool intersects(const BitVector &Other) const {
+    assert(NumBits == Other.NumBits && "bit vector size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
   /// This &= Other (sizes must match).
   BitVector &operator&=(const BitVector &Other) {
     assert(NumBits == Other.NumBits && "bit vector size mismatch");
@@ -128,6 +138,11 @@ public:
   friend bool operator==(const BitVector &A, const BitVector &B) {
     return A.NumBits == B.NumBits && A.Words == B.Words;
   }
+
+  /// Raw word storage (64 bits per word, LSB-first), for kernels that
+  /// iterate set bits word-at-a-time; bits past size() are clear.
+  const uint64_t *words() const { return Words.data(); }
+  size_t wordCount() const { return Words.size(); }
 
 private:
   static size_t numWords(unsigned Bits) { return (Bits + 63) / 64; }

@@ -64,6 +64,102 @@ TEST(DepDagTest, LoadNodesAndWeights) {
   EXPECT_DOUBLE_EQ(Dag.weight(0), 3.5);
 }
 
+TEST(DepDagTest, FreezePreservesContentsAndOrder) {
+  // Freeze packs the build lists into CSR; every accessor must return the
+  // same contents in the same per-node insertion order, and freezing twice
+  // must be a no-op.
+  DepDag Dag = fixtures::makeFigure7Dag();
+  ASSERT_FALSE(Dag.isFrozen());
+  std::vector<std::vector<DepEdge>> Succs(Dag.size()), Preds(Dag.size());
+  for (unsigned I = 0; I != Dag.size(); ++I) {
+    Succs[I].assign(Dag.succs(I).begin(), Dag.succs(I).end());
+    Preds[I].assign(Dag.preds(I).begin(), Dag.preds(I).end());
+  }
+  unsigned Edges = Dag.numEdges();
+  for (int Round = 0; Round != 2; ++Round) {
+    Dag.freeze();
+    ASSERT_TRUE(Dag.isFrozen());
+    EXPECT_EQ(Dag.numEdges(), Edges);
+    for (unsigned I = 0; I != Dag.size(); ++I) {
+      ASSERT_EQ(Dag.succs(I).size(), Succs[I].size()) << "node " << I;
+      ASSERT_EQ(Dag.preds(I).size(), Preds[I].size()) << "node " << I;
+      for (unsigned K = 0; K != Succs[I].size(); ++K) {
+        EXPECT_EQ(Dag.succs(I)[K].Other, Succs[I][K].Other);
+        EXPECT_EQ(Dag.succs(I)[K].Kind, Succs[I][K].Kind);
+      }
+      for (unsigned K = 0; K != Preds[I].size(); ++K) {
+        EXPECT_EQ(Dag.preds(I)[K].Other, Preds[I][K].Other);
+        EXPECT_EQ(Dag.preds(I)[K].Kind, Preds[I][K].Kind);
+      }
+    }
+  }
+}
+
+TEST(DepDagTest, AddEdgeAfterFreezeThawsAndDeduplicates) {
+  DepDag Dag = fixtures::makeFigure1Dag(); // Edges 0->1, 1->6.
+  Dag.freeze();
+  // Duplicate pair on a frozen DAG: still deduplicated, first kind wins.
+  Dag.addEdge(0, 1, DepKind::Anti);
+  EXPECT_EQ(Dag.numEdges(), 2u);
+  EXPECT_EQ(edgeKind(Dag, 0, 1), DepKind::Data);
+  // A genuinely new edge thaws the CSR back to build lists and lands.
+  Dag.addEdge(2, 3, DepKind::Data);
+  EXPECT_FALSE(Dag.isFrozen());
+  EXPECT_EQ(Dag.numEdges(), 3u);
+  EXPECT_TRUE(Dag.hasEdge(2, 3));
+  EXPECT_TRUE(Dag.hasEdge(0, 1));
+  EXPECT_TRUE(Dag.hasEdge(1, 6));
+  // Refreeze: the thawed edge survives the round trip.
+  Dag.freeze();
+  EXPECT_TRUE(Dag.hasEdge(2, 3));
+  EXPECT_EQ(Dag.preds(3).size(), 1u);
+}
+
+TEST(DepDagTest, RebuildRecyclesAcrossBlocks) {
+  // One arena DAG across two different blocks (the pipeline's reuse
+  // pattern): rebuild must fully reset nodes, edges, weights, and the
+  // frozen state, regardless of what the previous block left behind.
+  BasicBlock First = fixtures::makeFigureBlock({true, true, false});
+  BasicBlock Second = fixtures::makeFigureBlock({false, true});
+  DepDag Dag(First);
+  Dag.addEdge(0, 2, DepKind::Data);
+  Dag.setWeight(0, 9.0);
+  Dag.freeze();
+
+  Dag.rebuild(Second);
+  EXPECT_FALSE(Dag.isFrozen());
+  EXPECT_EQ(Dag.size(), 2u);
+  EXPECT_EQ(Dag.numEdges(), 0u);
+  EXPECT_TRUE(Dag.succs(0).empty());
+  EXPECT_TRUE(Dag.preds(1).empty());
+  EXPECT_FALSE(Dag.isLoad(0));
+  EXPECT_TRUE(Dag.isLoad(1));
+  EXPECT_EQ(Dag.loadNodes(), (std::vector<unsigned>{1}));
+  // Weights reset to the default (1.0), not the stale 9.0.
+  EXPECT_DOUBLE_EQ(Dag.weight(0), 1.0);
+  Dag.addEdge(0, 1, DepKind::Data);
+  EXPECT_EQ(edgeKind(Dag, 0, 1), DepKind::Data);
+}
+
+TEST(DepDagTest, BuilderReturnsFrozenDagIntoArena) {
+  BasicBlock BB("b");
+  BB.append(Instruction::makeLoadImm(vi(0), 1));
+  BB.append(Instruction::makeBinaryImm(Opcode::AddI, vi(1), vi(0), 2));
+  DepDag Arena;
+  buildDagInto(Arena, BB);
+  EXPECT_TRUE(Arena.isFrozen());
+  ASSERT_EQ(Arena.numEdges(), 1u);
+  EXPECT_EQ(edgeKind(Arena, 0, 1), DepKind::Data);
+  // Same arena, different block: identical result to a fresh buildDag.
+  BasicBlock Other("c");
+  Other.append(Instruction::makeLoadImm(vi(0), 1));
+  Other.append(Instruction::makeLoadImm(vi(0), 2));
+  buildDagInto(Arena, Other);
+  EXPECT_TRUE(Arena.isFrozen());
+  ASSERT_EQ(Arena.numEdges(), 1u);
+  EXPECT_EQ(edgeKind(Arena, 0, 1), DepKind::Output);
+}
+
 TEST(DepDagTest, DotOutputMentionsEveryNode) {
   DepDag Dag = fixtures::makeFigure1Dag();
   std::string Dot = Dag.toDot("fig1");

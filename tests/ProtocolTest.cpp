@@ -100,6 +100,7 @@ constexpr const char *PaperDefaultJson =
     "\"fifo_spill_pool\":true},"
     "\"dag\":{\"disambiguate_same_base\":true,\"alias_analysis\":true},"
     "\"sched\":{\"issue_width\":1},"
+    "\"closure\":{\"mode\":\"auto\",\"on_demand_threshold\":2048},"
     "\"run_regalloc\":true,\"second_scheduling_pass\":true,"
     "\"honor_known_latency\":true,\"rename_after_allocation\":false,"
     "\"certify\":true,"
@@ -129,6 +130,8 @@ TEST(ConfigJsonTest, RoundTripPreservesEveryKnob) {
   Config.DagOptions.DisambiguateSameBase = false;
   Config.DagOptions.AliasAnalysis = false;
   Config.SchedOptions.IssueWidth = 4;
+  Config.Closure.Mode = ClosureMode::OnDemand;
+  Config.Closure.OnDemandThreshold = 512;
   Config.RunRegAlloc = false;
   Config.SecondSchedulingPass = false;
   Config.HonorKnownLatency = false;
@@ -561,6 +564,11 @@ TEST(CacheKeyTest, EveryBehaviorAffectingFieldIsInTheKey) {
          [](PipelineConfig &C) { C.Budget.MaxSpillSlots = 99; });
   Mutate("budget.degrade",
          [](PipelineConfig &C) { C.Budget.Degrade = false; });
+  Mutate("closure.mode", [](PipelineConfig &C) {
+    C.Closure.Mode = ClosureMode::OnDemand;
+  });
+  Mutate("closure.on_demand_threshold",
+         [](PipelineConfig &C) { C.Closure.OnDemandThreshold = 64; });
 
   for (const auto &[Name, Config] : Mutants)
     EXPECT_NE(experimentCacheKey(F, Config), Base)
@@ -590,6 +598,13 @@ TEST(CacheKeyTest, ObsAndWeighterPoolAreKeyNeutral) {
   PipelineConfig Pooled = PipelineConfig::paperDefault();
   Pooled.WeighterPool = &Pool;
   EXPECT_EQ(experimentCacheKey(F, Pooled), Base);
+
+  // Ready-list selection is a pure-performance knob (identical schedules
+  // by construction, pinned by SchedTest.HeapSelectionMatchesScan), so it
+  // must stay key-neutral too.
+  PipelineConfig Heaped = PipelineConfig::paperDefault();
+  Heaped.SchedOptions.Selection = ReadySelection::Heap;
+  EXPECT_EQ(experimentCacheKey(F, Heaped), Base);
 }
 
 TEST(CacheKeyTest, FunctionContentIsInTheKey) {

@@ -19,12 +19,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dag/DagBuilder.h"
 #include "dag/DepDag.h"
 #include "dag/Reachability.h"
 #include "ir/BasicBlock.h"
 #include "sched/BalancedWeighter.h"
+#include "sched/ListScheduler.h"
 #include "sched/WeighterScratch.h"
 #include "support/Rng.h"
+#include "workload/HugeBlocks.h"
 
 #include <bit>
 #include <cstdint>
@@ -70,13 +73,12 @@ struct RandomDagSpec {
   }
 };
 
-/// Draws a random DAG: 1-48 nodes, ~40% loads (~30% of those with a known
-/// latency), and forward edges with a density drawn per graph so the suite
-/// covers everything from edge-free (all nodes mutually independent) to
-/// near-chains (few independent nodes).
-RandomDagSpec randomSpec(Rng &R) {
+/// Draws a random DAG of exactly \p N nodes: ~40% loads (~30% of those
+/// with a known latency), and forward edges with a density drawn per graph
+/// so the suite covers everything from edge-free (all nodes mutually
+/// independent) to near-chains (few independent nodes).
+RandomDagSpec randomSpecOfSize(Rng &R, unsigned N) {
   RandomDagSpec Spec;
-  unsigned N = 1 + static_cast<unsigned>(R.nextBounded(48));
   Spec.IsLoad.resize(N);
   Spec.KnownLatency.assign(N, 0);
   for (unsigned I = 0; I != N; ++I) {
@@ -90,6 +92,11 @@ RandomDagSpec randomSpec(Rng &R) {
       if (R.nextBernoulli(Density / (1.0 + 0.1 * (To - From))))
         Spec.Edges.push_back({From, To});
   return Spec;
+}
+
+/// The original 1-48 node draw used by the randomized suites.
+RandomDagSpec randomSpec(Rng &R) {
+  return randomSpecOfSize(R, 1 + static_cast<unsigned>(R.nextBounded(48)));
 }
 
 /// Exact double comparison through the bit pattern, so the failure message
@@ -204,6 +211,84 @@ TEST(WeighterDifferential, ClosureWithoutPredMatrixIsEquivalent) {
           << "Pred* mismatch at node " << I;
       ASSERT_EQ(Dense.succsOf(I), Lean.succsOf(I))
           << "Succ* mismatch at node " << I;
+    }
+  }
+}
+
+/// The three closure implementations — the materialized row sweep, the
+/// blocked/tiled kernel, and the matrix-free banded on-demand form — must
+/// agree bit-for-bit on every independence set. Sizes straddle the 64-bit
+/// word boundaries where the block/band edge cases live (partial last
+/// word, exactly full words, one node past a full word).
+TEST(WeighterDifferential, ClosureKernelsAgreeAtWordBoundaries) {
+  Rng R(0xB10CC);
+  TransitiveClosure Rows, Blocked;
+  BandedClosure Bands;
+  BitVector RowsInd, BlockedInd, BandInd;
+  for (unsigned N : {1u, 2u, 63u, 64u, 65u, 127u, 128u, 130u, 257u}) {
+    for (unsigned Trial = 0; Trial != 6; ++Trial) {
+      DepDag Dag = randomSpecOfSize(R, N).instantiate();
+      Rows.compute(Dag, /*StorePreds=*/true, ClosureKernel::Rows);
+      Blocked.compute(Dag, /*StorePreds=*/true, ClosureKernel::Blocked);
+      Bands.attach(Dag);
+      ASSERT_EQ(Bands.size(), N);
+      // Ascending then descending, so the band cache both streams forward
+      // and is forced to rebuild on every backward 64-crossing.
+      for (unsigned Pass = 0; Pass != 2; ++Pass) {
+        for (unsigned Step = 0; Step != N; ++Step) {
+          unsigned I = Pass == 0 ? Step : N - 1 - Step;
+          Rows.independentOf(I, RowsInd);
+          Blocked.independentOf(I, BlockedInd);
+          Bands.independentOf(I, BandInd);
+          ASSERT_EQ(RowsInd, BlockedInd)
+              << "blocked-kernel G_ind mismatch at node " << I << " of " << N;
+          ASSERT_EQ(RowsInd, BandInd)
+              << "banded G_ind mismatch at node " << I << " of " << N;
+          ASSERT_EQ(Blocked.succsOf(I), Rows.succsOf(I));
+          ASSERT_EQ(Blocked.predsOf(I), Rows.predsOf(I));
+        }
+      }
+    }
+  }
+}
+
+/// The huge-DAG oracle (ISSUE 10 acceptance): on real builder-produced
+/// DAGs at n ∈ {64, 512, 4096}, every closure mode must reproduce the
+/// allocating reference's weights bit-for-bit, for both Chances methods —
+/// and since schedules are a pure function of weights, the schedules must
+/// match across modes too (checked directly at n=512).
+TEST(WeighterDifferential, HugeBlocksBitIdenticalAcrossClosureModes) {
+  WeighterScratch Scratch;
+  for (unsigned Size : {64u, 512u, 4096u}) {
+    Function F = buildHugeBlock(Size);
+    for (ChancesMethod Method :
+         {ChancesMethod::ExactLongestPath, ChancesMethod::UnionFindLevels}) {
+      DepDag Reference = buildDag(F.block(0));
+      BalancedWeighter RefW(LatencyModel(), Method, 1.0, true);
+      RefW.assignWeightsReference(Reference);
+
+      std::vector<unsigned> FirstOrder;
+      for (ClosureMode Mode : {ClosureMode::Materialized, ClosureMode::Blocked,
+                               ClosureMode::OnDemand}) {
+        ClosureOptions Closure;
+        Closure.Mode = Mode;
+        BalancedWeighter W(LatencyModel(), Method, 1.0, true, Closure);
+        DepDag Dag = buildDag(F.block(0));
+        W.assignWeights(Dag, Scratch);
+        ASSERT_EQ(Dag.size(), Size);
+        for (unsigned I = 0; I != Dag.size(); ++I)
+          expectBitIdentical(Dag, Reference, I);
+        if (HasFailure())
+          return;
+        if (Size == 512) {
+          Schedule S = scheduleDag(Dag);
+          if (FirstOrder.empty())
+            FirstOrder = S.Order;
+          else
+            EXPECT_EQ(S.Order, FirstOrder)
+                << "schedule drift across closure modes";
+        }
+      }
     }
   }
 }

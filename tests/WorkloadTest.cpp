@@ -9,6 +9,7 @@
 #include "dag/DagUtils.h"
 #include "ir/IrPrinter.h"
 #include "ir/IrVerifier.h"
+#include "workload/HugeBlocks.h"
 #include "workload/KernelGen.h"
 #include "workload/PerfectClub.h"
 
@@ -224,4 +225,45 @@ TEST(BenchmarkSuiteTest, PersonalitiesDiffer) {
   };
 
   EXPECT_GT(HotBlockParallelLoads(Mdg), 2 * HotBlockParallelLoads(Track));
+}
+
+//===----------------------------------------------------------------------===
+// Huge-block family
+//===----------------------------------------------------------------------===
+
+TEST(HugeBlocksTest, FamilySizes) {
+  EXPECT_EQ(hugeBlockSizes(), (std::vector<unsigned>{2048, 4096, 8192, 16384}));
+}
+
+TEST(HugeBlocksTest, ExactSizeSingleBlockAndValid) {
+  for (unsigned Size : hugeBlockSizes()) {
+    Function F = buildHugeBlock(Size);
+    ASSERT_EQ(F.numBlocks(), 1u) << Size;
+    EXPECT_EQ(F.block(0).size(), Size);
+    EXPECT_TRUE(verifyClean(verifyFunction(F))) << "huge" << Size;
+  }
+}
+
+TEST(HugeBlocksTest, Deterministic) {
+  for (unsigned Size : {2048u, 4096u}) {
+    EXPECT_EQ(printFunction(buildHugeBlock(Size)),
+              printFunction(buildHugeBlock(Size)));
+  }
+  // Distinct sizes draw distinct pattern streams, not a truncation.
+  EXPECT_NE(printFunction(buildHugeBlock(2048)).substr(0, 4096),
+            printFunction(buildHugeBlock(4096)).substr(0, 4096));
+}
+
+TEST(HugeBlocksTest, MixedAliasClassesAndLoadRich) {
+  Function F = buildHugeBlock(2048);
+  EXPECT_GE(F.numAliasClasses(), 8u); // Fortran mode: one class per array.
+  EXPECT_GT(loadFraction(F), 0.3);
+
+  WorkloadOptions C;
+  C.FortranAliasing = false;
+  Function Conservative = buildHugeBlock(2048, C);
+  EXPECT_EQ(Conservative.numAliasClasses(), 1u);
+  // The conservative translation can only add memory edges.
+  EXPECT_GE(buildDag(Conservative.block(0)).numEdges(),
+            buildDag(F.block(0)).numEdges());
 }
